@@ -1,0 +1,74 @@
+// complx_eval — score a placement: HPWL, density overflow, scaled HPWL,
+// legality. Reads a Bookshelf design plus (optionally) an alternative .pl.
+//
+//   complx_eval <design.aux> [placement.pl]
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "bookshelf/reader.h"
+#include "density/metric.h"
+#include "legal/tetris.h"
+#include "util/log.h"
+#include "wl/hpwl.h"
+
+using namespace complx;
+
+namespace {
+
+/// Overlays positions from a .pl file onto the netlist (by cell name).
+void apply_pl(Netlist& nl, const std::string& pl_path) {
+  // The Bookshelf reader already knows how to parse .pl; reuse it through a
+  // minimal read: the reader API takes the whole file set, so parse here.
+  std::FILE* f = std::fopen(pl_path.c_str(), "r");
+  if (!f) throw std::runtime_error("cannot open " + pl_path);
+  char name[256];
+  double x, y;
+  char line[1024];
+  size_t applied = 0;
+  while (std::fgets(line, sizeof line, f)) {
+    if (line[0] == '#' || std::strncmp(line, "UCLA", 4) == 0) continue;
+    if (std::sscanf(line, "%255s %lf %lf", name, &x, &y) != 3) continue;
+    const CellId id = nl.find_cell(name);
+    if (id >= nl.num_cells()) continue;
+    Cell& c = nl.cell(id);
+    if (!c.movable()) continue;
+    c.x = x;
+    c.y = y;
+    ++applied;
+  }
+  std::fclose(f);
+  std::printf("applied %zu positions from %s\n", applied, pl_path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: complx_eval <design.aux> [placement.pl]\n");
+    return 1;
+  }
+  try {
+    BookshelfDesign design = read_bookshelf(argv[1]);
+    Netlist& nl = design.netlist;
+    if (argc > 2) apply_pl(nl, argv[2]);
+
+    const Placement p = nl.snapshot();
+    const DensityMetric m = evaluate_scaled_hpwl(nl, p);
+    std::printf("design        : %s (%zu cells, %zu nets)\n",
+                design.name.c_str(), nl.num_cells(), nl.num_nets());
+    std::printf("HPWL          : %.6g\n", m.hpwl);
+    std::printf("weighted HPWL : %.6g\n", weighted_hpwl(nl, p));
+    std::printf("overflow      : %.3f%% of movable area (target density "
+                "%.2f)\n",
+                m.overflow_percent, nl.target_density());
+    std::printf("scaled HPWL   : %.6g\n", m.scaled_hpwl);
+    std::printf("legal         : %s\n",
+                TetrisLegalizer::is_legal(nl, p) ? "yes" : "no");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

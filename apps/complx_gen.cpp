@@ -1,0 +1,100 @@
+// complx_gen — emit a synthetic ISPD-style benchmark in Bookshelf format.
+//
+//   complx_gen --cells 10000 --out /tmp/bench --name mydesign [options]
+//
+// Options mirror GenParams; suites can be emitted wholesale:
+//   complx_gen --suite ispd2005 --scale 60 --out /tmp/suite
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "bookshelf/writer.h"
+#include "gen/suites.h"
+#include "util/log.h"
+
+using namespace complx;
+
+namespace {
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: complx_gen [--cells n] [--seed s] [--pads n] [--macros n]\n"
+      "                  [--fixed-macros n] [--utilization u] [--density g]\n"
+      "                  [--name design] --out <dir>\n"
+      "       complx_gen --suite ispd2005|ispd2006 [--scale k] --out <dir>\n");
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  GenParams params;
+  params.name = "synth";
+  std::string out_dir;
+  std::string suite;
+  size_t scale = 60;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--cells") params.num_cells = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--seed") params.seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--pads") params.num_pads = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--macros")
+      params.num_movable_macros = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--fixed-macros")
+      params.num_fixed_macros = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--utilization") params.utilization = std::atof(next());
+    else if (arg == "--density") params.target_density = std::atof(next());
+    else if (arg == "--name") params.name = next();
+    else if (arg == "--out") out_dir = next();
+    else if (arg == "--suite") suite = next();
+    else if (arg == "--scale") scale = std::strtoul(next(), nullptr, 10);
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+  if (out_dir.empty()) {
+    usage();
+    return 1;
+  }
+  std::filesystem::create_directories(out_dir);
+
+  try {
+    if (!suite.empty()) {
+      const auto entries = suite == "ispd2005"   ? ispd2005_suite(scale)
+                           : suite == "ispd2006" ? ispd2006_suite(scale)
+                                                 : std::vector<SuiteEntry>{};
+      if (entries.empty()) {
+        std::fprintf(stderr, "unknown suite: %s\n", suite.c_str());
+        return 1;
+      }
+      for (const SuiteEntry& e : entries) {
+        const Netlist nl = generate_circuit(e.params);
+        write_bookshelf(nl, out_dir, e.params.name);
+        std::printf("%-12s (%s analogue): %zu cells, %zu nets -> "
+                    "%s/%s.aux\n",
+                    e.params.name.c_str(), e.paper_name.c_str(),
+                    nl.num_cells(), nl.num_nets(), out_dir.c_str(),
+                    e.params.name.c_str());
+      }
+      return 0;
+    }
+    const Netlist nl = generate_circuit(params);
+    write_bookshelf(nl, out_dir, params.name);
+    std::printf("%s: %zu cells, %zu nets, %zu pins -> %s/%s.aux\n",
+                params.name.c_str(), nl.num_cells(), nl.num_nets(),
+                nl.num_pins(), out_dir.c_str(), params.name.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,162 @@
+// complx_place — command-line global+detailed placement for Bookshelf
+// designs.
+//
+//   complx_place <design.aux> [options]
+//
+// Options:
+//   --out <file.pl>       write the final placement (default: <design>.complx.pl)
+//   --target-density <g>  override the density target (0 < g <= 1)
+//   --simpl               run the SimPL-compatibility configuration
+//   --lse                 use the log-sum-exp interconnect model
+//   --max-iters <n>       global placement iteration cap
+//   --no-dp               skip detailed placement
+//   --orient              run cell-orientation optimization after DP
+//   --trace <file.csv>    dump the per-iteration L/Phi/Pi trace
+//   --svg <file.svg>      render the final placement
+//   --seed-quiet          lower log verbosity
+//
+// Exit code 0 on success, 1 on usage errors, 2 on placement failure.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bookshelf/reader.h"
+#include "bookshelf/writer.h"
+#include "core/placer.h"
+#include "core/trace.h"
+#include "density/metric.h"
+#include "dp/detailed.h"
+#include "dp/orientation.h"
+#include "util/svg.h"
+#include "legal/tetris.h"
+#include "util/log.h"
+#include "util/timer.h"
+#include "wl/hpwl.h"
+
+using namespace complx;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: complx_place <design.aux> [--out f.pl] "
+               "[--target-density g] [--simpl] [--lse] [--max-iters n] "
+               "[--no-dp] [--orient] [--trace f.csv] [--svg f.svg] "
+               "[--quiet]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  std::string aux_path;
+  std::string out_path;
+  std::string trace_path;
+  std::string svg_path;
+  double target_density = 0.0;
+  bool simpl = false, lse = false, run_dp = true, quiet = false;
+  bool orient = false;
+  int max_iters = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") out_path = next();
+    else if (arg == "--target-density") target_density = std::atof(next());
+    else if (arg == "--simpl") simpl = true;
+    else if (arg == "--lse") lse = true;
+    else if (arg == "--max-iters") max_iters = std::atoi(next());
+    else if (arg == "--no-dp") run_dp = false;
+    else if (arg == "--orient") orient = true;
+    else if (arg == "--trace") trace_path = next();
+    else if (arg == "--svg") svg_path = next();
+    else if (arg == "--quiet") quiet = true;
+    else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage();
+      return 1;
+    } else {
+      aux_path = arg;
+    }
+  }
+  if (aux_path.empty()) {
+    usage();
+    return 1;
+  }
+  set_log_level(quiet ? LogLevel::Warn : LogLevel::Info);
+
+  try {
+    Timer total;
+    BookshelfDesign design = read_bookshelf(aux_path);
+    Netlist& nl = design.netlist;
+    if (target_density > 0.0) nl.set_target_density(target_density);
+    std::printf("%s: %zu cells (%zu movable), %zu nets, %zu pins, "
+                "density target %.2f\n",
+                design.name.c_str(), nl.num_cells(), nl.num_movable(),
+                nl.num_nets(), nl.num_pins(), nl.target_density());
+
+    ComplxConfig cfg = simpl ? ComplxConfig::simpl_mode() : ComplxConfig{};
+    cfg.use_lse = lse;
+    if (max_iters > 0) cfg.max_iterations = max_iters;
+
+    ComplxPlacer placer(nl, cfg);
+    const PlaceResult gp = placer.place();
+    std::printf("global placement: %d iterations, lambda %.3f, overflow "
+                "%.1f%%, HPWL(lb/ub) %.4g / %.4g\n",
+                gp.iterations, gp.final_lambda, 100.0 * gp.final_overflow,
+                hpwl(nl, gp.lower_bound), hpwl(nl, gp.anchors));
+    if (!trace_path.empty()) write_trace_csv(trace_path, gp.trace);
+
+    Placement p = gp.anchors;
+    const LegalizeResult legal = TetrisLegalizer(nl).legalize(p);
+    if (legal.failed) {
+      std::fprintf(stderr, "legalization failed for %zu cells\n",
+                   legal.failed);
+      return 2;
+    }
+    if (run_dp) {
+      const DetailedResult dp = DetailedPlacer(nl).refine(p);
+      std::printf("detailed placement: %.4g -> %.4g\n", dp.initial_hpwl,
+                  dp.final_hpwl);
+    }
+    if (orient) {
+      const OrientationResult orient_res = optimize_orientation(nl, p);
+      std::printf("orientation: %zu cells flipped, HPWL %.4g -> %.4g\n",
+                  orient_res.flipped, orient_res.initial_hpwl,
+                  orient_res.final_hpwl);
+    }
+
+    const DensityMetric metric = evaluate_scaled_hpwl(nl, p);
+    std::printf("final: HPWL %.6g, scaled HPWL %.6g (overflow %.2f%%), "
+                "legal: %s, %.1fs total\n",
+                metric.hpwl, metric.scaled_hpwl, metric.overflow_percent,
+                TetrisLegalizer::is_legal(nl, p) ? "yes" : "NO",
+                total.seconds());
+
+    if (out_path.empty()) {
+      out_path = aux_path;
+      const size_t dot = out_path.find_last_of('.');
+      if (dot != std::string::npos) out_path.resize(dot);
+      out_path += ".complx.pl";
+    }
+    write_pl(nl, p, out_path);
+    std::printf("placement written to %s\n", out_path.c_str());
+    if (!svg_path.empty()) {
+      write_placement_svg(nl, p, svg_path);
+      std::printf("svg written to %s\n", svg_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

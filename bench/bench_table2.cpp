@@ -1,0 +1,104 @@
+// Table 2 reproduction: scaled HPWL (the ISPD 2006 contest metric —
+// HPWL inflated by the density-overflow penalty, penalty printed in
+// parentheses) on ISPD-2006-like designs with target densities and movable
+// macros.
+//
+// Paper's shape: ComPLx edges out the other placers on the scaled metric
+// (geomean 1.00x vs 1.01x-1.03x) while keeping overflow penalties moderate.
+#include "common.h"
+#include "baseline/nonconvex.h"
+#include "multilevel/mlplacer.h"
+
+using namespace complx;
+using namespace complx::bench;
+
+int main() {
+  const size_t scale = bench_scale_from_env(60);
+  print_header(
+      "TABLE 2 — ISPD 2006 analogues: scaled HPWL (x1e6), overflow % in ()",
+      "ComPLx beats RQL/mPL6/NTUPlace3 by 1-3% in scaled HPWL under density "
+      "targets with movable macros",
+      ("synthetic ISPD-2006 analogues with the contest's target densities, "
+       "scaled by 1/" +
+       std::to_string(scale) +
+       "; comparator families as in the paper: nonconvex analytical "
+       "(NTUPlace3-like), multilevel (mPL6-like), quadratic+diffusion "
+       "(RQL/FastPlace-like)")
+          .c_str());
+
+  const auto suite = ispd2006_suite(scale);
+  std::printf("%-10s %7s %5s | %15s | %15s | %15s | %15s\n", "design",
+              "cells", "dens", "ntupl3-like", "mpl6-like", "rql-like",
+              "complx");
+
+  std::vector<double> s_nc, s_ml, s_fp, s_def;
+  std::vector<double> o_nc, o_ml, o_fp, o_def;
+  for (const SuiteEntry& e : suite) {
+    const Netlist nl = generate_circuit(e.params);
+
+    // NTUPlace3 family: nonconvex LSE + density penalty (round cap keeps
+    // the suite runnable; the family is ~10x slower per round anyway).
+    DensityMetric nc_m;
+    {
+      NonconvexConfig ncfg;
+      ncfg.max_rounds = 16;
+      ncfg.nlcg_iterations = 45;
+      NonconvexPlacer placer(nl, ncfg);
+      Placement p = placer.place().placement;
+      TetrisLegalizer(nl).legalize(p);
+      DetailedPlacer(nl).refine(p);
+      nc_m = evaluate_scaled_hpwl(nl, p);
+    }
+
+    // mPL6 family: multilevel V-cycle over ComPLx.
+    DensityMetric ml_m;
+    {
+      MultilevelConfig mcfg;
+      mcfg.coarsest_cells = 2000;
+      MultilevelPlacer placer(nl, mcfg);
+      Placement p = placer.place().anchors;
+      TetrisLegalizer(nl).legalize(p);
+      DetailedPlacer(nl).refine(p);
+      ml_m = evaluate_scaled_hpwl(nl, p);
+    }
+
+    // RQL/FastPlace family: quadratic + diffusion.
+    const FlowMetrics fp = run_baseline_flow(nl);
+
+    const FlowMetrics def = run_complx_flow(nl, ComplxConfig{});
+
+    std::printf("%-10s %7zu %5.2f | %8.3f (%5.2f) | %8.3f (%5.2f) | %8.3f "
+                "(%5.2f) | %8.3f (%5.2f)\n",
+                e.params.name.c_str(), nl.num_cells(), nl.target_density(),
+                nc_m.scaled_hpwl / 1e6, nc_m.overflow_percent,
+                ml_m.scaled_hpwl / 1e6, ml_m.overflow_percent,
+                fp.scaled_hpwl / 1e6, fp.overflow_percent,
+                def.scaled_hpwl / 1e6, def.overflow_percent);
+
+    s_nc.push_back(nc_m.scaled_hpwl);
+    s_ml.push_back(ml_m.scaled_hpwl);
+    s_fp.push_back(fp.scaled_hpwl);
+    s_def.push_back(def.scaled_hpwl);
+    o_nc.push_back(nc_m.overflow_percent);
+    o_ml.push_back(ml_m.overflow_percent);
+    o_fp.push_back(fp.overflow_percent);
+    o_def.push_back(def.overflow_percent);
+  }
+
+  auto ratio = [&](const std::vector<double>& a) {
+    std::vector<double> r;
+    for (size_t i = 0; i < a.size(); ++i) r.push_back(a[i] / s_def[i]);
+    return geomean(r);
+  };
+  std::printf("\nGeomean scaled HPWL vs ComPLx (mean overflow %%):\n");
+  std::printf("  NTUPL3-like (nonconvex)  : %.3fx (%.2f)\n", ratio(s_nc),
+              mean(o_nc));
+  std::printf("  mPL6-like (multilevel)   : %.3fx (%.2f)\n", ratio(s_ml),
+              mean(o_ml));
+  std::printf("  RQL-like (q+diffusion)   : %.3fx (%.2f)\n", ratio(s_fp),
+              mean(o_fp));
+  std::printf("  ComPLx                   : 1.000x (%.2f)\n", mean(o_def));
+  std::printf("(paper: NTUPL3 1.01x(2.40), mPL6 1.03x(1.22), RQL 1.01x(2.30),"
+              " ComPLx 1.00x(1.61))\n");
+  return 0;
+}

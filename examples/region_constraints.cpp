@@ -1,0 +1,85 @@
+// Region-constraint example (Section S5): keep a clock domain's cells
+// inside a hard region by enforcing the constraint inside the feasibility
+// projection — no fake nets, no objective hacks. Reports HPWL with and
+// without the constraint (the paper observes HPWL often *improves*).
+#include <cstdio>
+
+#include "core/placer.h"
+#include "dp/detailed.h"
+#include "gen/generator.h"
+#include "legal/tetris.h"
+#include "projection/regions.h"
+#include "util/log.h"
+#include "wl/hpwl.h"
+
+using namespace complx;
+
+namespace {
+
+/// Rebuilds `raw` with region `box` imposed on every 10th standard cell
+/// (a stand-in for a clock domain / logic hierarchy).
+Netlist constrain(const Netlist& raw, const Rect& box, size_t stride) {
+  Netlist nl;
+  const RegionId region = nl.add_region({"domain", box});
+  size_t constrained = 0;
+  for (CellId id = 0; id < raw.num_cells(); ++id) {
+    Cell c = raw.cell(id);
+    if (c.movable() && !c.is_macro() && id % stride == 0) {
+      c.region = region;
+      ++constrained;
+    }
+    nl.add_cell(c);
+  }
+  for (NetId e = 0; e < raw.num_nets(); ++e) {
+    const Net& n = raw.net(e);
+    std::vector<Pin> pins;
+    for (uint32_t k = 0; k < n.num_pins; ++k)
+      pins.push_back(raw.pin(n.first_pin + k));
+    nl.add_net(n.name, n.weight, pins);
+  }
+  nl.set_core(raw.core());
+  nl.set_target_density(raw.target_density());
+  nl.finalize();
+  std::printf("constrained %zu cells to [%.0f,%.0f]x[%.0f,%.0f]\n",
+              constrained, box.xl, box.xh, box.yl, box.yh);
+  return nl;
+}
+
+double place_and_measure(const Netlist& nl, const char* label) {
+  ComplxConfig config;
+  ComplxPlacer placer(nl, config);
+  const PlaceResult gp = placer.place();
+  Placement p = gp.anchors;
+  TetrisLegalizer(nl).legalize(p);
+  DetailedPlacer(nl).refine(p);
+  const double wl = hpwl(nl, p);
+  std::printf("%-14s HPWL %.0f | region satisfied in anchors: %s\n", label,
+              wl, regions_satisfied(nl, gp.anchors) ? "yes" : "n/a");
+  return wl;
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::Info);
+
+  GenParams params;
+  params.name = "regions";
+  params.num_cells = 6000;
+  params.seed = 11;
+  params.utilization = 0.55;
+  const Netlist base = generate_circuit(params);
+
+  const Rect& core = base.core();
+  const Rect box{core.xl + 0.1 * core.width(), core.yl + 0.1 * core.height(),
+                 core.xl + 0.45 * core.width(),
+                 core.yl + 0.45 * core.height()};
+  const Netlist constrained = constrain(base, box, 10);
+
+  const double free_wl = place_and_measure(base, "unconstrained:");
+  const double region_wl = place_and_measure(constrained, "with region:");
+  std::printf("\nHPWL ratio with/without region: %.4f (paper Figure 4: "
+              "0.994 — constraints need not cost wirelength)\n",
+              region_wl / free_wl);
+  return 0;
+}

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Plot the paper-figure CSVs emitted by the bench binaries.
+
+Usage: run the benches (they drop CSVs in the working directory), then
+
+    python3 scripts/plot_figures.py [--dir build/bench] [--out figures]
+
+Produces:
+    fig1_progressions.png   L / Phi / Pi vs iteration   (paper Figure 1)
+    fig2_shreds.png         shred clouds per macro      (paper Figure 2)
+    fig3_scalability.png    final lambda + iterations vs nets (Figure 3)
+
+Requires matplotlib; degrades to a clear error message without it.
+"""
+import argparse
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path) as f:
+        rows = list(csv.DictReader(f))
+    if not rows:
+        raise SystemExit(f"{path}: empty")
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--dir", default="build/bench", help="CSV directory")
+    ap.add_argument("--out", default="figures", help="output directory")
+    args = ap.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        raise SystemExit("matplotlib not installed; pip install matplotlib")
+
+    os.makedirs(args.out, exist_ok=True)
+
+    # ---- Figure 1: L, Phi, Pi progressions --------------------------------
+    p = os.path.join(args.dir, "fig1_progressions.csv")
+    if os.path.exists(p):
+        rows = read_csv(p)
+        it = [float(r["iteration"]) for r in rows]
+        fig, ax1 = plt.subplots(figsize=(7, 4.5))
+        ax1.plot(it, [float(r["lagrangian"]) for r in rows], "r-",
+                 label="L (Lagrangian)")
+        ax1.plot(it, [float(r["phi_lower"]) for r in rows], "b--",
+                 label="Phi (interconnect)")
+        ax1.plot(it, [float(r["pi"]) for r in rows], "g-.",
+                 label="Pi (L1 distance to legal)")
+        ax1.set_xlabel("ComPLx iteration")
+        ax1.set_ylabel("cost (layout units)")
+        ax1.set_yscale("log")
+        ax1.legend()
+        ax1.set_title("Figure 1: progressions on the BIGBLUE4 analogue")
+        fig.tight_layout()
+        fig.savefig(os.path.join(args.out, "fig1_progressions.png"), dpi=150)
+        print("wrote fig1_progressions.png")
+
+    # ---- Figure 2: shred clouds -------------------------------------------
+    p = os.path.join(args.dir, "fig2_shreds.csv")
+    if os.path.exists(p):
+        rows = read_csv(p)
+        fig, ax = plt.subplots(figsize=(6, 6))
+        owners = sorted({r["owner"] for r in rows})
+        cmap = plt.get_cmap("tab20")
+        for k, o in enumerate(owners):
+            xs = [float(r["x"]) for r in rows if r["owner"] == o]
+            ys = [float(r["y"]) for r in rows if r["owner"] == o]
+            ax.scatter(xs, ys, s=4, color=cmap(k % 20), label=None)
+            ax.scatter([sum(xs) / len(xs)], [sum(ys) / len(ys)], marker="s",
+                       s=60, facecolors="none", edgecolors="red")
+        ax.set_aspect("equal")
+        ax.set_title("Figure 2: shred clouds (dots) and macro anchors "
+                     "(red squares)")
+        fig.tight_layout()
+        fig.savefig(os.path.join(args.out, "fig2_shreds.png"), dpi=150)
+        print("wrote fig2_shreds.png")
+
+    # ---- Figure 3: scalability --------------------------------------------
+    p = os.path.join(args.dir, "fig3_scalability.csv")
+    if os.path.exists(p):
+        rows = read_csv(p)
+        nets = [float(r["nets"]) for r in rows]
+        fig, ax1 = plt.subplots(figsize=(7, 4.5))
+        ax1.plot(nets, [float(r["final_lambda"]) for r in rows], "r-o",
+                 label="final lambda")
+        ax1.set_xlabel("number of nets")
+        ax1.set_ylabel("final lambda", color="r")
+        ax1.set_xscale("log")
+        ax1.set_ylim(bottom=0)
+        ax2 = ax1.twinx()
+        ax2.plot(nets, [float(r["iterations"]) for r in rows], "b--s",
+                 label="iterations")
+        ax2.set_ylabel("global placement iterations", color="b")
+        ax2.set_ylim(bottom=0)
+        ax1.set_title("Figure 3: final lambda and iteration count vs size")
+        fig.tight_layout()
+        fig.savefig(os.path.join(args.out, "fig3_scalability.png"), dpi=150)
+        print("wrote fig3_scalability.png")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+// Baseline global placer in the style of FastPlace (Viswanathan, Pan, Chu):
+// quadratic placement with iterative CELL SHIFTING — per-bin-row utilization
+// equalization by piecewise-linear coordinate remapping — plus spreading
+// forces realized as anchor pseudonets to the shifted positions.
+//
+// This is the comparative baseline for Table 1/2: a competitive pre-SimPL
+// diffusion-based placer, implemented from its published description. It
+// shares the netlist, quadratic solver and legalization substrates with
+// ComPLx, so measured differences isolate the spreading algorithm.
+#pragma once
+
+#include "netlist/netlist.h"
+#include "qp/solver.h"
+
+namespace complx {
+
+struct FastPlaceConfig {
+  QpOptions qp;
+  int max_iterations = 80;
+  double stop_overflow = 0.18;
+  size_t bins = 0;  ///< 0 = auto (~ cells per bin target)
+  /// Spreading-force weight ramp: anchor weight = ramp · iteration.
+  double force_ramp = 0.001;
+  double shift_damping = 0.8;  ///< fraction of computed shift applied
+  int shift_rounds = 4;        ///< diffusion rounds per placement iteration
+};
+
+struct FastPlaceResult {
+  Placement placement;
+  int iterations = 0;
+  double final_overflow = 0.0;
+  double runtime_s = 0.0;
+};
+
+class FastPlaceStylePlacer {
+ public:
+  FastPlaceStylePlacer(const Netlist& nl, const FastPlaceConfig& cfg);
+  FastPlaceResult place();
+
+ private:
+  const Netlist& nl_;
+  FastPlaceConfig cfg_;
+};
+
+}  // namespace complx

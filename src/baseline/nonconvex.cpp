@@ -1,0 +1,95 @@
+#include "baseline/nonconvex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nlcg/nlcg.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "wl/smooth.h"
+
+namespace complx {
+
+NonconvexPlacer::NonconvexPlacer(const Netlist& nl,
+                                 const NonconvexConfig& cfg)
+    : nl_(nl), cfg_(cfg) {}
+
+NonconvexResult NonconvexPlacer::place() {
+  Timer timer;
+  NonconvexResult result;
+
+  Placement p = nl_.snapshot();
+  {
+    // Same centered initialization convention as the other placers.
+    Rng rng(0xA91Cull);
+    const Point c = nl_.core().center();
+    const double r = 2.0 * nl_.row_height();
+    for (CellId id : nl_.movable_cells()) {
+      p.x[id] = c.x + rng.uniform(-r, r);
+      p.y[id] = c.y + rng.uniform(-r, r);
+    }
+  }
+
+  const LseWl wirelength(nl_, cfg_.lse_gamma_rows * nl_.row_height());
+  const DensityPenalty density(nl_, cfg_.density);
+
+  // Pure wirelength warm-up.
+  {
+    NlcgOptions opts;
+    opts.max_iterations = cfg_.nlcg_iterations;
+    minimize_smooth_placement(nl_, wirelength, p, nullptr, opts);
+  }
+
+  // λ_d normalization from gradient magnitudes at the warm-up point.
+  Vec gx, gy, dgx, dgy;
+  wirelength.value_and_grad(p, gx, gy);
+  density.value_and_grad(p, dgx, dgy);
+  double wl_norm = 0.0, d_norm = 0.0;
+  for (CellId id : nl_.movable_cells()) {
+    wl_norm += std::abs(gx[id]) + std::abs(gy[id]);
+    d_norm += std::abs(dgx[id]) + std::abs(dgy[id]);
+  }
+  double lambda_d = d_norm > 1e-12
+                        ? cfg_.initial_gradient_ratio * wl_norm / d_norm
+                        : 1.0;
+
+  // Combined objective for the NLCG adapter.
+  class Combined : public SmoothWl {
+   public:
+    Combined(const LseWl& wl, const DensityPenalty& dens, const double& lam)
+        : wl_(wl), dens_(dens), lam_(lam) {}
+    double value_and_grad(const Placement& p, Vec& gx,
+                          Vec& gy) const override {
+      Vec dgx, dgy;
+      const double f = wl_.value_and_grad(p, gx, gy);
+      const double d = dens_.value_and_grad(p, dgx, dgy);
+      for (size_t i = 0; i < gx.size(); ++i) {
+        gx[i] += lam_ * dgx[i];
+        gy[i] += lam_ * dgy[i];
+      }
+      return f + lam_ * d;
+    }
+
+   private:
+    const LseWl& wl_;
+    const DensityPenalty& dens_;
+    const double& lam_;
+  } combined(wirelength, density, lambda_d);
+
+  int round = 1;
+  for (; round <= cfg_.max_rounds; ++round) {
+    NlcgOptions opts;
+    opts.max_iterations = cfg_.nlcg_iterations;
+    minimize_smooth_placement(nl_, combined, p, nullptr, opts);
+    result.final_overflow = density.overflow_ratio(p);
+    if (result.final_overflow < cfg_.stop_overflow) break;
+    lambda_d *= 2.0;  // the classic penalty ramp
+  }
+
+  result.placement = std::move(p);
+  result.rounds = std::min(round, cfg_.max_rounds);
+  result.runtime_s = timer.seconds();
+  return result;
+}
+
+}  // namespace complx

@@ -1,0 +1,360 @@
+#include "bookshelf/reader.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/log.h"
+
+namespace complx {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& file, size_t line,
+                       const std::string& what) {
+  throw std::runtime_error(file + ":" + std::to_string(line) + ": " + what);
+}
+
+/// Line-oriented tokenizer that skips blanks, comments and the
+/// "UCLA <kind> 1.0" header.
+class LineReader {
+ public:
+  explicit LineReader(const std::string& path) : path_(path), in_(path) {
+    if (!in_) throw std::runtime_error("cannot open " + path);
+  }
+
+  /// Next meaningful line split into tokens; empty vector at EOF.
+  std::vector<std::string> next() {
+    std::string line;
+    while (std::getline(in_, line)) {
+      ++lineno_;
+      const size_t hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      std::istringstream ss(line);
+      std::vector<std::string> toks;
+      std::string t;
+      while (ss >> t) toks.push_back(t);
+      if (toks.empty()) continue;
+      if (toks[0] == "UCLA") continue;  // format header
+      return toks;
+    }
+    return {};
+  }
+
+  size_t lineno() const { return lineno_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+  size_t lineno_ = 0;
+};
+
+double to_double(const LineReader& lr, const std::string& s) {
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    fail(lr.path(), lr.lineno(), "expected number, got '" + s + "'");
+  }
+}
+
+long to_long(const LineReader& lr, const std::string& s) {
+  try {
+    return std::stol(s);
+  } catch (const std::exception&) {
+    fail(lr.path(), lr.lineno(), "expected integer, got '" + s + "'");
+  }
+}
+
+/// "Key : value ..." lines appear in .nodes/.nets/.scl; returns the value
+/// tokens after the colon for a given key, or nullopt-like empty.
+bool key_line(const std::vector<std::string>& toks, const std::string& key,
+              std::vector<std::string>& values) {
+  if (toks.empty() || toks[0] != key) return false;
+  size_t i = 1;
+  if (i < toks.size() && toks[i] == ":") ++i;
+  values.assign(toks.begin() + static_cast<long>(i), toks.end());
+  return true;
+}
+
+struct NodesData {
+  // name -> (width, height, terminal?)
+  struct Entry {
+    double w, h;
+    bool terminal;
+  };
+  std::vector<std::pair<std::string, Entry>> nodes;
+};
+
+NodesData read_nodes(const std::string& path) {
+  LineReader lr(path);
+  NodesData data;
+  long declared = -1;
+  std::vector<std::string> vals;
+  for (auto toks = lr.next(); !toks.empty(); toks = lr.next()) {
+    if (key_line(toks, "NumNodes", vals)) {
+      declared = to_long(lr, vals.at(0));
+      continue;
+    }
+    if (key_line(toks, "NumTerminals", vals)) continue;
+    if (toks.size() < 3)
+      fail(path, lr.lineno(), "node line needs: name width height");
+    NodesData::Entry e{to_double(lr, toks[1]), to_double(lr, toks[2]), false};
+    for (size_t i = 3; i < toks.size(); ++i)
+      if (toks[i] == "terminal" || toks[i] == "terminal_NI") e.terminal = true;
+    data.nodes.emplace_back(toks[0], e);
+  }
+  if (declared >= 0 && static_cast<size_t>(declared) != data.nodes.size())
+    log_warn("%s: NumNodes=%ld but %zu nodes parsed", path.c_str(), declared,
+             data.nodes.size());
+  return data;
+}
+
+struct NetsData {
+  struct PinRef {
+    std::string cell;
+    double dx, dy;
+  };
+  struct NetRef {
+    std::string name;
+    std::vector<PinRef> pins;
+  };
+  std::vector<NetRef> nets;
+};
+
+NetsData read_nets(const std::string& path) {
+  LineReader lr(path);
+  NetsData data;
+  std::vector<std::string> vals;
+  long pending_pins = 0;
+  for (auto toks = lr.next(); !toks.empty(); toks = lr.next()) {
+    if (key_line(toks, "NumNets", vals) || key_line(toks, "NumPins", vals))
+      continue;
+    if (key_line(toks, "NetDegree", vals)) {
+      if (vals.empty()) fail(path, lr.lineno(), "NetDegree without count");
+      pending_pins = to_long(lr, vals[0]);
+      NetsData::NetRef net;
+      net.name = vals.size() > 1 ? vals[1]
+                                 : "net" + std::to_string(data.nets.size());
+      data.nets.push_back(std::move(net));
+      continue;
+    }
+    // Pin line: "cellname I|O|B [: dx dy]"
+    if (data.nets.empty() || pending_pins <= 0)
+      fail(path, lr.lineno(), "pin line outside a NetDegree block");
+    NetsData::PinRef pin{toks[0], 0.0, 0.0};
+    // Find the colon; offsets follow it when present.
+    for (size_t i = 1; i < toks.size(); ++i) {
+      if (toks[i] != ":") continue;
+      if (i + 1 < toks.size()) pin.dx = to_double(lr, toks[i + 1]);
+      if (i + 2 < toks.size()) pin.dy = to_double(lr, toks[i + 2]);
+      break;
+    }
+    data.nets.back().pins.push_back(pin);
+    --pending_pins;
+  }
+  return data;
+}
+
+std::unordered_map<std::string, double> read_wts(const std::string& path) {
+  std::unordered_map<std::string, double> weights;
+  if (path.empty()) return weights;
+  std::ifstream probe(path);
+  if (!probe) return weights;  // .wts is optional in practice
+  probe.close();
+  LineReader lr(path);
+  for (auto toks = lr.next(); !toks.empty(); toks = lr.next()) {
+    if (toks.size() >= 2 && toks[0] != "NumNets")
+      weights[toks[0]] = to_double(lr, toks[1]);
+  }
+  return weights;
+}
+
+struct PlData {
+  struct Entry {
+    double x, y;
+    bool fixed;
+    bool flipped;
+  };
+  std::unordered_map<std::string, Entry> at;
+};
+
+PlData read_pl(const std::string& path) {
+  LineReader lr(path);
+  PlData data;
+  for (auto toks = lr.next(); !toks.empty(); toks = lr.next()) {
+    if (toks.size() < 3) continue;
+    PlData::Entry e{to_double(lr, toks[1]), to_double(lr, toks[2]), false,
+                    false};
+    for (const std::string& t : toks) {
+      if (t == "/FIXED" || t == "/FIXED_NI") e.fixed = true;
+      // Orientation token after the colon. The writer emits pin offsets in
+      // their current (already-mirrored) frame, so only the FLAG is
+      // restored here — no offset transformation.
+      if (t == "FN" || t == "FS") e.flipped = true;
+    }
+    data.at[toks[0]] = e;
+  }
+  return data;
+}
+
+std::vector<Row> read_scl(const std::string& path) {
+  LineReader lr(path);
+  std::vector<Row> rows;
+  Row cur;
+  bool in_row = false;
+  std::vector<std::string> vals;
+  for (auto toks = lr.next(); !toks.empty(); toks = lr.next()) {
+    if (toks[0] == "CoreRow") {
+      in_row = true;
+      cur = Row{};
+      continue;
+    }
+    if (toks[0] == "End") {
+      if (in_row) rows.push_back(cur);
+      in_row = false;
+      continue;
+    }
+    if (!in_row) continue;
+    if (key_line(toks, "Coordinate", vals)) cur.y = to_double(lr, vals.at(0));
+    else if (key_line(toks, "Height", vals))
+      cur.height = to_double(lr, vals.at(0));
+    else if (key_line(toks, "Sitewidth", vals))
+      cur.site_width = to_double(lr, vals.at(0));
+    else if (key_line(toks, "SubrowOrigin", vals)) {
+      cur.xl = to_double(lr, vals.at(0));
+      // "SubrowOrigin : x NumSites : n" — skip the second colon.
+      for (size_t i = 1; i < vals.size(); ++i) {
+        if (vals[i] != "NumSites") continue;
+        size_t j = i + 1;
+        if (j < vals.size() && vals[j] == ":") ++j;
+        if (j < vals.size())
+          cur.xh = cur.xl + to_double(lr, vals[j]) * cur.site_width;
+        break;
+      }
+    } else if (key_line(toks, "NumSites", vals)) {
+      cur.xh = cur.xl + to_double(lr, vals.at(0)) * cur.site_width;
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+BookshelfDesign read_bookshelf_files(const std::string& nodes_path,
+                                     const std::string& nets_path,
+                                     const std::string& wts_path,
+                                     const std::string& pl_path,
+                                     const std::string& scl_path) {
+  const NodesData nodes = read_nodes(nodes_path);
+  const NetsData nets = read_nets(nets_path);
+  const auto weights = read_wts(wts_path);
+  const PlData pl = read_pl(pl_path);
+  std::vector<Row> rows = read_scl(scl_path);
+
+  BookshelfDesign design;
+  Netlist& nl = design.netlist;
+
+  for (const auto& [name, e] : nodes.nodes) {
+    Cell c;
+    c.name = name;
+    c.width = e.w;
+    c.height = e.h;
+    const auto it = pl.at.find(name);
+    if (it != pl.at.end()) {
+      c.x = it->second.x;
+      c.y = it->second.y;
+      c.flipped_x = it->second.flipped;
+    }
+    const bool fixed = e.terminal || (it != pl.at.end() && it->second.fixed);
+    if (fixed) {
+      c.kind = CellKind::Fixed;
+    } else if (!rows.empty() && e.h > 1.5 * rows.front().height) {
+      c.kind = CellKind::MovableMacro;  // taller than a row => macro
+    } else {
+      c.kind = CellKind::Movable;
+    }
+    nl.add_cell(std::move(c));
+  }
+
+  for (const auto& net : nets.nets) {
+    std::vector<Pin> pins;
+    pins.reserve(net.pins.size());
+    bool ok = true;
+    for (const auto& pr : net.pins) {
+      const CellId id = nl.find_cell(pr.cell);
+      if (id >= nl.num_cells()) {
+        log_warn("net %s references unknown cell %s; net skipped",
+                 net.name.c_str(), pr.cell.c_str());
+        ok = false;
+        break;
+      }
+      pins.push_back({id, pr.dx, pr.dy});
+    }
+    if (!ok || pins.size() < 2) continue;
+    const auto w = weights.find(net.name);
+    nl.add_net(net.name, w == weights.end() ? 1.0 : w->second, pins);
+  }
+
+  // Core area: union of rows if present, else bounding box of everything.
+  if (!rows.empty()) {
+    Rect core{rows[0].xl, rows[0].y, rows[0].xh,
+              rows[0].y + rows[0].height};
+    for (const Row& r : rows)
+      core = core.united({r.xl, r.y, r.xh, r.y + r.height});
+    nl.set_core(core);
+    nl.set_rows(std::move(rows));
+  } else {
+    Rect core;
+    bool first = true;
+    for (const Cell& c : nl.cells()) {
+      core = first ? c.bounds() : core.united(c.bounds());
+      first = false;
+    }
+    nl.set_core(core);
+  }
+
+  nl.finalize();
+  return design;
+}
+
+BookshelfDesign read_bookshelf(const std::string& aux_path) {
+  std::ifstream in(aux_path);
+  if (!in) throw std::runtime_error("cannot open " + aux_path);
+  // "RowBasedPlacement : a.nodes a.nets a.wts a.pl a.scl"
+  std::string tok;
+  std::vector<std::string> files;
+  while (in >> tok) {
+    if (tok == ":" || tok == "RowBasedPlacement") continue;
+    files.push_back(tok);
+  }
+  const std::string dir = [&] {
+    const size_t slash = aux_path.find_last_of('/');
+    return slash == std::string::npos ? std::string()
+                                      : aux_path.substr(0, slash + 1);
+  }();
+  auto find_ext = [&](const std::string& ext) -> std::string {
+    for (const std::string& f : files)
+      if (f.size() > ext.size() &&
+          f.compare(f.size() - ext.size(), ext.size(), ext) == 0)
+        return dir + f;
+    return {};
+  };
+  const std::string nodes = find_ext(".nodes");
+  const std::string nets = find_ext(".nets");
+  if (nodes.empty() || nets.empty())
+    throw std::runtime_error(aux_path + ": missing .nodes/.nets entries");
+  BookshelfDesign d = read_bookshelf_files(nodes, nets, find_ext(".wts"),
+                                           find_ext(".pl"), find_ext(".scl"));
+  // Design name = aux file stem.
+  std::string stem = aux_path.substr(dir.size());
+  const size_t dot = stem.find_last_of('.');
+  d.name = dot == std::string::npos ? stem : stem.substr(0, dot);
+  return d;
+}
+
+}  // namespace complx

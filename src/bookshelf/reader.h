@@ -1,0 +1,33 @@
+// Reader for the UCLA/GSRC Bookshelf placement format used by the ISPD 2005
+// and 2006 contests: .aux (manifest), .nodes (cells), .nets (connectivity
+// with pin offsets), .wts (net weights, optional), .pl (positions and
+// fixed flags), .scl (row structure).
+//
+// The parser is whitespace-tolerant and accepts both '#'-comment and header
+// lines. Unknown trailing tokens on known lines are ignored, matching how
+// published placers treat contest files.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace complx {
+
+struct BookshelfDesign {
+  Netlist netlist;
+  std::string name;
+};
+
+/// Loads a design from its .aux manifest. Throws std::runtime_error with a
+/// file/line diagnostic on malformed input.
+BookshelfDesign read_bookshelf(const std::string& aux_path);
+
+/// Loads from explicit file paths (wts may be empty → unit weights).
+BookshelfDesign read_bookshelf_files(const std::string& nodes_path,
+                                     const std::string& nets_path,
+                                     const std::string& wts_path,
+                                     const std::string& pl_path,
+                                     const std::string& scl_path);
+
+}  // namespace complx

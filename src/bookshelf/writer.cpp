@@ -1,0 +1,93 @@
+#include "bookshelf/writer.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace complx {
+
+namespace {
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out.precision(17);  // lossless double round-trip
+  return out;
+}
+}  // namespace
+
+void write_pl(const Netlist& nl, const Placement& p,
+              const std::string& path) {
+  std::ofstream out = open_or_throw(path);
+  out << "UCLA pl 1.0\n\n";
+  for (CellId i = 0; i < nl.num_cells(); ++i) {
+    const Cell& c = nl.cell(i);
+    const double x = p.x[i] - c.width / 2.0;
+    const double y = p.y[i] - c.height / 2.0;
+    out << c.name << '\t' << x << '\t' << y << "\t: "
+        << (c.flipped_x ? "FN" : "N");
+    if (!c.movable()) out << " /FIXED";
+    out << '\n';
+  }
+}
+
+void write_bookshelf(const Netlist& nl, const std::string& dir,
+                     const std::string& name) {
+  const std::string base = dir + "/" + name;
+
+  {
+    std::ofstream aux = open_or_throw(base + ".aux");
+    aux << "RowBasedPlacement : " << name << ".nodes " << name << ".nets "
+        << name << ".wts " << name << ".pl " << name << ".scl\n";
+  }
+  {
+    std::ofstream out = open_or_throw(base + ".nodes");
+    out << "UCLA nodes 1.0\n\n";
+    size_t terminals = 0;
+    for (const Cell& c : nl.cells())
+      if (!c.movable()) ++terminals;
+    out << "NumNodes : " << nl.num_cells() << "\n";
+    out << "NumTerminals : " << terminals << "\n";
+    for (const Cell& c : nl.cells()) {
+      out << '\t' << c.name << '\t' << c.width << '\t' << c.height;
+      if (!c.movable()) out << "\tterminal";
+      out << '\n';
+    }
+  }
+  {
+    std::ofstream out = open_or_throw(base + ".nets");
+    out << "UCLA nets 1.0\n\n";
+    out << "NumNets : " << nl.num_nets() << "\n";
+    out << "NumPins : " << nl.num_pins() << "\n";
+    for (const Net& n : nl.nets()) {
+      out << "NetDegree : " << n.num_pins << "  " << n.name << '\n';
+      for (uint32_t k = 0; k < n.num_pins; ++k) {
+        const Pin& pin = nl.pin(n.first_pin + k);
+        out << '\t' << nl.cell(pin.cell).name << "  B  : " << pin.dx << ' '
+            << pin.dy << '\n';
+      }
+    }
+  }
+  {
+    std::ofstream out = open_or_throw(base + ".wts");
+    out << "UCLA wts 1.0\n\n";
+    for (const Net& n : nl.nets()) out << n.name << '\t' << n.weight << '\n';
+  }
+  write_pl(nl, nl.snapshot(), base + ".pl");
+  {
+    std::ofstream out = open_or_throw(base + ".scl");
+    out << "UCLA scl 1.0\n\n";
+    out << "NumRows : " << nl.rows().size() << "\n";
+    for (const Row& r : nl.rows()) {
+      out << "CoreRow Horizontal\n";
+      out << "  Coordinate : " << r.y << '\n';
+      out << "  Height : " << r.height << '\n';
+      out << "  Sitewidth : " << r.site_width << '\n';
+      out << "  Sitespacing : " << r.site_width << '\n';
+      out << "  Siteorient : 1\n  Sitesymmetry : 1\n";
+      out << "  SubrowOrigin : " << r.xl << "  NumSites : " << r.num_sites()
+          << '\n';
+      out << "End\n";
+    }
+  }
+}
+
+}  // namespace complx

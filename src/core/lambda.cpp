@@ -1,0 +1,2 @@
+// LambdaSchedule is header-only; this TU anchors the module in the build.
+#include "core/lambda.h"

@@ -1,0 +1,82 @@
+// Lagrange-multiplier scheduling (paper Section 4).
+//
+// ComPLx (Formula 12):
+//   λ₁     = Φ / (100 · Π)                      — penalty starts 100× below Φ
+//   λ_{k+1} = min{ 2·λ_k,  λ_k + (Π_{k+1}/Π_k)·h }  — capped geometric growth
+//
+// SimPL's fixed ramp (pseudo-net weight 0.01·(1+k)) and naive doubling are
+// provided for the special-case demonstration and the schedule ablation.
+#pragma once
+
+#include <algorithm>
+
+namespace complx {
+
+enum class ScheduleKind {
+  ComplxFormula12,  ///< the paper's schedule
+  SimplLinearRamp,  ///< SimPL: λ_k = 0.01 · (1 + k)
+  NaiveDoubling,    ///< λ_{k+1} = 2 λ_k (ablation strawman)
+};
+
+class LambdaSchedule {
+ public:
+  LambdaSchedule(ScheduleKind kind, double h_factor = 1.0)
+      : kind_(kind), h_factor_(h_factor) {}
+
+  /// Sets λ₁ from the first interconnect cost Φ and penalty Π (paper:
+  /// λ₁ = Φ/(100·Π) so the Lagrangian starts cost-dominated).
+  ///
+  /// `h_base` is the absolute scaling constant h of Formula 12 (for the
+  /// SimPL ramp, the per-iteration step). The ComPLx driver derives it from
+  /// a force-balance estimate of the final multiplier so convergence takes
+  /// a size-independent number of iterations (Section S3's flat iteration
+  /// counts). When h_base <= 0, h falls back to h_factor · λ₁.
+  void init(double phi, double pi, double h_base = 0.0) {
+    switch (kind_) {
+      case ScheduleKind::ComplxFormula12:
+        lambda_ = pi > 0.0 ? phi / (100.0 * pi) : 1e-6;
+        h_ = h_base > 0.0 ? h_factor_ * h_base : h_factor_ * lambda_;
+        break;
+      case ScheduleKind::SimplLinearRamp:
+        step_ = h_base > 0.0 ? h_factor_ * h_base : 0.01 * h_factor_;
+        lambda_ = step_;
+        break;
+      case ScheduleKind::NaiveDoubling:
+        lambda_ = pi > 0.0 ? phi / (100.0 * pi) : 1e-6;
+        break;
+    }
+    iteration_ = 1;
+  }
+
+  /// Advances λ given the previous and current penalty values (Formula 12).
+  void update(double pi_prev, double pi_cur) {
+    ++iteration_;
+    switch (kind_) {
+      case ScheduleKind::ComplxFormula12: {
+        const double ratio = pi_prev > 0.0 ? pi_cur / pi_prev : 1.0;
+        lambda_ = std::min(2.0 * lambda_, lambda_ + ratio * h_);
+        break;
+      }
+      case ScheduleKind::SimplLinearRamp:
+        lambda_ = step_ * (1.0 + static_cast<double>(iteration_));
+        break;
+      case ScheduleKind::NaiveDoubling:
+        lambda_ *= 2.0;
+        break;
+    }
+  }
+
+  double lambda() const { return lambda_; }
+  int iteration() const { return iteration_; }
+  ScheduleKind kind() const { return kind_; }
+
+ private:
+  ScheduleKind kind_;
+  double h_factor_;
+  double lambda_ = 0.0;
+  double h_ = 0.0;
+  double step_ = 0.01;  ///< SimPL ramp per-iteration increment
+  int iteration_ = 0;
+};
+
+}  // namespace complx

@@ -1,0 +1,301 @@
+#include "core/placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nlcg/nlcg.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "wl/hpwl.h"
+#include "wl/smooth.h"
+
+namespace complx {
+
+namespace {
+
+/// L1 distance between two placements over movable cells only.
+double movable_l1(const Netlist& nl, const Placement& a, const Placement& b) {
+  double s = 0.0;
+  for (CellId id : nl.movable_cells())
+    s += std::abs(a.x[id] - b.x[id]) + std::abs(a.y[id] - b.y[id]);
+  return s;
+}
+
+/// Deterministic symmetry-breaking jitter for the initial placement: all
+/// movable cells start at the core center, displaced by a hash of their id
+/// within a 2-row-radius disc.
+void init_at_center(const Netlist& nl, Placement& p) {
+  const Point c = nl.core().center();
+  const double r = 2.0 * nl.row_height();
+  Rng rng(0xC0417Cull);
+  for (CellId id : nl.movable_cells()) {
+    p.x[id] = c.x + rng.uniform(-r, r);
+    p.y[id] = c.y + rng.uniform(-r, r);
+  }
+}
+
+}  // namespace
+
+ComplxPlacer::ComplxPlacer(const Netlist& nl, const ComplxConfig& cfg)
+    : nl_(nl), cfg_(cfg), criticality_(nl.num_cells(), 1.0) {
+  if (cfg_.projection.gamma <= 0.0)
+    cfg_.projection.gamma = nl.target_density();
+  // Footnote 6 of the paper: the lower bound on pin separation in the
+  // linearized model is the average module width. Callers can override.
+  if (cfg_.qp.b2b.min_separation <= 1.0)
+    cfg_.qp.b2b.min_separation = std::max(1.0, nl.average_movable_width());
+}
+
+void ComplxPlacer::set_cell_criticality(Vec criticality) {
+  if (criticality.size() != nl_.num_cells())
+    throw std::invalid_argument("criticality size mismatch");
+  criticality_ = std::move(criticality);
+}
+
+AnchorSet ComplxPlacer::make_anchors(const Placement& iterate,
+                                     const Placement& proj,
+                                     double lambda) const {
+  AnchorSet anchors(nl_.num_cells());
+  const double eps = cfg_.epsilon_rows * nl_.row_height();
+  const double avg_area =
+      std::max(nl_.average_movable_width() * nl_.row_height(), 1e-12);
+
+  for (CellId id : nl_.movable_cells()) {
+    const Cell& c = nl_.cell(id);
+    // Per-macro λ scaling (Section 5): larger blocks get proportionally
+    // stronger anchors so they stabilize early; capped for conditioning.
+    double mult = criticality_[id];
+    if (c.is_macro())
+      mult *= std::min(cfg_.macro_lambda_cap, c.area() / avg_area);
+
+    const double lx = lambda * mult;
+    anchors.target_x[id] = proj.x[id];
+    anchors.target_y[id] = proj.y[id];
+    const double dx = std::abs(iterate.x[id] - proj.x[id]);
+    const double dy = std::abs(iterate.y[id] - proj.y[id]);
+    switch (cfg_.modulation) {
+      case AnchorModulation::DistanceNormalized:
+        // ComPLx: the linearized L1 penalty — force saturates at ~2λ·m.
+        anchors.weight_x[id] = lx / (dx + eps);
+        anchors.weight_y[id] = lx / (dy + eps);
+        break;
+      case AnchorModulation::Fixed:
+        // Plain spring: force grows linearly with displacement.
+        anchors.weight_x[id] = lx / eps;
+        anchors.weight_y[id] = lx / eps;
+        break;
+      case AnchorModulation::Thresholded: {
+        // Spring force clipped at the cap distance (RQL-ish ad hoc rule):
+        // a plain spring below T rows, constant force beyond.
+        const double cap = cfg_.threshold_rows * nl_.row_height();
+        anchors.weight_x[id] = dx <= cap ? lx / eps : lx * cap / (dx * eps);
+        anchors.weight_y[id] = dy <= cap ? lx / eps : lx * cap / (dy * eps);
+        break;
+      }
+    }
+  }
+  return anchors;
+}
+
+void ComplxPlacer::check_self_consistency(const Placement& prev_iter,
+                                          const Placement& prev_proj,
+                                          const Placement& cur_iter,
+                                          const Placement& cur_proj,
+                                          bool grid_final,
+                                          SelfConsistencyStats& stats) const {
+  ++stats.checked;
+  if (grid_final) ++stats.late_checked;
+  // Distances are compared with a 0.5% relative margin: near convergence
+  // the four L1 distances approach each other and strict comparisons flip
+  // on noise — Formula 11 is about genuine ordering, not ties.
+  constexpr double kMargin = 1.005;
+  // Formula 11 premise: the new iterate is closer to the old projection
+  // than the old iterate was.
+  const double old_to_oldproj = movable_l1(nl_, prev_iter, prev_proj);
+  const double new_to_oldproj = movable_l1(nl_, cur_iter, prev_proj);
+  if (!(old_to_oldproj > kMargin * new_to_oldproj)) {
+    ++stats.premise_failed;
+    return;
+  }
+  // Conclusion: it is also closer to its own projection.
+  const double old_to_newproj = movable_l1(nl_, prev_iter, cur_proj);
+  const double new_to_newproj = movable_l1(nl_, cur_iter, cur_proj);
+  if (kMargin * old_to_newproj > new_to_newproj) {
+    ++stats.consistent;
+  } else {
+    ++stats.inconsistent;
+    if (grid_final) ++stats.late_inconsistent;
+  }
+}
+
+double ComplxPlacer::estimate_lambda_star(const Netlist& nl) {
+  double force = 0.0;
+  for (NetId e = 0; e < nl.num_nets(); ++e) {
+    const Net& net = nl.net(e);
+    if (net.num_pins < 2) continue;
+    const double p = static_cast<double>(net.num_pins);
+    force += net.weight * 2.0 * (2.0 * p - 3.0) / (p - 1.0);
+  }
+  const double per_cell =
+      force / std::max<double>(1.0, static_cast<double>(nl.num_movable()));
+  return std::max(1e-9, 0.5 * per_cell);
+}
+
+PlaceResult ComplxPlacer::place() { return place_impl(nullptr); }
+
+PlaceResult ComplxPlacer::place_from(const Placement& initial) {
+  if (initial.size() != nl_.num_cells())
+    throw std::invalid_argument("initial placement size mismatch");
+  const bool saved = cfg_.warm_start;
+  cfg_.warm_start = true;
+  PlaceResult result = place_impl(&initial);
+  cfg_.warm_start = saved;
+  return result;
+}
+
+PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
+  Timer timer;
+  PlaceResult result;
+
+  Placement p = initial ? *initial : nl_.snapshot();
+  if (!cfg_.warm_start) init_at_center(nl_, p);
+  const VarMap vars(nl_);
+
+  // Primal minimizer: linearized-quadratic B2B by default, log-sum-exp via
+  // nonlinear CG when configured (Section S1 instantiation).
+  std::unique_ptr<LseWl> lse;
+  if (cfg_.use_lse)
+    lse = std::make_unique<LseWl>(nl_,
+                                  cfg_.lse_gamma_rows * nl_.row_height());
+  auto primal_step = [&](const AnchorSet* anchors) {
+    if (lse) {
+      NlcgOptions o;
+      o.max_iterations = cfg_.nlcg_iterations;
+      minimize_smooth_placement(nl_, *lse, p, anchors, o);
+    } else {
+      solve_qp_iteration(nl_, vars, p, anchors, cfg_.qp);
+    }
+  };
+
+  // --- Initial unconstrained minimization of Φ (λ = 0) -------------------
+  // Skipped on warm starts: the incoming placement is already spread, and
+  // an unconstrained solve would collapse it.
+  if (!cfg_.warm_start)
+    for (int i = 0; i < cfg_.initial_iterations; ++i) primal_step(nullptr);
+
+  // --- Projection machinery and grid schedule ----------------------------
+  LookAheadLegalizer lal(nl_, cfg_.projection);
+  const size_t finest = lal.bins_x();
+  double bins = std::max(
+      4.0, static_cast<double>(finest) / std::max(cfg_.grid_coarsening, 1.0));
+  lal.set_grid(static_cast<size_t>(bins), static_cast<size_t>(bins));
+
+  ProjectionResult proj = lal.project(p);
+  if (post_projection_) {
+    post_projection_(proj.anchors);
+    proj.displacement_l1 = movable_l1(nl_, p, proj.anchors);
+  }
+
+  const double lambda_star = estimate_lambda_star(nl_);
+  const double h_base =
+      cfg_.schedule == ScheduleKind::SimplLinearRamp
+          ? lambda_star / (3.0 * cfg_.lambda_ramp_steps)
+          : lambda_star / cfg_.lambda_ramp_steps;
+  LambdaSchedule schedule(cfg_.schedule, cfg_.h_factor);
+  schedule.init(weighted_hpwl(nl_, p), proj.displacement_l1, h_base);
+  if (cfg_.warm_start) {
+    // Jump λ to a fraction of its balance value so the incoming placement
+    // is respected from the first iteration.
+    while (schedule.lambda() < cfg_.warm_lambda_fraction * lambda_star)
+      schedule.update(proj.displacement_l1, proj.displacement_l1);
+  }
+
+  auto record = [&](int iter, double lambda, const ProjectionResult& pr,
+                    size_t grid_bins) {
+    IterationStats st;
+    st.iteration = iter;
+    st.lambda = lambda;
+    st.phi_lower = weighted_hpwl(nl_, p);
+    st.phi_upper = weighted_hpwl(nl_, pr.anchors);
+    st.pi = pr.displacement_l1;
+    st.lagrangian = st.phi_lower + lambda * st.pi;
+    st.overflow_ratio = pr.input_overflow_ratio;
+    st.gap = st.phi_upper > 0.0
+                 ? (st.phi_upper - st.phi_lower) / st.phi_upper
+                 : 0.0;
+    st.grid_bins = grid_bins;
+    st.elapsed_s = timer.seconds();
+    result.trace.push_back(st);
+    return st;
+  };
+  record(0, schedule.lambda(), proj, lal.bins_x());
+
+  Placement prev_iter = p;
+  Placement prev_proj = proj.anchors;
+  double prev_pi = proj.displacement_l1;
+
+  // --- Primal-dual iterations --------------------------------------------
+  int k = 1;
+  for (; k <= cfg_.max_iterations; ++k) {
+    const AnchorSet anchors = make_anchors(p, proj.anchors, schedule.lambda());
+    primal_step(&anchors);
+
+    bins = std::min(static_cast<double>(finest), bins * cfg_.grid_refine_rate);
+    lal.set_grid(static_cast<size_t>(bins), static_cast<size_t>(bins));
+
+    // Routability (SimPLR/Ripple): periodically re-estimate congestion and
+    // inflate crowded standard cells before projecting.
+    if (cfg_.routability.enabled &&
+        (k % std::max(1, cfg_.routability.period)) == 0) {
+      CongestionMap congestion(nl_, cfg_.routability.rudy);
+      congestion.build(p);
+      lal.set_inflation(
+          compute_inflation(nl_, p, congestion, cfg_.routability.inflation));
+    }
+
+    proj = lal.project(p);
+    if (post_projection_) {
+      post_projection_(proj.anchors);
+      proj.displacement_l1 = movable_l1(nl_, p, proj.anchors);
+    }
+
+    check_self_consistency(prev_iter, prev_proj, p, proj.anchors,
+                           lal.bins_x() >= finest,
+                           result.self_consistency);
+
+    schedule.update(prev_pi, proj.displacement_l1);
+    const IterationStats st =
+        record(k, schedule.lambda(), proj, lal.bins_x());
+    log_debug("iter %3d lambda=%.5f phi=[%.4g, %.4g] pi=%.4g ovfl=%.3f", k,
+              st.lambda, st.phi_lower, st.phi_upper, st.pi,
+              st.overflow_ratio);
+
+    prev_iter = p;
+    prev_proj = proj.anchors;
+    prev_pi = proj.displacement_l1;
+
+    // Convergence (Section 4): the SimPL criterion accepts once the iterate
+    // is nearly C-feasible; the refined ComPLx criterion additionally stops
+    // on a small duality gap (detailed placement runs on the anchors, so
+    // the gap bounds the cost difference).
+    const bool grid_final = lal.bins_x() >= finest;
+    if (k >= cfg_.min_iterations && grid_final) {
+      if (st.overflow_ratio < cfg_.stop_overflow) break;
+      if (cfg_.use_gap_criterion && st.gap < cfg_.stop_gap &&
+          st.overflow_ratio < 2.0 * cfg_.stop_overflow)
+        break;
+    }
+  }
+
+  result.lower_bound = std::move(p);
+  result.anchors = proj.anchors;
+  result.iterations = std::min(k, cfg_.max_iterations);
+  result.final_lambda = schedule.lambda();
+  result.final_overflow = result.trace.back().overflow_ratio;
+  result.runtime_s = timer.seconds();
+  return result;
+}
+
+}  // namespace complx

@@ -1,0 +1,193 @@
+// ComPLx: the projected-subgradient primal-dual Lagrange global placer.
+//
+// Each iteration alternates
+//   1. primal:   minimize L°(x,y,λ) = Φ(x,y) + λ·||(x,y)−(x°,y°)||₁ —
+//                the L1 anchor term is linearized into pseudonets of weight
+//                λ·m_i / (|x_i − x_i°| + ε), ε = 1.5 × row height, and the
+//                whole thing is a sparse SPD solve per axis (B2B model) or a
+//                nonlinear CG pass (log-sum-exp model);
+//   2. project:  (x°,y°) = P_C(x,y), the approximate feasibility projection;
+//   3. dual:     λ update per Formula 12.
+//
+// The per-cell multiplier m_i is 1 for standard cells, area-proportional for
+// macros (Section 5), and is additionally scaled by the timing/power
+// criticality vector γ when provided (Formula 13).
+//
+// SimPL is recovered as a configuration: ScheduleKind::SimplLinearRamp plus
+// the overflow-only stopping rule (see ComplxConfig::simpl_mode()).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/lambda.h"
+#include "core/trace.h"
+#include "projection/lal.h"
+#include "qp/solver.h"
+#include "route/inflate.h"
+#include "route/rudy.h"
+
+namespace complx {
+
+/// Routability mode (the SimPLR/Ripple special cases, Section 5): RUDY
+/// congestion is estimated every `period` iterations and congested standard
+/// cells are inflated inside the feasibility projection.
+struct RoutabilityOptions {
+  bool enabled = false;
+  int period = 4;  ///< iterations between congestion updates
+  RudyOptions rudy;
+  InflationOptions inflation;
+};
+
+/// How the anchor (spreading) force depends on a cell's distance to its
+/// projection — the "force modulation problem" of Section 3. ComPLx's
+/// answer is distance normalization: w = λ/(d+ε) makes the force saturate
+/// at ~2λ, so far-away cells are pulled no harder than near ones and the
+/// single multiplier λ controls the cost/feasibility trade-off. The
+/// alternatives reproduce what prior placers do and exist for the
+/// bench_ablation_modulation experiment.
+enum class AnchorModulation {
+  DistanceNormalized,  ///< ComPLx: w = λ·m/(d+ε), force ≈ 2λ·m
+  Fixed,               ///< naive spring: w = λ·m/ε, force ∝ d (unbounded)
+  Thresholded,         ///< RQL-style: force ∝ d but clipped at a hand-set
+                       ///< cap of `threshold_rows` row heights
+};
+
+struct ComplxConfig {
+  // Interconnect model Φ.
+  QpOptions qp;
+
+  // Anchor force modulation (see AnchorModulation).
+  AnchorModulation modulation = AnchorModulation::DistanceNormalized;
+  double threshold_rows = 10.0;  ///< force cap distance for Thresholded
+
+  // Dual schedule. Formula 12's scaling constant h is derived from the
+  // force-balance estimate λ* (mean B2B force per movable cell — the value
+  // λ converges to): h = h_factor · λ* / lambda_ramp_steps, so λ doubles
+  // while small and then climbs to λ* in ~lambda_ramp_steps iterations
+  // REGARDLESS of instance size (Section S3's flat iteration counts).
+  // The SimPL ramp uses a 3× smaller fixed step (its schedule is the
+  // special case ComPLx improves on).
+  ScheduleKind schedule = ScheduleKind::ComplxFormula12;
+  double h_factor = 1.0;
+  double lambda_ramp_steps = 18.0;
+
+  // Feasibility projection. gamma = 0 (the default here) means "inherit the
+  // netlist's target density"; set explicitly to override.
+  ProjectionOptions projection;
+
+  ComplxConfig() { projection.gamma = 0.0; }
+  /// Grid schedule: start at finest/coarsening_factor bins and refine
+  /// geometrically to the finest grid. 1 disables coarsening (the Table 1
+  /// "Finest Grid" configuration).
+  double grid_coarsening = 8.0;
+  double grid_refine_rate = 1.3;  ///< per-iteration bin-count growth
+
+  // Convergence (Section 4).
+  int max_iterations = 120;
+  double stop_overflow = 0.10;  ///< SimPL-style: iterate overflow ratio
+  double stop_gap = 0.08;       ///< ComPLx refined: relative duality gap
+  bool use_gap_criterion = true;  ///< false = SimPL (overflow only)
+  int min_iterations = 10;
+
+  // Pseudonet linearization ε in row heights (paper: 1.5).
+  double epsilon_rows = 1.5;
+
+  // Per-macro λ multiplier cap (multiplier = macro area / avg cell area).
+  double macro_lambda_cap = 20.0;
+
+  // Initial pure-Φ minimization: number of B2B relinearization passes at
+  // λ = 0 before the first projection.
+  int initial_iterations = 3;
+
+  // Warm start (incremental placement, cf. S6's stability observation and
+  // the physical-synthesis use case of [1]): start from the positions
+  // stored in the netlist instead of collapsing to the core center, skip
+  // the λ=0 phase, and begin with a non-zero λ so the placement stays
+  // close to the incoming solution.
+  bool warm_start = false;
+  double warm_lambda_fraction = 0.5;  ///< initial λ as a fraction of λ*
+
+  // Routability-driven placement (SimPLR/Ripple as ComPLx configurations).
+  RoutabilityOptions routability;
+
+  // Nonlinear instantiation (Section S1): replace the linearized-quadratic
+  // primal step with log-sum-exp wirelength minimized by nonlinear CG. The
+  // anchors/λ machinery is unchanged — the paper's model-agnosticism claim.
+  bool use_lse = false;
+  double lse_gamma_rows = 2.0;  ///< LSE smoothing in row heights
+  int nlcg_iterations = 60;     ///< NLCG steps per primal iteration
+
+  /// Returns a configuration equivalent to the SimPL special case: fixed
+  /// linear pseudo-net weight ramp (h_factor scales the 0.01 base step)
+  /// and the overflow-only stopping rule.
+  static ComplxConfig simpl_mode() {
+    ComplxConfig c;
+    c.schedule = ScheduleKind::SimplLinearRamp;
+    c.use_gap_criterion = false;
+    c.max_iterations = 160;
+    return c;
+  }
+};
+
+struct PlaceResult {
+  Placement lower_bound;  ///< last iterate (x, y)
+  Placement anchors;      ///< last projection (x°, y°) — hand to legalizer
+  std::vector<IterationStats> trace;
+  SelfConsistencyStats self_consistency;
+  int iterations = 0;
+  double final_lambda = 0.0;
+  double final_overflow = 0.0;
+  double runtime_s = 0.0;
+};
+
+class ComplxPlacer {
+ public:
+  /// The placer reads netlist geometry and target density; it does not
+  /// modify the netlist. Call netlist.apply(result.anchors) to commit.
+  ComplxPlacer(const Netlist& nl, const ComplxConfig& cfg);
+
+  /// Per-cell criticality multipliers for the penalty term (Formula 13).
+  /// Sized num_cells; entries default to 1. Values > 1 pull timing-critical
+  /// cells harder toward their feasible anchors.
+  void set_cell_criticality(Vec criticality);
+
+  /// Optional hook run on every projection result before it is used as the
+  /// anchor set — the Table 1 "P_C += FastPlace-DP" configuration installs
+  /// legalize+DP here; region/alignment experiments can also use it.
+  void set_post_projection_hook(std::function<void(Placement&)> hook) {
+    post_projection_ = std::move(hook);
+  }
+
+  PlaceResult place();
+
+  /// Warm-started placement from an explicit initial placement (the
+  /// netlist's stored positions are not consulted or modified). Implies
+  /// cfg.warm_start semantics: no collapse-to-center, no λ=0 phase, λ
+  /// starts near the balance point.
+  PlaceResult place_from(const Placement& initial);
+
+  /// Force-balance estimate of the converged multiplier: at the optimum the
+  /// pseudonet force per cell (≈ 2λ) matches the mean linearized B2B net
+  /// force per cell (≈ Σ_e 2·w_e·(2P_e−3)/(P_e−1) / |movables|, since each
+  /// of a net's 2P−3 springs exerts w_e/(P−1) on each endpoint).
+  static double estimate_lambda_star(const Netlist& nl);
+
+ private:
+  AnchorSet make_anchors(const Placement& iterate, const Placement& proj,
+                         double lambda) const;
+  void check_self_consistency(const Placement& prev_iter,
+                              const Placement& prev_proj,
+                              const Placement& cur_iter,
+                              const Placement& cur_proj, bool grid_final,
+                              SelfConsistencyStats& stats) const;
+  PlaceResult place_impl(const Placement* initial);
+
+  const Netlist& nl_;
+  ComplxConfig cfg_;
+  Vec criticality_;
+  std::function<void(Placement&)> post_projection_;
+};
+
+}  // namespace complx

@@ -1,0 +1,20 @@
+#include "core/trace.h"
+
+#include "util/csv.h"
+
+namespace complx {
+
+void write_trace_csv(const std::string& path,
+                     const std::vector<IterationStats>& trace) {
+  CsvWriter csv(path, {"iteration", "lambda", "phi_lower", "phi_upper", "pi",
+                       "lagrangian", "overflow_ratio", "gap", "grid_bins",
+                       "elapsed_s"});
+  for (const IterationStats& it : trace) {
+    csv.row(std::vector<double>{
+        static_cast<double>(it.iteration), it.lambda, it.phi_lower,
+        it.phi_upper, it.pi, it.lagrangian, it.overflow_ratio, it.gap,
+        static_cast<double>(it.grid_bins), it.elapsed_s});
+  }
+}
+
+}  // namespace complx

@@ -1,0 +1,125 @@
+#include "density/grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace complx {
+
+DensityGrid::DensityGrid(const Netlist& nl, size_t bins_x, size_t bins_y)
+    : nl_(nl), bx_(bins_x), by_(bins_y), core_(nl.core()) {
+  if (bins_x == 0 || bins_y == 0)
+    throw std::invalid_argument("density grid needs at least one bin");
+  bw_ = core_.width() / static_cast<double>(bx_);
+  bh_ = core_.height() / static_cast<double>(by_);
+
+  // Capacity = bin area minus fixed blockage.
+  cap_.assign(bx_ * by_, bw_ * bh_);
+  std::vector<double> blocked(bx_ * by_, 0.0);
+  for (const Cell& c : nl.cells()) {
+    if (c.movable()) continue;
+    deposit(c.bounds(), blocked);
+  }
+  for (size_t k = 0; k < cap_.size(); ++k)
+    cap_[k] = std::max(0.0, cap_[k] - blocked[k]);
+  use_.assign(bx_ * by_, 0.0);
+}
+
+void DensityGrid::deposit(const Rect& r, std::vector<double>& field) {
+  const Rect clipped = {std::max(r.xl, core_.xl), std::max(r.yl, core_.yl),
+                        std::min(r.xh, core_.xh), std::min(r.yh, core_.yh)};
+  if (clipped.empty()) return;
+  const size_t i0 = bin_x_of(clipped.xl);
+  const size_t i1 = bin_x_of(clipped.xh - 1e-12);
+  const size_t j0 = bin_y_of(clipped.yl);
+  const size_t j1 = bin_y_of(clipped.yh - 1e-12);
+  for (size_t j = j0; j <= j1; ++j)
+    for (size_t i = i0; i <= i1; ++i)
+      field[idx(i, j)] += bin_rect(i, j).overlap_area(clipped);
+}
+
+void DensityGrid::build(const Placement& p) {
+  use_.assign(bx_ * by_, 0.0);
+  for (CellId id : nl_.movable_cells()) {
+    const Cell& c = nl_.cell(id);
+    const Rect r = {p.x[id] - c.width / 2.0, p.y[id] - c.height / 2.0,
+                    p.x[id] + c.width / 2.0, p.y[id] + c.height / 2.0};
+    deposit(r, use_);
+  }
+}
+
+void DensityGrid::build_from_rects(const std::vector<Rect>& movable_rects) {
+  use_.assign(bx_ * by_, 0.0);
+  for (const Rect& r : movable_rects) deposit(r, use_);
+}
+
+Rect DensityGrid::bin_rect(size_t i, size_t j) const {
+  return {core_.xl + static_cast<double>(i) * bw_,
+          core_.yl + static_cast<double>(j) * bh_,
+          core_.xl + static_cast<double>(i + 1) * bw_,
+          core_.yl + static_cast<double>(j + 1) * bh_};
+}
+
+double DensityGrid::overflow(size_t i, size_t j, double gamma) const {
+  return std::max(0.0, use_[idx(i, j)] - gamma * cap_[idx(i, j)]);
+}
+
+double DensityGrid::total_overflow(double gamma) const {
+  double s = 0.0;
+  for (size_t j = 0; j < by_; ++j)
+    for (size_t i = 0; i < bx_; ++i) s += overflow(i, j, gamma);
+  return s;
+}
+
+bool DensityGrid::feasible(double gamma, double tol) const {
+  for (size_t j = 0; j < by_; ++j)
+    for (size_t i = 0; i < bx_; ++i)
+      if (overflow(i, j, gamma) > tol * bw_ * bh_) return false;
+  return true;
+}
+
+namespace {
+double integrate(const DensityGrid& g, const Rect& r,
+                 const std::vector<double>& field, const Rect& core,
+                 size_t bx, size_t by) {
+  const Rect clipped = {std::max(r.xl, core.xl), std::max(r.yl, core.yl),
+                        std::min(r.xh, core.xh), std::min(r.yh, core.yh)};
+  if (clipped.empty()) return 0.0;
+  const size_t i0 = g.bin_x_of(clipped.xl);
+  const size_t i1 = g.bin_x_of(clipped.xh - 1e-12);
+  const size_t j0 = g.bin_y_of(clipped.yl);
+  const size_t j1 = g.bin_y_of(clipped.yh - 1e-12);
+  double s = 0.0;
+  for (size_t j = j0; j <= j1; ++j) {
+    for (size_t i = i0; i <= i1; ++i) {
+      const Rect b = g.bin_rect(i, j);
+      const double frac = b.overlap_area(clipped) / b.area();
+      s += frac * field[j * bx + i];
+    }
+  }
+  (void)by;
+  return s;
+}
+}  // namespace
+
+double DensityGrid::free_area_in(const Rect& r) const {
+  return integrate(*this, r, cap_, core_, bx_, by_);
+}
+
+double DensityGrid::usage_in(const Rect& r) const {
+  return integrate(*this, r, use_, core_, bx_, by_);
+}
+
+size_t DensityGrid::bin_x_of(double x) const {
+  const double t = (x - core_.xl) / bw_;
+  const long k = static_cast<long>(std::floor(t));
+  return static_cast<size_t>(std::clamp(k, 0L, static_cast<long>(bx_) - 1));
+}
+
+size_t DensityGrid::bin_y_of(double y) const {
+  const double t = (y - core_.yl) / bh_;
+  const long k = static_cast<long>(std::floor(t));
+  return static_cast<size_t>(std::clamp(k, 0L, static_cast<long>(by_) - 1));
+}
+
+}  // namespace complx

@@ -1,0 +1,79 @@
+// Uniform density grid over the core area.
+//
+// The feasibility projection P_C identifies overfilled bins against a target
+// utilization γ (paper, Section 5: "a uniform grid is superimposed over the
+// entire layout... the feasibility projection seeks to satisfy the given
+// target utilization/density limit within each grid-cell").
+//
+// Fixed cells pre-consume bin capacity; movable area is deposited by exact
+// rectangle overlap each time build() is called.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "util/geom.h"
+
+namespace complx {
+
+class DensityGrid {
+ public:
+  /// `bins_x` by `bins_y` grid over nl.core(). Fixed-cell blockage is
+  /// computed once here.
+  DensityGrid(const Netlist& nl, size_t bins_x, size_t bins_y);
+
+  /// Deposits movable-cell area for placement `p` (cells treated as
+  /// rectangles centered at (p.x, p.y)). Clears previous movable usage.
+  void build(const Placement& p);
+
+  /// Like build(), but each movable rectangle is given externally (used by
+  /// the macro shredder which substitutes shreds for macros).
+  void build_from_rects(const std::vector<Rect>& movable_rects);
+
+  size_t bins_x() const { return bx_; }
+  size_t bins_y() const { return by_; }
+  double bin_width() const { return bw_; }
+  double bin_height() const { return bh_; }
+  Rect bin_rect(size_t i, size_t j) const;
+
+  /// Free (non-blocked) area of a bin.
+  double capacity(size_t i, size_t j) const { return cap_[idx(i, j)]; }
+  /// Movable area currently deposited in a bin.
+  double usage(size_t i, size_t j) const { return use_[idx(i, j)]; }
+  /// usage − γ·capacity when positive, else 0.
+  double overflow(size_t i, size_t j, double gamma) const;
+
+  /// Σ over bins of overflow(i, j, γ).
+  double total_overflow(double gamma) const;
+  /// Whether utilization exceeds γ anywhere (with small tolerance).
+  bool feasible(double gamma, double tol = 1e-9) const;
+
+  /// Bin column/row of a point (clamped into range).
+  size_t bin_x_of(double x) const;
+  size_t bin_y_of(double y) const;
+
+  /// Free (placeable) area inside an arbitrary rectangle, assuming each
+  /// bin's free area is uniformly distributed over the bin. Used by the
+  /// feasibility projection's capacity profiles.
+  double free_area_in(const Rect& r) const;
+
+  /// Movable area currently deposited inside an arbitrary rectangle (same
+  /// uniform-within-bin assumption).
+  double usage_in(const Rect& r) const;
+
+  const Netlist& netlist() const { return nl_; }
+
+ private:
+  size_t idx(size_t i, size_t j) const { return j * bx_ + i; }
+  void deposit(const Rect& r, std::vector<double>& field);
+
+  const Netlist& nl_;
+  size_t bx_, by_;
+  double bw_, bh_;
+  Rect core_;
+  std::vector<double> cap_;  ///< free area per bin (total − fixed blockage)
+  std::vector<double> use_;  ///< movable area per bin
+};
+
+}  // namespace complx

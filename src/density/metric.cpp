@@ -1,0 +1,32 @@
+#include "density/metric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wl/hpwl.h"
+
+namespace complx {
+
+DensityMetric evaluate_scaled_hpwl(const Netlist& nl, const Placement& p,
+                                   size_t bins_x, size_t bins_y) {
+  if (bins_x == 0 || bins_y == 0) {
+    // Default: square-ish bins roughly 10 rows tall.
+    const double bin_edge = 10.0 * nl.row_height();
+    bins_x = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(nl.core().width() / bin_edge)));
+    bins_y = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(nl.core().height() / bin_edge)));
+  }
+  DensityGrid grid(nl, bins_x, bins_y);
+  grid.build(p);
+
+  DensityMetric m;
+  m.hpwl = hpwl(nl, p);
+  m.overflow_area = grid.total_overflow(nl.target_density());
+  const double movable = std::max(nl.movable_area(), 1e-12);
+  m.overflow_percent = 100.0 * m.overflow_area / movable;
+  m.scaled_hpwl = m.hpwl * (1.0 + m.overflow_percent / 100.0);
+  return m;
+}
+
+}  // namespace complx

@@ -1,0 +1,25 @@
+// ISPD 2006 contest-style quality metric: "scaled HPWL" = HPWL scaled up by
+// a density-overflow penalty (Table 2 reports the penalty percentage in
+// parentheses). We follow the contest's structure: overflow is measured on a
+// fixed-resolution grid against the design's target utilization γ, and the
+// penalty is the relative area overflow.
+#pragma once
+
+#include "density/grid.h"
+#include "netlist/netlist.h"
+
+namespace complx {
+
+struct DensityMetric {
+  double hpwl = 0.0;
+  double overflow_area = 0.0;     ///< Σ bin overflow above γ (area units)
+  double overflow_percent = 0.0;  ///< 100 · overflow_area / movable area
+  double scaled_hpwl = 0.0;       ///< hpwl · (1 + overflow_percent / 100)
+};
+
+/// Evaluates HPWL + overflow penalty at placement `p`. The grid resolution
+/// defaults to ~10-row-tall bins, matching the contest evaluator's scale.
+DensityMetric evaluate_scaled_hpwl(const Netlist& nl, const Placement& p,
+                                   size_t bins_x = 0, size_t bins_y = 0);
+
+}  // namespace complx

@@ -1,0 +1,47 @@
+// Smooth density penalty for nonconvex analytical placement (the
+// APlace/NTUPlace3/mPL6 family the paper contrasts with ComPLx's global
+// feasibility projection).
+//
+// Each movable cell deposits a bell-shaped (cosine) footprint over nearby
+// bins; the penalty is Σ_b max(0, D_b − γ·cap_b)², differentiable in the
+// cell centers. This is the "fit demand distribution to smooth functions
+// using kernel-density estimation" approach of Section 3, with the local
+// gradients whose force-modulation ambiguity the paper criticizes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace complx {
+
+struct DensityPenaltyOptions {
+  size_t bins = 0;          ///< 0 = auto (~sqrt(movables/4))
+  double smoothing = 2.0;   ///< bell radius in bins
+};
+
+class DensityPenalty {
+ public:
+  DensityPenalty(const Netlist& nl, const DensityPenaltyOptions& opts);
+
+  /// Penalty value; gx/gy accumulate (are overwritten with) its gradient
+  /// with respect to cell centers.
+  double value_and_grad(const Placement& p, Vec& gx, Vec& gy) const;
+
+  /// Hard (non-smoothed) overflow ratio at the same grid — the stopping
+  /// metric, comparable to the projection-based placers'.
+  double overflow_ratio(const Placement& p) const;
+
+  size_t bins() const { return bins_; }
+
+ private:
+  const Netlist& nl_;
+  size_t bins_;
+  double bw_, bh_;
+  double radius_;  ///< bell radius in layout units (x); separate for y
+  double radius_y_;
+  std::vector<double> capacity_;  ///< γ-scaled free area per bin
+};
+
+}  // namespace complx

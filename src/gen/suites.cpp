@@ -1,0 +1,99 @@
+#include "gen/suites.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace complx {
+
+namespace {
+
+GenParams base_params(const std::string& name, size_t cells, uint64_t seed) {
+  GenParams p;
+  p.name = name;
+  p.num_cells = std::max<size_t>(1000, cells);
+  p.seed = seed;
+  p.num_pads = std::clamp<size_t>(cells / 150, 32, 512);
+  return p;
+}
+
+}  // namespace
+
+std::vector<SuiteEntry> ispd2005_suite(size_t scale_divisor) {
+  // Contest module counts (paper, Table 1).
+  struct Spec {
+    const char* name;
+    const char* paper;
+    size_t modules;
+    size_t fixed_macros;
+    double utilization;
+  };
+  const Spec specs[] = {
+      {"adaptec1x", "ADAPTEC1", 211000, 12, 0.72},
+      {"adaptec2x", "ADAPTEC2", 255000, 16, 0.68},
+      {"adaptec3x", "ADAPTEC3", 452000, 24, 0.65},
+      {"adaptec4x", "ADAPTEC4", 496000, 24, 0.62},
+      {"bigblue1x", "BIGBLUE1", 278000, 8, 0.70},
+      {"bigblue2x", "BIGBLUE2", 558000, 20, 0.60},
+      {"bigblue3x", "BIGBLUE3", 1100000, 28, 0.64},
+      {"bigblue4x", "BIGBLUE4", 2180000, 32, 0.58},
+  };
+  std::vector<SuiteEntry> suite;
+  uint64_t seed = 2005;
+  for (const Spec& s : specs) {
+    SuiteEntry e;
+    e.params = base_params(s.name, s.modules / scale_divisor, seed++);
+    e.params.num_fixed_macros = s.fixed_macros;
+    e.params.utilization = s.utilization;
+    e.params.target_density = 1.0;  // ISPD 2005: no density constraint
+    e.paper_name = s.paper;
+    e.paper_modules = s.modules;
+    suite.push_back(std::move(e));
+  }
+  return suite;
+}
+
+std::vector<SuiteEntry> ispd2006_suite(size_t scale_divisor) {
+  // Contest designs with their official target densities (paper, Table 2).
+  struct Spec {
+    const char* name;
+    const char* paper;
+    size_t modules;
+    double target;
+    size_t movable_macros;
+    size_t fixed_macros;
+    double utilization;
+  };
+  const Spec specs[] = {
+      {"adaptec5x", "ADAPTEC5", 843000, 0.50, 6, 12, 0.45},
+      {"newblue1x", "NEWBLUE1", 330000, 0.80, 12, 4, 0.60},
+      {"newblue2x", "NEWBLUE2", 441000, 0.90, 16, 8, 0.62},
+      {"newblue3x", "NEWBLUE3", 494000, 0.80, 4, 16, 0.55},
+      {"newblue4x", "NEWBLUE4", 646000, 0.50, 8, 8, 0.44},
+      {"newblue5x", "NEWBLUE5", 1230000, 0.50, 10, 12, 0.45},
+      {"newblue6x", "NEWBLUE6", 1250000, 0.80, 8, 12, 0.58},
+      {"newblue7x", "NEWBLUE7", 2510000, 0.80, 12, 16, 0.60},
+  };
+  std::vector<SuiteEntry> suite;
+  uint64_t seed = 2006;
+  for (const Spec& s : specs) {
+    SuiteEntry e;
+    e.params = base_params(s.name, s.modules / scale_divisor, seed++);
+    e.params.num_movable_macros = s.movable_macros;
+    e.params.num_fixed_macros = s.fixed_macros;
+    e.params.utilization = s.utilization;
+    e.params.target_density = s.target;
+    e.paper_name = s.paper;
+    e.paper_modules = s.modules;
+    suite.push_back(std::move(e));
+  }
+  return suite;
+}
+
+size_t bench_scale_from_env(size_t fallback) {
+  const char* env = std::getenv("COMPLX_BENCH_SCALE");
+  if (!env) return fallback;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 0 ? static_cast<size_t>(v) : fallback;
+}
+
+}  // namespace complx

@@ -1,0 +1,34 @@
+// Benchmark suite definitions: laptop-scale analogues of the ISPD 2005 and
+// ISPD 2006 contest designs (DESIGN.md §5 documents the substitution).
+//
+// Module counts follow the contest designs' relative size progression,
+// divided by `scale_divisor` (default 40). ISPD-2006 analogues carry the
+// contest's target densities and movable macros.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/generator.h"
+
+namespace complx {
+
+struct SuiteEntry {
+  GenParams params;
+  /// The contest design this entry is the analogue of.
+  std::string paper_name;
+  /// Module count of the original (for reporting).
+  size_t paper_modules = 0;
+};
+
+/// ADAPTEC1-4 + BIGBLUE1-4 analogues (γ = 1, fixed macros only).
+std::vector<SuiteEntry> ispd2005_suite(size_t scale_divisor = 40);
+
+/// ADAPTEC5 + NEWBLUE1-7 analogues (target densities, movable macros).
+std::vector<SuiteEntry> ispd2006_suite(size_t scale_divisor = 40);
+
+/// Reads COMPLX_BENCH_SCALE from the environment (default `fallback`).
+/// Smaller divisor = larger, slower benchmarks.
+size_t bench_scale_from_env(size_t fallback = 40);
+
+}  // namespace complx

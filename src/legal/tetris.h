@@ -1,0 +1,47 @@
+// Row-based legalization (Tetris/greedy): snaps the global-placement result
+// to non-overlapping, site- and row-aligned positions with small
+// displacement. Movable macros are placed first (largest area first, spiral
+// search for a conflict-free spot) and become blockages for the standard
+// cells, which are then packed greedily in x-order into per-row free gaps.
+//
+// The paper's flow hands P_C's anchors to FastPlace-DP, which legalizes and
+// refines; this module is the legalization half of that substrate.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace complx {
+
+struct LegalizeOptions {
+  /// Rows to search above/below the target row before giving up on a
+  /// low-displacement spot (the search widens automatically if needed).
+  int row_search_radius = 8;
+};
+
+struct LegalizeResult {
+  size_t placed = 0;
+  size_t failed = 0;  ///< cells that found no gap (should be 0 if area fits)
+  double total_displacement = 0.0;
+  double max_displacement = 0.0;
+};
+
+class TetrisLegalizer {
+ public:
+  explicit TetrisLegalizer(const Netlist& nl, LegalizeOptions opts = {});
+
+  /// Rewrites `p` with legal center positions. Fixed cells untouched.
+  LegalizeResult legalize(Placement& p) const;
+
+  /// Verification helper: true when no two placed rectangles overlap and
+  /// all movable cells are row/site aligned inside the core.
+  static bool is_legal(const Netlist& nl, const Placement& p,
+                       double tol = 1e-6);
+
+ private:
+  const Netlist& nl_;
+  LegalizeOptions opts_;
+};
+
+}  // namespace complx

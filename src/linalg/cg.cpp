@@ -1,0 +1,64 @@
+#include "linalg/cg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace complx {
+
+CgResult solve_pcg(const CsrMatrix& A, const Vec& b, Vec& x,
+                   const CgOptions& opts) {
+  const size_t n = A.dim();
+  if (b.size() != n || x.size() != n)
+    throw std::invalid_argument("CG dimension mismatch");
+
+  CgResult result;
+  const double b_norm = norm2(b);
+  if (b_norm == 0.0) {
+    x.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  // Jacobi preconditioner: M^{-1} = 1/diag(A). Zero diagonals (isolated,
+  // unanchored variables) fall back to identity scaling.
+  Vec inv_diag = A.diagonal();
+  for (double& d : inv_diag) d = (d > 0.0) ? 1.0 / d : 1.0;
+
+  Vec r(n), z(n), p(n), Ap(n);
+  A.multiply(x, Ap);
+  for (size_t i = 0; i < n; ++i) r[i] = b[i] - Ap[i];
+  for (size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  p = z;
+  double rz = dot(r, z);
+
+  const size_t max_iter =
+      opts.max_iterations ? opts.max_iterations : 4 * n + 16;
+  const double tol = opts.rel_tolerance * b_norm;
+
+  for (size_t it = 0; it < max_iter; ++it) {
+    const double r_norm = norm2(r);
+    if (r_norm <= tol) {
+      result.converged = true;
+      result.residual_norm = r_norm;
+      result.iterations = it;
+      return result;
+    }
+    A.multiply(p, Ap);
+    const double pAp = dot(p, Ap);
+    if (pAp <= 0.0) break;  // not SPD (or numerical breakdown)
+    const double alpha = rz / pAp;
+    axpy(alpha, p, x);
+    axpy(-alpha, Ap, r);
+    for (size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    xpay(z, beta, p);  // p = z + beta * p
+    result.iterations = it + 1;
+  }
+  result.residual_norm = norm2(r);
+  result.converged = result.residual_norm <= tol;
+  return result;
+}
+
+}  // namespace complx

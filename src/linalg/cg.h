@@ -1,0 +1,32 @@
+// Jacobi-preconditioned Conjugate Gradient for the SPD placement systems.
+//
+// ComPLx (like SimPL) deliberately uses *linear* CG on the linearized
+// quadratic model instead of nonlinear solvers (paper, Section S4). The
+// systems are Laplacian-plus-diagonal: symmetric positive definite whenever
+// at least one fixed connection or anchor exists per connected component.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/sparse.h"
+#include "linalg/vec.h"
+
+namespace complx {
+
+struct CgOptions {
+  double rel_tolerance = 1e-6;  ///< stop when ||r|| <= rel_tolerance * ||b||
+  size_t max_iterations = 0;    ///< 0 means 4 * dim
+};
+
+struct CgResult {
+  size_t iterations = 0;
+  double residual_norm = 0.0;  ///< final ||b - Ax||
+  bool converged = false;
+};
+
+/// Solves A x = b in place (x is the initial guess on entry, solution on
+/// exit) with Jacobi (diagonal) preconditioning.
+CgResult solve_pcg(const CsrMatrix& A, const Vec& b, Vec& x,
+                   const CgOptions& opts = {});
+
+}  // namespace complx

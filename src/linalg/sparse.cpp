@@ -1,0 +1,101 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace complx {
+
+CsrMatrix CsrMatrix::from_triplets(const TripletList& t) {
+  const size_t n = t.dim();
+  const auto& rows = t.rows();
+  const auto& cols = t.cols();
+  const auto& vals = t.vals();
+
+  CsrMatrix m;
+  m.row_ptr_.assign(n + 1, 0);
+
+  // Counting pass.
+  for (size_t r : rows) {
+    if (r >= n) throw std::out_of_range("triplet row out of range");
+    ++m.row_ptr_[r + 1];
+  }
+  for (size_t i = 0; i < n; ++i) m.row_ptr_[i + 1] += m.row_ptr_[i];
+
+  // Scatter pass (unsorted within rows, duplicates still present).
+  std::vector<size_t> cursor(m.row_ptr_.begin(), m.row_ptr_.end() - 1);
+  std::vector<size_t> col_raw(rows.size());
+  std::vector<double> val_raw(rows.size());
+  for (size_t k = 0; k < rows.size(); ++k) {
+    if (cols[k] >= n) throw std::out_of_range("triplet col out of range");
+    const size_t slot = cursor[rows[k]]++;
+    col_raw[slot] = cols[k];
+    val_raw[slot] = vals[k];
+  }
+
+  // Per-row sort + duplicate merge.
+  m.col_.reserve(col_raw.size());
+  m.val_.reserve(val_raw.size());
+  std::vector<size_t> merged_ptr(n + 1, 0);
+  std::vector<size_t> order;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t begin = m.row_ptr_[i], end = m.row_ptr_[i + 1];
+    order.resize(end - begin);
+    std::iota(order.begin(), order.end(), begin);
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return col_raw[a] < col_raw[b]; });
+    size_t row_count = 0;
+    for (size_t k : order) {
+      if (row_count > 0 && m.col_.back() == col_raw[k]) {
+        m.val_.back() += val_raw[k];
+      } else {
+        m.col_.push_back(col_raw[k]);
+        m.val_.push_back(val_raw[k]);
+        ++row_count;
+      }
+    }
+    merged_ptr[i + 1] = merged_ptr[i] + row_count;
+  }
+  m.row_ptr_ = std::move(merged_ptr);
+  return m;
+}
+
+void CsrMatrix::multiply(const Vec& x, Vec& y) const {
+  const size_t n = dim();
+  if (x.size() != n) throw std::invalid_argument("SpMV dimension mismatch");
+  y.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      s += val_[k] * x[col_[k]];
+    y[i] = s;
+  }
+}
+
+Vec CsrMatrix::diagonal() const {
+  const size_t n = dim();
+  Vec d(n, 0.0);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      if (col_[k] == i) d[i] = val_[k];
+  return d;
+}
+
+double CsrMatrix::at(size_t i, size_t j) const {
+  const auto begin = col_.begin() + static_cast<ptrdiff_t>(row_ptr_[i]);
+  const auto end = col_.begin() + static_cast<ptrdiff_t>(row_ptr_[i + 1]);
+  const auto it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return 0.0;
+  return val_[static_cast<size_t>(it - col_.begin())];
+}
+
+double CsrMatrix::symmetry_error() const {
+  double err = 0.0;
+  for (size_t i = 0; i < dim(); ++i)
+    for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      err = std::max(err, std::abs(val_[k] - at(col_[k], i)));
+  return err;
+}
+
+}  // namespace complx

@@ -1,0 +1,106 @@
+// Sparse symmetric-positive-definite matrix support for quadratic placement.
+//
+// The placer assembles the connectivity Laplacian plus anchor diagonal as
+// triplets (duplicates allowed, summed on conversion), then converts to CSR
+// once per placement iteration for the CG solve. Only the operations the
+// placer needs are implemented: assembly, SpMV, diagonal extraction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vec.h"
+
+namespace complx {
+
+/// Triplet (coordinate-format) accumulator for symmetric matrices.
+///
+/// Callers add each off-diagonal pair once via add_symmetric(); diagonal
+/// contributions via add_diag(). Duplicate entries are summed when the CSR
+/// matrix is built, so net-model code can emit one triplet per net edge
+/// without pre-merging.
+class TripletList {
+ public:
+  explicit TripletList(size_t n) : n_(n) {}
+
+  size_t dim() const { return n_; }
+  size_t entries() const { return rows_.size(); }
+
+  void reserve(size_t nnz) {
+    rows_.reserve(nnz);
+    cols_.reserve(nnz);
+    vals_.reserve(nnz);
+  }
+
+  /// A[i][i] += v
+  void add_diag(size_t i, double v) {
+    rows_.push_back(i);
+    cols_.push_back(i);
+    vals_.push_back(v);
+  }
+
+  /// Adds the 2x2 stamp of a spring between i and j with weight w:
+  /// A[i][i]+=w, A[j][j]+=w, A[i][j]-=w, A[j][i]-=w.
+  void add_spring(size_t i, size_t j, double w) {
+    add_diag(i, w);
+    add_diag(j, w);
+    rows_.push_back(i);
+    cols_.push_back(j);
+    vals_.push_back(-w);
+    rows_.push_back(j);
+    cols_.push_back(i);
+    vals_.push_back(-w);
+  }
+
+  const std::vector<size_t>& rows() const { return rows_; }
+  const std::vector<size_t>& cols() const { return cols_; }
+  const std::vector<double>& vals() const { return vals_; }
+
+  void clear() {
+    rows_.clear();
+    cols_.clear();
+    vals_.clear();
+  }
+
+ private:
+  size_t n_;
+  std::vector<size_t> rows_, cols_;
+  std::vector<double> vals_;
+};
+
+/// Compressed-sparse-row matrix (square). Built from a TripletList with
+/// duplicate merging; immutable afterwards.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds CSR from triplets, summing duplicates. O(nnz + n).
+  static CsrMatrix from_triplets(const TripletList& t);
+
+  size_t dim() const { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
+  size_t nnz() const { return col_.size(); }
+
+  /// y = A * x
+  void multiply(const Vec& x, Vec& y) const;
+
+  /// Returns the diagonal of A (for Jacobi preconditioning).
+  Vec diagonal() const;
+
+  /// Max |A[i][j] - A[j][i]| over sampled entries — exact symmetry check
+  /// used by tests (O(nnz log) via lookups).
+  double symmetry_error() const;
+
+  const std::vector<size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<size_t>& col() const { return col_; }
+  const std::vector<double>& val() const { return val_; }
+
+  /// A[i][j] by binary search over row i (0 when absent).
+  double at(size_t i, size_t j) const;
+
+ private:
+  std::vector<size_t> row_ptr_;
+  std::vector<size_t> col_;
+  std::vector<double> val_;
+};
+
+}  // namespace complx

@@ -1,0 +1,45 @@
+// Dense vector helpers for the CG solver and quadratic-system assembly.
+// Kept free-function style over std::vector<double> — the solver's hot loops
+// are simple enough that a dedicated vector class would add nothing.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace complx {
+
+using Vec = std::vector<double>;
+
+inline double dot(const Vec& a, const Vec& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+inline double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
+
+/// y += alpha * x
+inline void axpy(double alpha, const Vec& x, Vec& y) {
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// x = alpha * x + y  (used for CG direction updates)
+inline void xpay(const Vec& y, double alpha, Vec& x) {
+  for (size_t i = 0; i < x.size(); ++i) x[i] = alpha * x[i] + y[i];
+}
+
+inline double linf_dist(const Vec& a, const Vec& b) {
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+inline double l1_dist(const Vec& a, const Vec& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += std::abs(a[i] - b[i]);
+  return s;
+}
+
+}  // namespace complx

@@ -1,0 +1,141 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace complx {
+
+CellId Netlist::add_cell(Cell c) {
+  if (finalized_) throw std::logic_error("add_cell after finalize");
+  const CellId id = static_cast<CellId>(cells_.size());
+  name_index_.emplace(c.name, id);
+  cells_.push_back(std::move(c));
+  return id;
+}
+
+NetId Netlist::add_net(std::string name, double weight,
+                       const std::vector<Pin>& pins) {
+  if (finalized_) throw std::logic_error("add_net after finalize");
+  Net n;
+  n.name = std::move(name);
+  n.weight = weight;
+  n.first_pin = static_cast<uint32_t>(pins_.size());
+  n.num_pins = static_cast<uint32_t>(pins.size());
+  for (const Pin& p : pins) {
+    if (p.cell >= cells_.size())
+      throw std::out_of_range("pin references unknown cell");
+    pins_.push_back(p);
+  }
+  const NetId id = static_cast<NetId>(nets_.size());
+  nets_.push_back(std::move(n));
+  return id;
+}
+
+RegionId Netlist::add_region(Region r) {
+  const RegionId id = static_cast<RegionId>(regions_.size());
+  regions_.push_back(std::move(r));
+  return id;
+}
+
+void Netlist::set_rows(std::vector<Row> rows) {
+  rows_ = std::move(rows);
+  if (!rows_.empty()) row_height_ = rows_.front().height;
+}
+
+void Netlist::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+
+  movable_.clear();
+  movable_area_ = 0.0;
+  fixed_area_in_core_ = 0.0;
+  double width_sum = 0.0;
+  size_t std_count = 0;
+  for (CellId i = 0; i < cells_.size(); ++i) {
+    const Cell& c = cells_[i];
+    if (c.movable()) {
+      movable_.push_back(i);
+      movable_area_ += c.area();
+      if (!c.is_macro()) {
+        width_sum += c.width;
+        ++std_count;
+      }
+    } else {
+      fixed_area_in_core_ += c.bounds().overlap_area(core_);
+    }
+  }
+  avg_movable_width_ = std_count ? width_sum / static_cast<double>(std_count)
+                                 : row_height_;
+
+  cell_nets_.assign(cells_.size(), {});
+  cell_pins_.assign(cells_.size(), {});
+  for (NetId e = 0; e < nets_.size(); ++e) {
+    const Net& n = nets_[e];
+    for (uint32_t k = 0; k < n.num_pins; ++k) {
+      const PinId pid = n.first_pin + k;
+      const CellId c = pins_[pid].cell;
+      cell_pins_[c].push_back(pid);
+      // A net may touch the same cell through several pins; record once.
+      if (cell_nets_[c].empty() || cell_nets_[c].back() != e)
+        cell_nets_[c].push_back(e);
+    }
+  }
+
+  if (rows_.empty() && !core_.empty()) {
+    // Synthesize uniform rows covering the core when none were provided
+    // (e.g. netlists constructed programmatically in tests). Row height is
+    // taken from the typical movable standard-cell height.
+    std::vector<double> heights;
+    for (CellId id : movable_)
+      if (!cells_[id].is_macro() && cells_[id].height > 0.0)
+        heights.push_back(cells_[id].height);
+    if (!heights.empty()) {
+      const size_t mid = heights.size() / 2;
+      std::nth_element(heights.begin(),
+                       heights.begin() + static_cast<long>(mid),
+                       heights.end());
+      row_height_ = heights[mid];
+    }
+    const double h = row_height_;
+    std::vector<Row> rows;
+    for (double y = core_.yl; y + h <= core_.yh + 1e-9; y += h)
+      rows.push_back({y, h, core_.xl, core_.xh, 1.0});
+    rows_ = std::move(rows);
+  }
+}
+
+void Netlist::flip_horizontal(CellId id) {
+  Cell& c = cells_[id];
+  c.flipped_x = !c.flipped_x;
+  for (PinId pid : cell_pins_[id]) pins_[pid].dx = -pins_[pid].dx;
+}
+
+CellId Netlist::find_cell(const std::string& name) const {
+  const auto it = name_index_.find(name);
+  return it == name_index_.end() ? static_cast<CellId>(cells_.size())
+                                 : it->second;
+}
+
+Placement Netlist::snapshot() const {
+  Placement p;
+  p.x.resize(cells_.size());
+  p.y.resize(cells_.size());
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    p.x[i] = cells_[i].cx();
+    p.y[i] = cells_[i].cy();
+  }
+  return p;
+}
+
+void Netlist::apply(const Placement& p) {
+  if (p.size() != cells_.size())
+    throw std::invalid_argument("placement size mismatch");
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    Cell& c = cells_[i];
+    if (!c.movable()) continue;
+    c.x = p.x[i] - c.width / 2.0;
+    c.y = p.y[i] - c.height / 2.0;
+  }
+}
+
+}  // namespace complx

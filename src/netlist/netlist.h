@@ -1,0 +1,186 @@
+// Netlist data model: cells (standard cells, macros, fixed terminals), nets
+// with pin offsets, placement rows, and region constraints.
+//
+// Conventions:
+//  * Cell positions are stored as LOWER-LEFT corners (Bookshelf convention).
+//  * All placement algorithms operate on a Placement of cell CENTERS, one
+//    entry per cell (fixed cells keep constant values). Conversion helpers
+//    live on Netlist.
+//  * Pin offsets are measured from the cell CENTER, as in Bookshelf .nets.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "linalg/vec.h"
+#include "util/geom.h"
+
+namespace complx {
+
+using CellId = uint32_t;
+using NetId = uint32_t;
+using PinId = uint32_t;
+using RegionId = uint32_t;
+
+inline constexpr RegionId kNoRegion = std::numeric_limits<RegionId>::max();
+
+/// Movability/role of a placeable object.
+enum class CellKind : uint8_t {
+  Movable,       ///< standard cell
+  MovableMacro,  ///< large movable block (ISPD 2006 style)
+  Fixed,         ///< fixed macro / terminal / pad
+};
+
+struct Cell {
+  std::string name;
+  double width = 0.0;
+  double height = 0.0;
+  double x = 0.0;  ///< lower-left x
+  double y = 0.0;  ///< lower-left y
+  CellKind kind = CellKind::Movable;
+  RegionId region = kNoRegion;  ///< optional hard region constraint
+  bool flipped_x = false;  ///< mirrored about its vertical axis (orient FN)
+
+  bool movable() const { return kind != CellKind::Fixed; }
+  bool is_macro() const { return kind == CellKind::MovableMacro; }
+  double area() const { return width * height; }
+  double cx() const { return x + width / 2.0; }
+  double cy() const { return y + height / 2.0; }
+  Rect bounds() const { return {x, y, x + width, y + height}; }
+};
+
+/// One net connection point. Offsets are from the owning cell's center.
+struct Pin {
+  CellId cell = 0;
+  double dx = 0.0;
+  double dy = 0.0;
+};
+
+struct Net {
+  std::string name;
+  double weight = 1.0;
+  uint32_t first_pin = 0;  ///< index into Netlist::pins()
+  uint32_t num_pins = 0;
+
+  uint32_t degree() const { return num_pins; }
+};
+
+/// Standard-cell placement row (Bookshelf .scl CoreRow).
+struct Row {
+  double y = 0.0;       ///< bottom of the row
+  double height = 0.0;  ///< row (= standard cell) height
+  double xl = 0.0;      ///< leftmost site edge
+  double xh = 0.0;      ///< rightmost site edge
+  double site_width = 1.0;
+
+  int num_sites() const {
+    return static_cast<int>((xh - xl) / site_width + 0.5);
+  }
+};
+
+/// Hard region constraint: member cells must stay inside `box`.
+struct Region {
+  std::string name;
+  Rect box;
+};
+
+/// Cell-center coordinates for all cells (movable AND fixed; the fixed
+/// entries never change). This is the state the optimizer iterates on.
+struct Placement {
+  Vec x;  ///< center x per cell
+  Vec y;  ///< center y per cell
+
+  size_t size() const { return x.size(); }
+};
+
+/// The immutable circuit plus mutable stored positions.
+///
+/// Build once via add_cell/add_net (+ set_rows / set_core / add_region),
+/// then call finalize(). finalize() computes cell->pin back-references,
+/// movable indexing and aggregate statistics used all over the placer.
+class Netlist {
+ public:
+  // ---- construction -------------------------------------------------
+  CellId add_cell(Cell c);
+  /// Pins belong to the net being added; each references an existing cell.
+  NetId add_net(std::string name, double weight, const std::vector<Pin>& pins);
+  RegionId add_region(Region r);
+  void set_core(Rect core) { core_ = core; }
+  void set_rows(std::vector<Row> rows);
+  void set_target_density(double gamma) { target_density_ = gamma; }
+  /// Must be called once after construction, before use.
+  void finalize();
+
+  // ---- topology ------------------------------------------------------
+  size_t num_cells() const { return cells_.size(); }
+  size_t num_nets() const { return nets_.size(); }
+  size_t num_pins() const { return pins_.size(); }
+  size_t num_movable() const { return movable_.size(); }
+
+  const Cell& cell(CellId id) const { return cells_[id]; }
+  Cell& cell(CellId id) { return cells_[id]; }
+  const Net& net(NetId id) const { return nets_[id]; }
+  Net& net(NetId id) { return nets_[id]; }
+  const Pin& pin(PinId id) const { return pins_[id]; }
+  const std::vector<Cell>& cells() const { return cells_; }
+  const std::vector<Net>& nets() const { return nets_; }
+  const std::vector<Pin>& pins() const { return pins_; }
+  const std::vector<Region>& regions() const { return regions_; }
+
+  /// Ids of all movable cells (standard cells and movable macros).
+  const std::vector<CellId>& movable_cells() const { return movable_; }
+  /// Nets incident to a cell (indices into nets()).
+  const std::vector<NetId>& nets_of_cell(CellId id) const {
+    return cell_nets_[id];
+  }
+  /// Pins owned by a cell (indices into pins()).
+  const std::vector<PinId>& pins_of_cell(CellId id) const {
+    return cell_pins_[id];
+  }
+
+  /// Mirrors a cell about its vertical axis: toggles the orientation flag
+  /// and negates the x offsets of all its pins (cell-orientation
+  /// optimization; the Bookshelf orientation changes N <-> FN).
+  void flip_horizontal(CellId id);
+  /// Lookup by name; returns num_cells() when absent.
+  CellId find_cell(const std::string& name) const;
+
+  // ---- geometry / stats ----------------------------------------------
+  const Rect& core() const { return core_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  double row_height() const { return row_height_; }
+  double target_density() const { return target_density_; }
+  double movable_area() const { return movable_area_; }
+  double fixed_area_in_core() const { return fixed_area_in_core_; }
+  double average_movable_width() const { return avg_movable_width_; }
+
+  // ---- placement state -----------------------------------------------
+  /// Snapshot current stored cell positions as a center Placement.
+  Placement snapshot() const;
+  /// Write a center Placement back into stored lower-left positions
+  /// (fixed cells are untouched).
+  void apply(const Placement& p);
+
+ private:
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  std::vector<Pin> pins_;
+  std::vector<Region> regions_;
+  std::vector<Row> rows_;
+  std::vector<CellId> movable_;
+  std::vector<std::vector<NetId>> cell_nets_;
+  std::vector<std::vector<PinId>> cell_pins_;
+  std::unordered_map<std::string, CellId> name_index_;
+  Rect core_;
+  double row_height_ = 1.0;
+  double target_density_ = 1.0;
+  double movable_area_ = 0.0;
+  double fixed_area_in_core_ = 0.0;
+  double avg_movable_width_ = 0.0;
+  bool finalized_ = false;
+};
+
+}  // namespace complx

@@ -1,0 +1,46 @@
+// Nonlinear Conjugate Gradient (Polak–Ribière+ with Armijo backtracking),
+// used to minimize the smooth interconnect models of Section S1 inside the
+// ComPLx Lagrangian: L°(v) = Φ_smooth(v) + Σ w_i (v_i − anchor_i)².
+//
+// The quadratic pseudonet penalty is the same linearized L1 anchor term the
+// QP path uses, so the Lagrangian framework is identical across models —
+// the paper's central "any interconnect model plugs in" claim.
+#pragma once
+
+#include <functional>
+
+#include "linalg/vec.h"
+#include "netlist/netlist.h"
+#include "qp/solver.h"
+#include "wl/smooth.h"
+
+namespace complx {
+
+struct NlcgOptions {
+  int max_iterations = 100;
+  double grad_tolerance = 1e-3;  ///< stop when ||g||∞ < tol · scale
+  double initial_step = 1.0;
+  double armijo_c = 1e-4;
+  double backtrack = 0.5;
+  int max_backtracks = 30;
+};
+
+struct NlcgResult {
+  int iterations = 0;
+  double objective = 0.0;
+  bool converged = false;
+};
+
+/// Generic minimizer: f maps a flat variable vector to (value, gradient).
+NlcgResult minimize_nlcg(
+    const std::function<double(const Vec&, Vec&)>& value_and_grad, Vec& v,
+    const NlcgOptions& opts);
+
+/// Placement adapter: minimizes Φ_smooth + anchor pseudonets over the
+/// movable-cell coordinates of `p` (both axes jointly), then clamps into
+/// the core. Returns the final objective.
+NlcgResult minimize_smooth_placement(const Netlist& nl, const SmoothWl& wl,
+                                     Placement& p, const AnchorSet* anchors,
+                                     const NlcgOptions& opts);
+
+}  // namespace complx

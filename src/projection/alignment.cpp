@@ -1,0 +1,60 @@
+#include "projection/alignment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace complx {
+
+size_t snap_to_alignments(const Netlist& nl,
+                          const std::vector<AlignmentGroup>& groups,
+                          Placement& p, double tol) {
+  size_t moved = 0;
+  for (const AlignmentGroup& g : groups) {
+    if (g.cells.size() < 2) continue;
+    Vec& coords = g.axis == Axis::X ? p.x : p.y;
+    double mean = 0.0;
+    size_t n = 0;
+    for (CellId id : g.cells) {
+      if (!nl.cell(id).movable()) continue;  // fixed members pin the line
+      mean += coords[id];
+      ++n;
+    }
+    // Fixed members override the mean: align to the first fixed cell.
+    bool pinned = false;
+    for (CellId id : g.cells) {
+      if (!nl.cell(id).movable()) {
+        mean = g.axis == Axis::X ? p.x[id] : p.y[id];
+        pinned = true;
+        break;
+      }
+    }
+    if (!pinned) {
+      if (n == 0) continue;
+      mean /= static_cast<double>(n);
+    }
+    for (CellId id : g.cells) {
+      if (!nl.cell(id).movable()) continue;
+      if (std::abs(coords[id] - mean) > tol) ++moved;
+      coords[id] = mean;
+    }
+  }
+  return moved;
+}
+
+double alignment_error(const std::vector<AlignmentGroup>& groups,
+                       const Placement& p) {
+  double worst = 0.0;
+  for (const AlignmentGroup& g : groups) {
+    if (g.cells.empty()) continue;
+    const Vec& coords = g.axis == Axis::X ? p.x : p.y;
+    double lo = coords[g.cells.front()], hi = lo;
+    for (CellId id : g.cells) {
+      lo = std::min(lo, coords[id]);
+      hi = std::max(hi, coords[id]);
+    }
+    worst = std::max(worst, hi - lo);
+  }
+  return worst;
+}
+
+}  // namespace complx

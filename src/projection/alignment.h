@@ -1,0 +1,34 @@
+// Alignment constraints — the paper's conclusion names them explicitly:
+// "the handling of region, alignment and other types of constraints
+// requires only the modification of the feasibility projection".
+//
+// An alignment group forces its cells to share one coordinate along an
+// axis (e.g. a datapath bit-slice sharing a row, or a register column
+// sharing an x). Enforcement is a projection step: after density
+// spreading, every group collapses to its members' mean coordinate.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "wl/b2b.h"
+
+namespace complx {
+
+struct AlignmentGroup {
+  std::vector<CellId> cells;
+  Axis axis = Axis::Y;  ///< Y: share a y coordinate (same row-line);
+                        ///< X: share an x coordinate (same column)
+};
+
+/// Snaps every group to its mean coordinate along its axis. Returns the
+/// number of cells moved (beyond tolerance).
+size_t snap_to_alignments(const Netlist& nl,
+                          const std::vector<AlignmentGroup>& groups,
+                          Placement& p, double tol = 1e-9);
+
+/// Max deviation from perfect alignment across all groups.
+double alignment_error(const std::vector<AlignmentGroup>& groups,
+                       const Placement& p);
+
+}  // namespace complx

@@ -1,0 +1,79 @@
+// The approximate feasibility projection P_C (look-ahead legalization):
+// given an iterate (x, y), produce a nearby placement satisfying the density
+// target γ within every grid bin, handling standard cells, movable macros
+// (via shredding) and hard region constraints.
+//
+// This is the "spreading" half of ComPLx; its output becomes the anchor
+// placement (x°, y°) in the simplified Lagrangian of Formula 10, and the
+// L1 displacement it reports is the penalty value Π(x, y) of Formula 3.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "density/grid.h"
+#include "netlist/netlist.h"
+#include "projection/alignment.h"
+#include "projection/mote.h"
+#include "projection/shredder.h"
+#include "projection/spreader.h"
+
+namespace complx {
+
+struct ProjectionOptions {
+  double gamma = 1.0;  ///< target utilization (ISPD 2006: 0.5 / 0.8 / 0.9)
+  size_t bins_x = 0;   ///< 0 = derive from design size
+  size_t bins_y = 0;
+  SpreaderOptions spreader;  ///< gamma is overwritten from this struct
+  ShredderOptions shredder;  ///< gamma is overwritten from this struct
+  bool enforce_regions = true;
+  /// Alignment groups enforced by the projection (after density spreading
+  /// and region snapping).
+  std::vector<AlignmentGroup> alignments;
+};
+
+struct ProjectionResult {
+  Placement anchors;        ///< the C-feasible(-ish) projection P_C(x, y)
+  double displacement_l1 = 0.0;  ///< Π: Σ_movable |x−x°| + |y−y°|
+  size_t num_regions = 0;        ///< spreading regions processed
+  /// Density overflow of the INPUT placement: Σ bin overflow above γ,
+  /// divided by total movable area. The classic SimPL stopping metric.
+  double input_overflow_ratio = 0.0;
+  /// Shred clouds after spreading (only filled when export_shreds=true);
+  /// used by the Figure 2 reproduction.
+  std::vector<Mote> shreds;
+  std::vector<Point> shred_origins;
+};
+
+class LookAheadLegalizer {
+ public:
+  LookAheadLegalizer(const Netlist& nl, const ProjectionOptions& opts);
+
+  /// Number of bins chosen automatically for this netlist (finest scale:
+  /// bins of ~3 row heights, capped for tractability).
+  static size_t auto_bins(const Netlist& nl);
+
+  /// Computes P_C at `p`. `p` itself is not modified.
+  ProjectionResult project(const Placement& p,
+                           bool export_shreds = false) const;
+
+  /// Adjusts the grid resolution (the ComPLx driver coarsens/refines the
+  /// grid over iterations as a runtime/accuracy trade-off, Section 6).
+  void set_grid(size_t bins_x, size_t bins_y);
+
+  /// Per-cell AREA inflation factors (SimPLR-style routability): standard
+  /// cells are spread as if `factor×` larger, creating routing whitespace.
+  /// Pass an empty vector to clear. Macros are unaffected.
+  void set_inflation(Vec area_factors);
+  size_t bins_x() const { return opts_.bins_x; }
+  size_t bins_y() const { return opts_.bins_y; }
+
+  const ProjectionOptions& options() const { return opts_; }
+
+ private:
+  const Netlist& nl_;
+  ProjectionOptions opts_;
+  Vec inflation_;  ///< empty = no inflation
+};
+
+}  // namespace complx

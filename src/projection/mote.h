@@ -1,0 +1,28 @@
+// A "mote" is the atomic unit the feasibility projection spreads: one
+// standard cell, or one shred of a macro (Section 5, macro shredding).
+// Motes carry their own geometry so the projection never needs to know
+// whether it is moving a cell or a shred.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace complx {
+
+struct Mote {
+  double x = 0.0;  ///< center x
+  double y = 0.0;  ///< center y
+  double width = 0.0;
+  double height = 0.0;
+  CellId owner = 0;  ///< cell this mote represents (shreds share an owner)
+
+  double area() const { return width * height; }
+  Rect bounds() const {
+    return {x - width / 2.0, y - height / 2.0, x + width / 2.0,
+            y + height / 2.0};
+  }
+};
+
+}  // namespace complx

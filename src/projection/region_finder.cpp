@@ -1,0 +1,163 @@
+#include "projection/region_finder.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace complx {
+
+namespace {
+
+struct SpanStats {
+  double usage = 0.0;
+  double capacity = 0.0;
+};
+
+SpanStats stats(const DensityGrid& g, const BinSpan& s) {
+  SpanStats r;
+  for (size_t j = s.j0; j <= s.j1; ++j) {
+    for (size_t i = s.i0; i <= s.i1; ++i) {
+      r.usage += g.usage(i, j);
+      r.capacity += g.capacity(i, j);
+    }
+  }
+  return r;
+}
+
+bool satisfied(const DensityGrid& g, const BinSpan& s, double gamma) {
+  const SpanStats st = stats(g, s);
+  return st.usage <= gamma * st.capacity + 1e-9;
+}
+
+/// Grow `s` one bin in the direction that yields the lowest resulting
+/// utilization ratio; returns false when no growth is possible.
+bool grow(const DensityGrid& g, BinSpan& s, double gamma) {
+  const size_t bx = g.bins_x(), by = g.bins_y();
+  double best_ratio = std::numeric_limits<double>::infinity();
+  int best_dir = -1;
+  auto consider = [&](int dir, BinSpan cand) {
+    const SpanStats st = stats(g, cand);
+    const double ratio =
+        st.capacity > 0.0 ? st.usage / (gamma * st.capacity)
+                          : std::numeric_limits<double>::infinity();
+    if (ratio < best_ratio) {
+      best_ratio = ratio;
+      best_dir = dir;
+    }
+  };
+  if (s.i0 > 0) consider(0, {s.i0 - 1, s.j0, s.i1, s.j1});
+  if (s.i1 + 1 < bx) consider(1, {s.i0, s.j0, s.i1 + 1, s.j1});
+  if (s.j0 > 0) consider(2, {s.i0, s.j0 - 1, s.i1, s.j1});
+  if (s.j1 + 1 < by) consider(3, {s.i0, s.j0, s.i1, s.j1 + 1});
+  switch (best_dir) {
+    case 0: --s.i0; return true;
+    case 1: ++s.i1; return true;
+    case 2: --s.j0; return true;
+    case 3: ++s.j1; return true;
+    default: return false;
+  }
+}
+
+Rect span_rect(const DensityGrid& g, const BinSpan& s) {
+  const Rect lo = g.bin_rect(s.i0, s.j0);
+  const Rect hi = g.bin_rect(s.i1, s.j1);
+  return {lo.xl, lo.yl, hi.xh, hi.yh};
+}
+
+}  // namespace
+
+std::vector<Rect> find_spreading_regions(const DensityGrid& grid,
+                                         double gamma) {
+  const size_t bx = grid.bins_x(), by = grid.bins_y();
+
+  // 1. Mark overfilled bins.
+  std::vector<char> over(bx * by, 0);
+  bool any = false;
+  for (size_t j = 0; j < by; ++j) {
+    for (size_t i = 0; i < bx; ++i) {
+      if (grid.overflow(i, j, gamma) > 1e-9) {
+        over[j * bx + i] = 1;
+        any = true;
+      }
+    }
+  }
+  if (!any) return {};
+
+  // 2. BFS-cluster adjacent overfilled bins into seed spans.
+  std::vector<BinSpan> spans;
+  std::vector<char> visited(bx * by, 0);
+  for (size_t j = 0; j < by; ++j) {
+    for (size_t i = 0; i < bx; ++i) {
+      if (!over[j * bx + i] || visited[j * bx + i]) continue;
+      BinSpan s{i, j, i, j};
+      std::queue<std::pair<size_t, size_t>> q;
+      q.push({i, j});
+      visited[j * bx + i] = 1;
+      while (!q.empty()) {
+        auto [ci, cj] = q.front();
+        q.pop();
+        s.i0 = std::min(s.i0, ci);
+        s.i1 = std::max(s.i1, ci);
+        s.j0 = std::min(s.j0, cj);
+        s.j1 = std::max(s.j1, cj);
+        const std::pair<long, long> nbrs[4] = {
+            {static_cast<long>(ci) - 1, static_cast<long>(cj)},
+            {static_cast<long>(ci) + 1, static_cast<long>(cj)},
+            {static_cast<long>(ci), static_cast<long>(cj) - 1},
+            {static_cast<long>(ci), static_cast<long>(cj) + 1}};
+        for (auto [ni, nj] : nbrs) {
+          if (ni < 0 || nj < 0 || ni >= static_cast<long>(bx) ||
+              nj >= static_cast<long>(by))
+            continue;
+          const size_t k =
+              static_cast<size_t>(nj) * bx + static_cast<size_t>(ni);
+          if (over[k] && !visited[k]) {
+            visited[k] = 1;
+            q.push({static_cast<size_t>(ni), static_cast<size_t>(nj)});
+          }
+        }
+      }
+      spans.push_back(s);
+    }
+  }
+
+  // 3. Expand each span until its aggregate utilization target is met.
+  for (BinSpan& s : spans) {
+    while (!satisfied(grid, s, gamma)) {
+      if (!grow(grid, s, gamma)) break;  // whole core reached
+    }
+  }
+
+  // 4. Merge overlapping spans, re-expand merged results.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (size_t a = 0; a < spans.size() && !merged; ++a) {
+      for (size_t b = a + 1; b < spans.size() && !merged; ++b) {
+        const bool overlap = spans[a].i0 <= spans[b].i1 &&
+                             spans[b].i0 <= spans[a].i1 &&
+                             spans[a].j0 <= spans[b].j1 &&
+                             spans[b].j0 <= spans[a].j1;
+        if (!overlap) continue;
+        BinSpan u{std::min(spans[a].i0, spans[b].i0),
+                  std::min(spans[a].j0, spans[b].j0),
+                  std::max(spans[a].i1, spans[b].i1),
+                  std::max(spans[a].j1, spans[b].j1)};
+        while (!satisfied(grid, u, gamma)) {
+          if (!grow(grid, u, gamma)) break;
+        }
+        spans[a] = u;
+        spans.erase(spans.begin() + static_cast<long>(b));
+        merged = true;
+      }
+    }
+  }
+
+  std::vector<Rect> rects;
+  rects.reserve(spans.size());
+  for (const BinSpan& s : spans) rects.push_back(span_rect(grid, s));
+  return rects;
+}
+
+}  // namespace complx

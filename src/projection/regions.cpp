@@ -1,0 +1,50 @@
+#include "projection/regions.h"
+
+#include <algorithm>
+
+namespace complx {
+
+namespace {
+/// Region box shrunk so that a cell center inside it keeps the cell inside
+/// the region. Degenerate (cell larger than region) collapses to the center.
+Rect center_box(const Rect& region, const Cell& c) {
+  Rect b{region.xl + c.width / 2.0, region.yl + c.height / 2.0,
+         region.xh - c.width / 2.0, region.yh - c.height / 2.0};
+  if (b.xl > b.xh) b.xl = b.xh = (region.xl + region.xh) / 2.0;
+  if (b.yl > b.yh) b.yl = b.yh = (region.yl + region.yh) / 2.0;
+  return b;
+}
+}  // namespace
+
+size_t snap_to_regions(const Netlist& nl, Placement& p) {
+  size_t moved = 0;
+  for (CellId id : nl.movable_cells()) {
+    const Cell& c = nl.cell(id);
+    if (c.region == kNoRegion) continue;
+    const Rect box = center_box(nl.regions()[c.region].box, c);
+    const double nx = std::clamp(p.x[id], box.xl, box.xh);
+    const double ny = std::clamp(p.y[id], box.yl, box.yh);
+    if (nx != p.x[id] || ny != p.y[id]) {
+      p.x[id] = nx;
+      p.y[id] = ny;
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+bool regions_satisfied(const Netlist& nl, const Placement& p, double tol) {
+  for (CellId id : nl.movable_cells()) {
+    const Cell& c = nl.cell(id);
+    if (c.region == kNoRegion) continue;
+    const Rect& box = nl.regions()[c.region].box;
+    if (p.x[id] - c.width / 2.0 < box.xl - tol ||
+        p.x[id] + c.width / 2.0 > box.xh + tol ||
+        p.y[id] - c.height / 2.0 < box.yl - tol ||
+        p.y[id] + c.height / 2.0 > box.yh + tol)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace complx

@@ -1,0 +1,22 @@
+// Hard region-constraint enforcement inside P_C (Section S5): after density
+// spreading, every cell carrying a region constraint is snapped into its
+// region box. The snapped locations become anchors, so subsequent analytic
+// iterations pull connected logic toward the region — which is why HPWL
+// often improves rather than degrades.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace complx {
+
+/// Clamps the centers of region-constrained movable cells into their region
+/// (shrunk by the cell half-dimensions so the full cell fits). Returns the
+/// number of cells moved.
+size_t snap_to_regions(const Netlist& nl, Placement& p);
+
+/// True when every region-constrained movable cell lies fully inside its
+/// region under placement `p` (within `tol`).
+bool regions_satisfied(const Netlist& nl, const Placement& p,
+                       double tol = 1e-9);
+
+}  // namespace complx

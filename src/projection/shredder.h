@@ -1,0 +1,39 @@
+// Macro shredding for the mixed-size feasibility projection (paper Section 5
+// and Figure 2). Each movable macro is tiled by "shreds" — squares of side
+// 2 × standard-row height, shrunk by √γ so that after γ-density spreading
+// the shred cloud's bounding box matches the macro plus its halo. Shreds are
+// NOT connected by fake nets and never appear in the linear systems; they
+// exist only inside P_C. The macro's projected position is the interpolation
+// of its shreds: original center plus the mean shred displacement.
+#pragma once
+
+#include <vector>
+
+#include "projection/mote.h"
+
+namespace complx {
+
+struct ShredderOptions {
+  double shred_rows = 2.0;  ///< shred edge in row heights (paper: 2×2)
+  double gamma = 1.0;       ///< target utilization (√γ size compensation)
+};
+
+class MacroShredder {
+ public:
+  MacroShredder(const Netlist& nl, const ShredderOptions& opts);
+
+  /// Tiles macro `id` (centered at (cx, cy)) into shreds. The shreds' total
+  /// area equals γ × macro area by construction of the √γ scaling.
+  std::vector<Mote> shred(CellId id, double cx, double cy) const;
+
+  /// Mean displacement of `shreds` relative to their recorded origin
+  /// positions in `origins` (parallel arrays); applied to the macro center.
+  static Point mean_displacement(const std::vector<Mote>& shreds,
+                                 const std::vector<Point>& origins);
+
+ private:
+  const Netlist& nl_;
+  ShredderOptions opts_;
+};
+
+}  // namespace complx

@@ -1,0 +1,157 @@
+#include "projection/spreader.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace complx {
+
+namespace {
+
+double coord(const Mote* m, bool horizontal) {
+  return horizontal ? m->x : m->y;
+}
+void set_coord(Mote* m, bool horizontal, double v) {
+  (horizontal ? m->x : m->y) = v;
+}
+double lo_edge(const Rect& r, bool horizontal) {
+  return horizontal ? r.xl : r.yl;
+}
+double hi_edge(const Rect& r, bool horizontal) {
+  return horizontal ? r.xh : r.yh;
+}
+
+/// Sub-rectangle of `r` along the chosen axis.
+Rect slice(const Rect& r, bool horizontal, double lo, double hi) {
+  return horizontal ? Rect{lo, r.yl, hi, r.yh} : Rect{r.xl, lo, r.xh, hi};
+}
+
+}  // namespace
+
+void Spreader::spread(const Rect& region, std::vector<Mote*>& motes) const {
+  if (motes.empty() || region.empty()) return;
+  recurse(region, motes, 0);
+}
+
+double Spreader::capacity_cut(const Rect& region, bool horizontal,
+                              double target_capacity) const {
+  // Binary search on the monotone cumulative free-area profile. 40 steps
+  // bring the interval below any bin dimension.
+  double lo = lo_edge(region, horizontal);
+  double hi = hi_edge(region, horizontal);
+  const double full_lo = lo;
+  for (int it = 0; it < 40; ++it) {
+    const double mid = (lo + hi) / 2.0;
+    const double cap =
+        opts_.gamma * grid_.free_area_in(slice(region, horizontal, full_lo, mid));
+    if (cap < target_capacity)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return (lo + hi) / 2.0;
+}
+
+void Spreader::recurse(const Rect& region, std::vector<Mote*>& motes,
+                       int depth) const {
+  if (motes.empty()) return;
+  if (static_cast<int>(motes.size()) <= opts_.terminal_motes ||
+      depth >= opts_.max_depth) {
+    terminal_spread(region, motes);
+    return;
+  }
+
+  const bool horizontal = region.width() >= region.height();
+  std::sort(motes.begin(), motes.end(), [&](const Mote* a, const Mote* b) {
+    return coord(a, horizontal) < coord(b, horizontal);
+  });
+
+  // Area-median split of the cell list.
+  double total_area = 0.0;
+  for (const Mote* m : motes) total_area += m->area();
+  size_t k = 0;
+  double acc = 0.0;
+  while (k < motes.size() && acc + motes[k]->area() <= total_area / 2.0)
+    acc += motes[k++]->area();
+  k = std::clamp<size_t>(k, 1, motes.size() - 1);
+  const double area1 = acc;
+
+  // Capacity-proportional cut line.
+  const double region_cap = opts_.gamma * grid_.free_area_in(region);
+  double cut;
+  if (region_cap > 1e-12 && total_area > 0.0) {
+    cut = capacity_cut(region, horizontal, region_cap * (area1 / total_area));
+  } else {
+    cut = (lo_edge(region, horizontal) + hi_edge(region, horizontal)) / 2.0;
+  }
+  // Keep both halves non-degenerate.
+  const double lo = lo_edge(region, horizontal);
+  const double hi = hi_edge(region, horizontal);
+  const double min_span = (hi - lo) * 1e-3;
+  cut = std::clamp(cut, lo + min_span, hi - min_span);
+
+  // Piecewise-linear rescale around the old split coordinate. Relative
+  // order is preserved because both maps are increasing.
+  const double m_lo = coord(motes[k - 1], horizontal);
+  const double m_hi = coord(motes[k], horizontal);
+  const double knot = std::clamp((m_lo + m_hi) / 2.0, lo, hi);
+  const double left_span = std::max(knot - lo, 1e-12);
+  const double right_span = std::max(hi - knot, 1e-12);
+  for (size_t i = 0; i < k; ++i) {
+    const double t = (coord(motes[i], horizontal) - lo) / left_span;
+    set_coord(motes[i], horizontal, lo + std::clamp(t, 0.0, 1.0) * (cut - lo));
+  }
+  for (size_t i = k; i < motes.size(); ++i) {
+    const double t = (coord(motes[i], horizontal) - knot) / right_span;
+    set_coord(motes[i], horizontal,
+              cut + std::clamp(t, 0.0, 1.0) * (hi - cut));
+  }
+
+  std::vector<Mote*> left(motes.begin(), motes.begin() + static_cast<long>(k));
+  std::vector<Mote*> right(motes.begin() + static_cast<long>(k), motes.end());
+  recurse(slice(region, horizontal, lo, cut), left, depth + 1);
+  recurse(slice(region, horizontal, cut, hi), right, depth + 1);
+}
+
+void Spreader::terminal_spread(const Rect& region,
+                               std::vector<Mote*>& motes) const {
+  // 1-D spreading along the dominant axis: each mote is placed where the
+  // cumulative capacity profile reaches its cumulative-area midpoint.
+  // This evens density while preserving sorted order (Section S2's convex
+  // subproblem in the δ_i variables). The transverse coordinate is clamped.
+  const bool horizontal = region.width() >= region.height();
+  std::sort(motes.begin(), motes.end(), [&](const Mote* a, const Mote* b) {
+    return coord(a, horizontal) < coord(b, horizontal);
+  });
+
+  double total_area = 0.0;
+  for (const Mote* m : motes) total_area += m->area();
+  const double region_cap = opts_.gamma * grid_.free_area_in(region);
+
+  const double lo = lo_edge(region, horizontal);
+  const double hi = hi_edge(region, horizontal);
+
+  if (total_area <= 0.0 || region_cap <= 1e-12) {
+    // Nothing meaningful to even out; just clamp into the region.
+    for (Mote* m : motes) {
+      m->x = std::clamp(m->x, region.xl, region.xh);
+      m->y = std::clamp(m->y, region.yl, region.yh);
+    }
+    return;
+  }
+
+  double acc = 0.0;
+  for (Mote* m : motes) {
+    const double midpoint = acc + m->area() / 2.0;
+    acc += m->area();
+    const double target_cap = region_cap * (midpoint / total_area);
+    const double pos = capacity_cut(region, horizontal, target_cap);
+    set_coord(m, horizontal, std::clamp(pos, lo, hi));
+    // Clamp transverse coordinate into the region.
+    if (horizontal)
+      m->y = std::clamp(m->y, region.yl, region.yh);
+    else
+      m->x = std::clamp(m->x, region.xl, region.xh);
+  }
+}
+
+}  // namespace complx

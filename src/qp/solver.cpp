@@ -1,0 +1,60 @@
+#include "qp/solver.h"
+
+#include <algorithm>
+
+namespace complx {
+
+namespace {
+void clamp_axis(const Netlist& nl, Vec& coords, Axis axis) {
+  const Rect& core = nl.core();
+  for (CellId id : nl.movable_cells()) {
+    const Cell& c = nl.cell(id);
+    if (axis == Axis::X) {
+      const double half = c.width / 2.0;
+      coords[id] = std::clamp(coords[id], core.xl + half,
+                              std::max(core.xl + half, core.xh - half));
+    } else {
+      const double half = c.height / 2.0;
+      coords[id] = std::clamp(coords[id], core.yl + half,
+                              std::max(core.yl + half, core.yh - half));
+    }
+  }
+}
+}  // namespace
+
+QpIterationResult solve_qp_iteration(const Netlist& nl, const VarMap& vars,
+                                     Placement& p, const AnchorSet* anchors,
+                                     const QpOptions& opts) {
+  // Linearize at a frozen copy: both axes use the same linearization point
+  // even though x is solved first.
+  const Placement point = p;
+
+  QpIterationResult result;
+  for (Axis axis : {Axis::X, Axis::Y}) {
+    SystemBuilder builder(nl, vars, axis, point);
+    switch (opts.model) {
+      case NetModel::B2B:
+        builder.add_pin_springs(build_b2b(nl, point, axis, opts.b2b));
+        break;
+      case NetModel::Clique:
+        builder.add_pin_springs(build_clique(nl, point, axis, opts.b2b));
+        break;
+      case NetModel::Star:
+        builder.add_star_springs(build_star(nl, point, axis, opts.b2b));
+        break;
+    }
+    if (anchors) {
+      const Vec& tgt = axis == Axis::X ? anchors->target_x : anchors->target_y;
+      const Vec& wgt = axis == Axis::X ? anchors->weight_x : anchors->weight_y;
+      for (CellId id : nl.movable_cells())
+        builder.add_anchor(id, tgt[id], wgt[id]);
+    }
+    CgResult cg = builder.solve(p, opts.cg);
+    if (opts.clamp_to_core)
+      clamp_axis(nl, axis == Axis::X ? p.x : p.y, axis);
+    (axis == Axis::X ? result.cg_x : result.cg_y) = cg;
+  }
+  return result;
+}
+
+}  // namespace complx

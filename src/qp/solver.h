@@ -1,0 +1,47 @@
+// One linearized quadratic-placement iteration: relinearize the chosen net
+// model at the current iterate, add anchor pseudonets, solve both axes.
+// This is the primal step of the ComPLx Lagrangian (Formula 10) when Φ is
+// the linearized-quadratic model.
+#pragma once
+
+#include <optional>
+
+#include "qp/system_builder.h"
+
+namespace complx {
+
+enum class NetModel { B2B, Clique, Star };
+
+/// Per-cell anchor pseudonets representing the linearized λ·L1 penalty term.
+/// Entries with weight 0 add nothing. Sized num_cells (fixed entries unused).
+struct AnchorSet {
+  Vec target_x, target_y;
+  Vec weight_x, weight_y;
+
+  explicit AnchorSet(size_t num_cells)
+      : target_x(num_cells, 0.0),
+        target_y(num_cells, 0.0),
+        weight_x(num_cells, 0.0),
+        weight_y(num_cells, 0.0) {}
+};
+
+struct QpOptions {
+  NetModel model = NetModel::B2B;
+  B2bOptions b2b;
+  CgOptions cg;
+  /// Clamp solved coordinates into the core area (cells cannot leave the
+  /// placement region).
+  bool clamp_to_core = true;
+};
+
+struct QpIterationResult {
+  CgResult cg_x, cg_y;
+};
+
+/// Solves min Φ_Q(x, y) (+ anchor penalties) linearized at `p`, writing the
+/// minimizer back into `p`.
+QpIterationResult solve_qp_iteration(const Netlist& nl, const VarMap& vars,
+                                     Placement& p, const AnchorSet* anchors,
+                                     const QpOptions& opts);
+
+}  // namespace complx

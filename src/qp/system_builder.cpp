@@ -1,0 +1,88 @@
+#include "qp/system_builder.h"
+
+namespace complx {
+
+VarMap::VarMap(const Netlist& nl) {
+  var_of_cell.assign(nl.num_cells(), kFixed);
+  cell_of_var.reserve(nl.num_movable());
+  for (CellId id : nl.movable_cells()) {
+    var_of_cell[id] = cell_of_var.size();
+    cell_of_var.push_back(id);
+  }
+}
+
+SystemBuilder::SystemBuilder(const Netlist& nl, const VarMap& vars, Axis axis,
+                             const Placement& linearization_point)
+    : nl_(nl),
+      vars_(vars),
+      axis_(axis),
+      point_(linearization_point),
+      trip_(vars.num_vars()),
+      rhs_(vars.num_vars(), 0.0) {}
+
+double SystemBuilder::pin_coord(PinId k) const {
+  const Pin& pin = nl_.pin(k);
+  return axis_ == Axis::X ? point_.x[pin.cell] + pin.dx
+                          : point_.y[pin.cell] + pin.dy;
+}
+
+double SystemBuilder::pin_offset(PinId k) const {
+  const Pin& pin = nl_.pin(k);
+  return axis_ == Axis::X ? pin.dx : pin.dy;
+}
+
+void SystemBuilder::add_pin_springs(const std::vector<PinSpring>& springs) {
+  for (const PinSpring& s : springs) {
+    const CellId ca = nl_.pin(s.p).cell, cb = nl_.pin(s.q).cell;
+    const size_t va = vars_.var_of_cell[ca], vb = vars_.var_of_cell[cb];
+    const double oa = pin_offset(s.p), ob = pin_offset(s.q);
+
+    if (va != VarMap::kFixed && vb != VarMap::kFixed) {
+      if (va == vb) continue;  // net touches the same cell twice: no force
+      trip_.add_spring(va, vb, s.weight);
+      rhs_[va] += s.weight * (ob - oa);
+      rhs_[vb] += s.weight * (oa - ob);
+    } else if (va != VarMap::kFixed) {
+      trip_.add_diag(va, s.weight);
+      rhs_[va] += s.weight * (pin_coord(s.q) - oa);
+    } else if (vb != VarMap::kFixed) {
+      trip_.add_diag(vb, s.weight);
+      rhs_[vb] += s.weight * (pin_coord(s.p) - ob);
+    }
+  }
+}
+
+void SystemBuilder::add_star_springs(const std::vector<StarSpring>& springs) {
+  for (const StarSpring& s : springs) {
+    const CellId c = nl_.pin(s.p).cell;
+    const size_t v = vars_.var_of_cell[c];
+    if (v == VarMap::kFixed) continue;
+    trip_.add_diag(v, s.weight);
+    rhs_[v] += s.weight * (s.center - pin_offset(s.p));
+  }
+}
+
+void SystemBuilder::add_anchor(CellId c, double target, double weight) {
+  const size_t v = vars_.var_of_cell[c];
+  if (v == VarMap::kFixed || weight <= 0.0) return;
+  trip_.add_diag(v, weight);
+  rhs_[v] += weight * target;
+}
+
+CgResult SystemBuilder::solve(Placement& p, const CgOptions& opts) const {
+  const CsrMatrix A = CsrMatrix::from_triplets(trip_);
+  Vec& coords = axis_ == Axis::X ? p.x : p.y;
+
+  // Warm start from the current iterate: quadratic placement changes little
+  // between relinearizations, which saves most CG iterations.
+  Vec x(vars_.num_vars());
+  for (size_t v = 0; v < vars_.num_vars(); ++v)
+    x[v] = coords[vars_.cell_of_var[v]];
+
+  const CgResult res = solve_pcg(A, rhs_, x, opts);
+  for (size_t v = 0; v < vars_.num_vars(); ++v)
+    coords[vars_.cell_of_var[v]] = x[v];
+  return res;
+}
+
+}  // namespace complx

@@ -1,0 +1,23 @@
+#include "route/inflate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace complx {
+
+Vec compute_inflation(const Netlist& nl, const Placement& p,
+                      const CongestionMap& congestion,
+                      const InflationOptions& opts) {
+  Vec factors(nl.num_cells(), 1.0);
+  for (CellId id : nl.movable_cells()) {
+    const Cell& c = nl.cell(id);
+    if (c.is_macro()) continue;
+    const double cong = congestion.congestion_at(p.x[id], p.y[id]);
+    if (cong <= opts.threshold) continue;
+    const double f = std::pow(cong / opts.threshold, opts.exponent);
+    factors[id] = std::clamp(f, 1.0, opts.max_factor);
+  }
+  return factors;
+}
+
+}  // namespace complx

@@ -1,0 +1,76 @@
+#include "timing/weighting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace complx {
+
+void scale_net_weights(Netlist& nl, const std::vector<NetId>& nets,
+                       double factor) {
+  for (NetId e : nets) nl.net(e).weight *= factor;
+}
+
+size_t update_criticality(Vec& criticality, const TimingReport& report,
+                          double delta) {
+  size_t critical = 0;
+  for (size_t c = 0; c < criticality.size(); ++c) {
+    if (report.slack[c] < 0.0) {
+      criticality[c] *= (1.0 + delta);
+      ++critical;
+    } else {
+      // Decay toward neutral so stale criticality does not accumulate.
+      criticality[c] = 1.0 + (criticality[c] - 1.0) * 0.9;
+    }
+  }
+  return critical;
+}
+
+Vec synthetic_activity(const Netlist& nl, uint64_t seed,
+                       double hot_fraction) {
+  Rng rng(seed);
+  Vec activity(nl.num_cells(), 0.0);
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    if (!nl.cell(id).movable()) continue;
+    activity[id] = rng.uniform() < hot_fraction
+                       ? rng.uniform(0.5, 1.0)   // hot (clock-ish) cells
+                       : rng.uniform(0.0, 0.15);  // background logic
+  }
+  return activity;
+}
+
+void activity_based_net_weights(Netlist& nl, const Vec& activity,
+                                double strength) {
+  for (NetId e = 0; e < nl.num_nets(); ++e) {
+    Net& net = nl.net(e);
+    double hottest = 0.0;
+    for (uint32_t k = 0; k < net.num_pins; ++k)
+      hottest = std::max(hottest, activity[nl.pin(net.first_pin + k).cell]);
+    net.weight = 1.0 + strength * hottest;
+  }
+}
+
+Vec criticality_from_activity(const Vec& activity) {
+  Vec crit(activity.size());
+  for (size_t i = 0; i < activity.size(); ++i)
+    crit[i] = 1.0 + std::max(0.0, activity[i]);
+  return crit;
+}
+
+void slack_based_net_weights(Netlist& nl, const TimingReport& report,
+                             double strength, double exponent) {
+  if (report.period <= 0.0) return;
+  for (NetId e = 0; e < nl.num_nets(); ++e) {
+    Net& net = nl.net(e);
+    double worst = 0.0;
+    for (uint32_t k = 0; k < net.num_pins; ++k) {
+      const CellId c = nl.pin(net.first_pin + k).cell;
+      const double crit = 1.0 - report.slack[c] / report.period;
+      worst = std::max(worst, crit);
+    }
+    net.weight = 1.0 + strength * std::pow(std::max(0.0, worst), exponent);
+  }
+}
+
+}  // namespace complx

@@ -1,0 +1,47 @@
+// Criticality-driven weighting (paper Section 5, Formula 13, and S6):
+//  * net weights in Φ are raised on timing-critical nets,
+//  * the per-cell criticality vector γ scales the Lagrangian penalty term
+//    so critical cells stay close to their feasible anchors.
+#pragma once
+
+#include "timing/sta.h"
+
+namespace complx {
+
+/// Multiplies the weights of `nets` by `factor` (Figure 5's experiment uses
+/// factors 20 and 40 on the nets of selected paths).
+void scale_net_weights(Netlist& nl, const std::vector<NetId>& nets,
+                       double factor);
+
+/// Formula 13 update: every cell with negative slack has its criticality
+/// multiplied by (1 + delta); others decay back toward 1. Returns the
+/// number of critical cells.
+size_t update_criticality(Vec& criticality, const TimingReport& report,
+                          double delta);
+
+/// Net-weighting from slack (classic slack-based scheme): weight_e =
+/// 1 + strength · max(0, crit)^exponent where crit = 1 − slack/period over
+/// the net's most critical sink.
+void slack_based_net_weights(Netlist& nl, const TimingReport& report,
+                             double strength, double exponent = 2.0);
+
+// ---- power-aware placement (paper Section 5; [25] extends SimPL this way)
+
+/// Synthetic per-cell switching activity factors in [0, 1]: a small set of
+/// high-activity cells (clock-ish) over a low-activity background. Real
+/// flows take these from simulation; the distribution shape is what the
+/// weighting below consumes.
+Vec synthetic_activity(const Netlist& nl, uint64_t seed,
+                       double hot_fraction = 0.1);
+
+/// Power-aware net weights: weight_e = 1 + strength · (max driver/sink
+/// activity). Heavily switching nets get shorter wires (lower dynamic
+/// power); weights feed Φ like any other net weight.
+void activity_based_net_weights(Netlist& nl, const Vec& activity,
+                                double strength);
+
+/// Formula 13 initial criticality vector: "Initially, γ is populated with
+/// switching activity factors (no cells are critical)" — γ_i = 1 + activity.
+Vec criticality_from_activity(const Vec& activity);
+
+}  // namespace complx

@@ -1,0 +1,38 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace complx {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("cannot open CSV file: " + path);
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << header[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  if (values.size() != columns_)
+    throw std::invalid_argument("CSV row width mismatch");
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  if (values.size() != columns_)
+    throw std::invalid_argument("CSV row width mismatch");
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+}
+
+}  // namespace complx

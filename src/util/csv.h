@@ -1,0 +1,28 @@
+// CSV emitter for figure data. Benches that reproduce the paper's figures
+// write their series to CSV next to printing them, so plots can be
+// regenerated offline.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace complx {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on I/O error.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one data row; size must match the header.
+  void row(const std::vector<double>& values);
+
+  /// Appends one row of preformatted strings (e.g. a name column).
+  void row(const std::vector<std::string>& values);
+
+ private:
+  std::ofstream out_;
+  size_t columns_;
+};
+
+}  // namespace complx

@@ -1,0 +1,80 @@
+// Geometric primitives shared by all placement modules.
+//
+// Coordinates follow the Bookshelf convention: x grows right, y grows up,
+// and object positions refer to the lower-left corner unless a function says
+// otherwise. All geometry is double-precision; placement rows snap to sites
+// only at legalization time.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace complx {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point operator*(double s, Point p) { return {s * p.x, s * p.y}; }
+  friend bool operator==(Point a, Point b) = default;
+};
+
+/// Manhattan (L1) distance between two points.
+inline double l1_dist(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Axis-aligned rectangle, half-open semantics are NOT implied: both edges
+/// are inclusive for containment checks, which matches how placement rows
+/// and bins are used (a cell sitting exactly on a boundary belongs to both).
+struct Rect {
+  double xl = 0.0;  ///< left
+  double yl = 0.0;  ///< bottom
+  double xh = 0.0;  ///< right
+  double yh = 0.0;  ///< top
+
+  double width() const { return xh - xl; }
+  double height() const { return yh - yl; }
+  double area() const { return width() * height(); }
+  Point center() const { return {(xl + xh) / 2.0, (yl + yh) / 2.0}; }
+  bool empty() const { return xh <= xl || yh <= yl; }
+
+  bool contains(Point p) const {
+    return p.x >= xl && p.x <= xh && p.y >= yl && p.y <= yh;
+  }
+  bool contains(const Rect& r) const {
+    return r.xl >= xl && r.xh <= xh && r.yl >= yl && r.yh <= yh;
+  }
+  bool overlaps(const Rect& r) const {
+    return r.xl < xh && xl < r.xh && r.yl < yh && yl < r.yh;
+  }
+
+  /// Area of the intersection with `r`; zero when disjoint.
+  double overlap_area(const Rect& r) const {
+    const double w = std::min(xh, r.xh) - std::max(xl, r.xl);
+    const double h = std::min(yh, r.yh) - std::max(yl, r.yl);
+    return (w > 0.0 && h > 0.0) ? w * h : 0.0;
+  }
+
+  /// Smallest rectangle containing both `*this` and `r`.
+  Rect united(const Rect& r) const {
+    return {std::min(xl, r.xl), std::min(yl, r.yl), std::max(xh, r.xh),
+            std::max(yh, r.yh)};
+  }
+
+  /// Clamp a point into the rectangle.
+  Point clamp(Point p) const {
+    return {std::clamp(p.x, xl, xh), std::clamp(p.y, yl, yh)};
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) = default;
+  friend std::ostream& operator<<(std::ostream& os, const Rect& r) {
+    return os << "[" << r.xl << "," << r.yl << " " << r.xh << "," << r.yh
+              << "]";
+  }
+};
+
+}  // namespace complx

@@ -1,0 +1,41 @@
+#include "util/log.h"
+
+#include <cstdarg>
+
+namespace complx {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "[debug] ";
+    case LogLevel::Info:
+      return "[info ] ";
+    case LogLevel::Warn:
+      return "[warn ] ";
+    case LogLevel::Error:
+      return "[error] ";
+    default:
+      return "";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...) {
+  if (level < g_level) return;
+  std::fputs(prefix(level), stderr);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+}  // namespace detail
+
+}  // namespace complx

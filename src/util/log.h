@@ -1,0 +1,39 @@
+// Minimal leveled logger. Placement runs produce per-iteration traces; the
+// logger keeps those quiet by default (level Warn) so tests and benches stay
+// readable, while examples raise the level to Info.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace complx {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+/// Process-wide log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const char* fmt, Args... args) {
+  detail::vlog(LogLevel::Debug, fmt, args...);
+}
+template <typename... Args>
+void log_info(const char* fmt, Args... args) {
+  detail::vlog(LogLevel::Info, fmt, args...);
+}
+template <typename... Args>
+void log_warn(const char* fmt, Args... args) {
+  detail::vlog(LogLevel::Warn, fmt, args...);
+}
+template <typename... Args>
+void log_error(const char* fmt, Args... args) {
+  detail::vlog(LogLevel::Error, fmt, args...);
+}
+
+}  // namespace complx

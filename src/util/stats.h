@@ -1,0 +1,41 @@
+// Small statistics helpers shared by experiments and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace complx {
+
+/// Geometric mean; all inputs must be > 0. Used for the "Geomean" rows of
+/// Table 1 and Table 2.
+inline double geomean(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("geomean of empty vector");
+  double log_sum = 0.0;
+  for (double x : v) {
+    if (x <= 0.0) throw std::invalid_argument("geomean requires positives");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+inline double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+/// Median (of a copy; input untouched).
+inline double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  std::nth_element(v.begin(), v.begin() + mid - 1, v.end());
+  return (v[mid - 1] + hi) / 2.0;
+}
+
+}  // namespace complx

@@ -1,0 +1,25 @@
+// Wall-clock stopwatch used by the benchmark harness and per-phase runtime
+// reporting (Table 1 / Table 2 report minutes of wall time).
+#pragma once
+
+#include <chrono>
+
+namespace complx {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace complx

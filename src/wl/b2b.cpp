@@ -1,0 +1,50 @@
+#include "wl/b2b.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace complx {
+
+std::vector<PinSpring> build_b2b(const Netlist& nl, const Placement& p,
+                                 Axis axis, const B2bOptions& opts) {
+  std::vector<PinSpring> springs;
+  springs.reserve(2 * nl.num_pins());
+
+  for (NetId e = 0; e < nl.num_nets(); ++e) {
+    const Net& net = nl.net(e);
+    const uint32_t deg = net.num_pins;
+    if (deg < 2 || deg > opts.max_degree) continue;
+
+    // Locate the two bound pins on this axis.
+    uint32_t lo = net.first_pin, hi = net.first_pin;
+    auto coord = [&](uint32_t k) {
+      const Pin& pin = nl.pin(k);
+      return axis == Axis::X ? p.x[pin.cell] + pin.dx : p.y[pin.cell] + pin.dy;
+    };
+    for (uint32_t k = net.first_pin + 1; k < net.first_pin + deg; ++k) {
+      if (coord(k) < coord(lo)) lo = k;
+      if (coord(k) > coord(hi)) hi = k;
+    }
+    if (lo == hi) hi = lo == net.first_pin ? lo + 1 : net.first_pin;
+
+    // Weight w_e/((P−1)·sep): in the Σ w (Δ)² convention used throughout
+    // this codebase (no ½ factor), the quadratic form then equals the
+    // weighted HPWL exactly at the linearization point.
+    const double scale = net.weight / static_cast<double>(deg - 1);
+    auto emit = [&](uint32_t a, uint32_t b) {
+      const double sep =
+          std::max(std::abs(coord(a) - coord(b)), opts.min_separation);
+      springs.push_back({a, b, scale / sep});
+    };
+
+    emit(lo, hi);
+    for (uint32_t k = net.first_pin; k < net.first_pin + deg; ++k) {
+      if (k == lo || k == hi) continue;
+      emit(k, lo);
+      emit(k, hi);
+    }
+  }
+  return springs;
+}
+
+}  // namespace complx

@@ -1,0 +1,47 @@
+#include "wl/hpwl.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace complx {
+
+Rect net_bbox(const Netlist& nl, const Placement& p, NetId e) {
+  const Net& n = nl.net(e);
+  if (n.num_pins == 0) return {};
+  double xl = std::numeric_limits<double>::infinity(), xh = -xl;
+  double yl = xl, yh = -xl;
+  for (uint32_t k = 0; k < n.num_pins; ++k) {
+    const Pin& pin = nl.pin(n.first_pin + k);
+    const double px = p.x[pin.cell] + pin.dx;
+    const double py = p.y[pin.cell] + pin.dy;
+    xl = std::min(xl, px);
+    xh = std::max(xh, px);
+    yl = std::min(yl, py);
+    yh = std::max(yh, py);
+  }
+  return {xl, yl, xh, yh};
+}
+
+double net_hpwl(const Netlist& nl, const Placement& p, NetId e) {
+  const Rect b = net_bbox(nl, p, e);
+  return (b.xh - b.xl) + (b.yh - b.yl);
+}
+
+double hpwl(const Netlist& nl, const Placement& p) {
+  double total = 0.0;
+  for (NetId e = 0; e < nl.num_nets(); ++e) total += net_hpwl(nl, p, e);
+  return total;
+}
+
+double weighted_hpwl(const Netlist& nl, const Placement& p) {
+  double total = 0.0;
+  for (NetId e = 0; e < nl.num_nets(); ++e)
+    total += nl.net(e).weight * net_hpwl(nl, p, e);
+  return total;
+}
+
+double stored_hpwl(const Netlist& nl) {
+  return hpwl(nl, nl.snapshot());
+}
+
+}  // namespace complx

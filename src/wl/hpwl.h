@@ -1,0 +1,26 @@
+// Exact (weighted) half-perimeter wirelength — the placement objective of
+// Formula 1 in the paper. Pin offsets are honored: a net's bounding box is
+// taken over pin positions (cell center + offset), not cell centers.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace complx {
+
+/// Bounding box of one net under placement `p`. Nets with zero pins yield an
+/// empty (0-area) box at the origin.
+Rect net_bbox(const Netlist& nl, const Placement& p, NetId e);
+
+/// HPWL of one net (x-extent + y-extent of its pin bounding box).
+double net_hpwl(const Netlist& nl, const Placement& p, NetId e);
+
+/// Total unweighted HPWL, Σ_e [net x-extent + net y-extent].
+double hpwl(const Netlist& nl, const Placement& p);
+
+/// Total weighted HPWL, Σ_e w_e · [net extent] — the Φ objective.
+double weighted_hpwl(const Netlist& nl, const Placement& p);
+
+/// HPWL measured on the positions currently stored in the netlist.
+double stored_hpwl(const Netlist& nl);
+
+}  // namespace complx

@@ -1,0 +1,82 @@
+#include "wl/incremental.h"
+
+#include <algorithm>
+
+#include "wl/hpwl.h"
+
+namespace complx {
+
+IncrementalHpwl::IncrementalHpwl(const Netlist& nl, const Placement& p)
+    : nl_(nl), p_(p) {
+  rebuild();
+}
+
+double IncrementalHpwl::compute(NetId e) const {
+  return nl_.net(e).weight * net_hpwl(nl_, p_, e);
+}
+
+void IncrementalHpwl::rebuild() {
+  cost_.resize(nl_.num_nets());
+  total_ = 0.0;
+  for (NetId e = 0; e < nl_.num_nets(); ++e) {
+    cost_[e] = compute(e);
+    total_ += cost_[e];
+  }
+}
+
+template <typename Fn>
+void IncrementalHpwl::for_distinct_nets(CellId a, CellId b, Fn&& fn) const {
+  const auto& na = nl_.nets_of_cell(a);
+  if (b == a || b == std::numeric_limits<CellId>::max()) {
+    for (NetId e : na) fn(e);
+    return;
+  }
+  scratch_.assign(na.begin(), na.end());
+  for (NetId e : nl_.nets_of_cell(b)) scratch_.push_back(e);
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                 scratch_.end());
+  for (NetId e : scratch_) fn(e);
+}
+
+double IncrementalHpwl::incident_cost(CellId a) const {
+  double s = 0.0;
+  for (NetId e : nl_.nets_of_cell(a)) s += cost_[e];
+  return s;
+}
+
+double IncrementalHpwl::incident_cost(CellId a, CellId b) const {
+  double s = 0.0;
+  for_distinct_nets(a, b, [&](NetId e) { s += cost_[e]; });
+  return s;
+}
+
+double IncrementalHpwl::fresh_incident_cost(CellId a) const {
+  double s = 0.0;
+  for (NetId e : nl_.nets_of_cell(a)) s += compute(e);
+  return s;
+}
+
+double IncrementalHpwl::fresh_incident_cost(CellId a, CellId b) const {
+  double s = 0.0;
+  for_distinct_nets(a, b, [&](NetId e) { s += compute(e); });
+  return s;
+}
+
+void IncrementalHpwl::refresh(CellId a) {
+  for (NetId e : nl_.nets_of_cell(a)) {
+    total_ -= cost_[e];
+    cost_[e] = compute(e);
+    total_ += cost_[e];
+  }
+}
+
+void IncrementalHpwl::refresh(CellId a, CellId b) {
+  for_distinct_nets(a, b, [&](NetId e) {
+    total_ -= cost_[e];
+    cost_[e] = compute(e);
+    total_ += cost_[e];
+  });
+}
+
+}  // namespace complx

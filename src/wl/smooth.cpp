@@ -1,0 +1,181 @@
+#include "wl/smooth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace complx {
+
+namespace {
+double pin_x(const Netlist& nl, const Placement& p, PinId k) {
+  const Pin& pin = nl.pin(k);
+  return p.x[pin.cell] + pin.dx;
+}
+double pin_y(const Netlist& nl, const Placement& p, PinId k) {
+  const Pin& pin = nl.pin(k);
+  return p.y[pin.cell] + pin.dy;
+}
+}  // namespace
+
+// ---------------------------------------------------------------- LseWl --
+
+LseWl::LseWl(const Netlist& nl, double gamma) : nl_(nl), gamma_(gamma) {
+  if (gamma <= 0.0) throw std::invalid_argument("LSE gamma must be > 0");
+}
+
+double LseWl::value_and_grad(const Placement& p, Vec& gx, Vec& gy) const {
+  const size_t n = nl_.num_cells();
+  gx.assign(n, 0.0);
+  gy.assign(n, 0.0);
+  double total = 0.0;
+
+  // Per net and axis:  γ·log Σ exp(+c/γ) + γ·log Σ exp(−c/γ), stabilized by
+  // subtracting the max/min coordinate before exponentiation.
+  std::vector<double> ew;
+  for (NetId e = 0; e < nl_.num_nets(); ++e) {
+    const Net& net = nl_.net(e);
+    if (net.num_pins < 2) continue;
+    const double w = net.weight;
+
+    for (int axis = 0; axis < 2; ++axis) {
+      auto coord = [&](PinId k) {
+        return axis == 0 ? pin_x(nl_, p, k) : pin_y(nl_, p, k);
+      };
+      Vec& g = axis == 0 ? gx : gy;
+
+      double cmax = -std::numeric_limits<double>::infinity();
+      double cmin = std::numeric_limits<double>::infinity();
+      for (uint32_t k = net.first_pin; k < net.first_pin + net.num_pins; ++k) {
+        cmax = std::max(cmax, coord(k));
+        cmin = std::min(cmin, coord(k));
+      }
+
+      double sum_pos = 0.0, sum_neg = 0.0;
+      ew.assign(2 * net.num_pins, 0.0);
+      for (uint32_t k = 0; k < net.num_pins; ++k) {
+        const double c = coord(net.first_pin + k);
+        ew[2 * k] = std::exp((c - cmax) / gamma_);
+        ew[2 * k + 1] = std::exp((cmin - c) / gamma_);
+        sum_pos += ew[2 * k];
+        sum_neg += ew[2 * k + 1];
+      }
+      total += w * (gamma_ * std::log(sum_pos) + cmax + gamma_ *
+                    std::log(sum_neg) - cmin);
+      for (uint32_t k = 0; k < net.num_pins; ++k) {
+        const CellId c = nl_.pin(net.first_pin + k).cell;
+        g[c] += w * (ew[2 * k] / sum_pos - ew[2 * k + 1] / sum_neg);
+      }
+    }
+  }
+  return total;
+}
+
+// ----------------------------------------------------------- static edges --
+
+std::vector<WlEdge> build_static_edges(const Netlist& nl,
+                                       uint32_t clique_max_degree) {
+  std::vector<WlEdge> edges;
+  for (NetId e = 0; e < nl.num_nets(); ++e) {
+    const Net& net = nl.net(e);
+    const uint32_t deg = net.num_pins;
+    if (deg < 2) continue;
+    if (deg <= clique_max_degree) {
+      const double w = net.weight / static_cast<double>(deg - 1);
+      for (uint32_t a = net.first_pin; a < net.first_pin + deg; ++a)
+        for (uint32_t b = a + 1; b < net.first_pin + deg; ++b)
+          edges.push_back({a, b, w});
+    } else {
+      for (uint32_t k = net.first_pin + 1; k < net.first_pin + deg; ++k)
+        edges.push_back({net.first_pin, k, net.weight});
+    }
+  }
+  return edges;
+}
+
+// ------------------------------------------------------------- BetaRegWl --
+
+BetaRegWl::BetaRegWl(const Netlist& nl, double beta,
+                     uint32_t clique_max_degree)
+    : nl_(nl), edges_(build_static_edges(nl, clique_max_degree)), beta_(beta) {
+  if (beta <= 0.0) throw std::invalid_argument("beta must be > 0");
+}
+
+double BetaRegWl::value_and_grad(const Placement& p, Vec& gx, Vec& gy) const {
+  const size_t n = nl_.num_cells();
+  gx.assign(n, 0.0);
+  gy.assign(n, 0.0);
+  double total = 0.0;
+  for (const WlEdge& ed : edges_) {
+    const CellId a = nl_.pin(ed.p).cell, b = nl_.pin(ed.q).cell;
+    const double dx = pin_x(nl_, p, ed.p) - pin_x(nl_, p, ed.q);
+    const double dy = pin_y(nl_, p, ed.p) - pin_y(nl_, p, ed.q);
+    const double lx = std::sqrt(dx * dx + beta_);
+    const double ly = std::sqrt(dy * dy + beta_);
+    total += ed.weight * (lx + ly);
+    gx[a] += ed.weight * dx / lx;
+    gx[b] -= ed.weight * dx / lx;
+    gy[a] += ed.weight * dy / ly;
+    gy[b] -= ed.weight * dy / ly;
+  }
+  return total;
+}
+
+// ------------------------------------------------------------ PBetaRegWl --
+
+PBetaRegWl::PBetaRegWl(const Netlist& nl, double p_exponent, double beta)
+    : nl_(nl), p_(p_exponent), beta_(beta) {
+  if (p_exponent < 2.0) throw std::invalid_argument("p must be >= 2");
+  if (beta <= 0.0) throw std::invalid_argument("beta must be > 0");
+}
+
+double PBetaRegWl::value_and_grad(const Placement& p, Vec& gx, Vec& gy) const {
+  const size_t n = nl_.num_cells();
+  gx.assign(n, 0.0);
+  gy.assign(n, 0.0);
+  double total = 0.0;
+
+  // Per net and axis: (Σ_{i<j} |ci−cj|^p + β)^{1/p}. For stability the
+  // pairwise distances are scaled by their max before exponentiation.
+  for (NetId e = 0; e < nl_.num_nets(); ++e) {
+    const Net& net = nl_.net(e);
+    const uint32_t deg = net.num_pins;
+    if (deg < 2 || deg > 12) continue;  // p-norm cliques only for small nets
+
+    for (int axis = 0; axis < 2; ++axis) {
+      auto coord = [&](PinId k) {
+        return axis == 0 ? pin_x(nl_, p, k) : pin_y(nl_, p, k);
+      };
+      Vec& g = axis == 0 ? gx : gy;
+
+      double dmax = 0.0;
+      for (uint32_t a = net.first_pin; a < net.first_pin + deg; ++a)
+        for (uint32_t b = a + 1; b < net.first_pin + deg; ++b)
+          dmax = std::max(dmax, std::abs(coord(a) - coord(b)));
+      const double scale = dmax > 0.0 ? dmax : 1.0;
+
+      double s = beta_ / std::pow(scale, p_);
+      for (uint32_t a = net.first_pin; a < net.first_pin + deg; ++a)
+        for (uint32_t b = a + 1; b < net.first_pin + deg; ++b)
+          s += std::pow(std::abs(coord(a) - coord(b)) / scale, p_);
+      const double val = scale * std::pow(s, 1.0 / p_);
+      total += net.weight * val;
+
+      // d val / d ci = scale^{1-p} · s^{1/p−1} · Σ_j |ci−cj|^{p−1}·sign
+      const double outer =
+          std::pow(s, 1.0 / p_ - 1.0) / std::pow(scale, p_ - 1.0);
+      for (uint32_t a = net.first_pin; a < net.first_pin + deg; ++a) {
+        double acc = 0.0;
+        for (uint32_t b = net.first_pin; b < net.first_pin + deg; ++b) {
+          if (a == b) continue;
+          const double d = coord(a) - coord(b);
+          acc += std::pow(std::abs(d), p_ - 1.0) * (d >= 0.0 ? 1.0 : -1.0);
+        }
+        g[nl_.pin(a).cell] += net.weight * outer * acc;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace complx

@@ -1,0 +1,78 @@
+// Smooth (twice-differentiable) approximations of HPWL — Section S1 of the
+// paper. Any of these can instantiate Φ in the ComPLx Lagrangian; they are
+// minimized with the nonlinear Conjugate Gradient in src/nlcg.
+//
+//  * LseWl      — log-sum-exp (Ruehli/Wolff/Goertzel; "the" nonlinear model)
+//  * BetaRegWl  — β-regularization over a fixed edge decomposition:
+//                 sqrt((xi−xj)² + β) → |xi−xj| as β → 0
+//  * PBetaRegWl — (p,β)-regularization: (Σ|xi−xj|^p + β)^(1/p) per net →
+//                 max-pairwise-distance as p → ∞
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace complx {
+
+/// Interface: evaluate the smooth wirelength and accumulate its gradient
+/// with respect to every cell center. Gradients of fixed cells are written
+/// too; the optimizer masks them out.
+class SmoothWl {
+ public:
+  virtual ~SmoothWl() = default;
+
+  /// Returns the objective value; gx/gy are resized and overwritten with
+  /// ∂Φ/∂x_c and ∂Φ/∂y_c per cell.
+  virtual double value_and_grad(const Placement& p, Vec& gx,
+                                Vec& gy) const = 0;
+};
+
+/// Log-sum-exp wirelength with smoothing parameter gamma (> 0); smaller
+/// gamma tracks HPWL more tightly but is stiffer to optimize.
+class LseWl : public SmoothWl {
+ public:
+  LseWl(const Netlist& nl, double gamma);
+  double value_and_grad(const Placement& p, Vec& gx, Vec& gy) const override;
+
+ private:
+  const Netlist& nl_;
+  double gamma_;
+};
+
+/// Fixed pairwise edge used by the regularized models.
+struct WlEdge {
+  PinId p = 0;
+  PinId q = 0;
+  double weight = 1.0;
+};
+
+/// Builds a static edge decomposition: full clique for nets up to
+/// `clique_max_degree` pins, a star-to-first-pin fan for larger nets.
+std::vector<WlEdge> build_static_edges(const Netlist& nl,
+                                       uint32_t clique_max_degree = 8);
+
+class BetaRegWl : public SmoothWl {
+ public:
+  BetaRegWl(const Netlist& nl, double beta, uint32_t clique_max_degree = 8);
+  double value_and_grad(const Placement& p, Vec& gx, Vec& gy) const override;
+
+ private:
+  const Netlist& nl_;
+  std::vector<WlEdge> edges_;
+  double beta_;
+};
+
+class PBetaRegWl : public SmoothWl {
+ public:
+  PBetaRegWl(const Netlist& nl, double p_exponent, double beta);
+  double value_and_grad(const Placement& p, Vec& gx, Vec& gy) const override;
+
+ private:
+  const Netlist& nl_;
+  double p_;
+  double beta_;
+};
+
+}  // namespace complx

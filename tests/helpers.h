@@ -1,0 +1,119 @@
+// Shared fixtures for the ComPLx test suite: tiny hand-built netlists with
+// known optima, plus convenience wrappers around the generator.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gen/generator.h"
+#include "netlist/netlist.h"
+
+namespace complx::testing {
+
+/// Two movable cells between two fixed pads on a line:
+///   pad0 (x=0) -- c0 -- c1 -- pad1 (x=30)
+/// Quadratic optimum spaces them evenly. Core is [0,30] x [0,12].
+inline Netlist two_cell_chain() {
+  Netlist nl;
+  Cell pad0;
+  pad0.name = "pad0";
+  pad0.width = pad0.height = 0.0;
+  pad0.x = 0.0;
+  pad0.y = 6.0;
+  pad0.kind = CellKind::Fixed;
+  const CellId p0 = nl.add_cell(pad0);
+
+  Cell pad1 = pad0;
+  pad1.name = "pad1";
+  pad1.x = 30.0;
+  const CellId p1 = nl.add_cell(pad1);
+
+  Cell c;
+  c.name = "c0";
+  c.width = 2.0;
+  c.height = 12.0;
+  c.kind = CellKind::Movable;
+  const CellId c0 = nl.add_cell(c);
+  c.name = "c1";
+  const CellId c1 = nl.add_cell(c);
+
+  nl.add_net("e0", 1.0, {{p0, 0, 0}, {c0, 0, 0}});
+  nl.add_net("e1", 1.0, {{c0, 0, 0}, {c1, 0, 0}});
+  nl.add_net("e2", 1.0, {{c1, 0, 0}, {p1, 0, 0}});
+  nl.set_core({0.0, 0.0, 30.0, 12.0});
+  nl.finalize();
+  return nl;
+}
+
+/// A k x k grid of unit cells plus 4 corner pads; nets connect grid
+/// neighbours (mesh) so the optimal placement is the grid itself.
+inline Netlist mesh_netlist(int k, double cell_w = 4.0, double row_h = 12.0,
+                            double core_scale = 2.0) {
+  Netlist nl;
+  const double side = core_scale * k * std::max(cell_w, row_h);
+  const double spacing = side / (k + 1);
+  std::vector<CellId> ids;
+  for (int j = 0; j < k; ++j) {
+    for (int i = 0; i < k; ++i) {
+      Cell c;
+      c.name = "g" + std::to_string(i) + "_" + std::to_string(j);
+      c.width = cell_w;
+      c.height = row_h;
+      c.kind = CellKind::Movable;
+      // Start on the ideal grid so mesh tests have meaningful geometry.
+      c.x = (i + 1) * spacing - cell_w / 2.0;
+      c.y = (j + 1) * spacing - row_h / 2.0;
+      ids.push_back(nl.add_cell(c));
+    }
+  }
+  // Corner pads.
+  std::vector<CellId> pads;
+  const double pos[4][2] = {{0, 0}, {side, 0}, {0, side}, {side, side}};
+  for (int t = 0; t < 4; ++t) {
+    Cell p;
+    p.name = "pad" + std::to_string(t);
+    p.width = p.height = 0.0;
+    p.x = pos[t][0];
+    p.y = pos[t][1];
+    p.kind = CellKind::Fixed;
+    pads.push_back(nl.add_cell(p));
+  }
+  auto at = [&](int i, int j) { return ids[static_cast<size_t>(j * k + i)]; };
+  int net_id = 0;
+  for (int j = 0; j < k; ++j) {
+    for (int i = 0; i < k; ++i) {
+      if (i + 1 < k)
+        nl.add_net("h" + std::to_string(net_id++), 1.0,
+                   {{at(i, j), 0, 0}, {at(i + 1, j), 0, 0}});
+      if (j + 1 < k)
+        nl.add_net("v" + std::to_string(net_id++), 1.0,
+                   {{at(i, j), 0, 0}, {at(i, j + 1), 0, 0}});
+    }
+  }
+  // Tie the corners of the mesh to the pads.
+  nl.add_net("p0", 1.0, {{pads[0], 0, 0}, {at(0, 0), 0, 0}});
+  nl.add_net("p1", 1.0, {{pads[1], 0, 0}, {at(k - 1, 0), 0, 0}});
+  nl.add_net("p2", 1.0, {{pads[2], 0, 0}, {at(0, k - 1), 0, 0}});
+  nl.add_net("p3", 1.0, {{pads[3], 0, 0}, {at(k - 1, k - 1), 0, 0}});
+  nl.set_core({0.0, 0.0, side, side});
+  nl.finalize();
+  return nl;
+}
+
+/// Small generated circuit for integration-style tests.
+inline Netlist small_circuit(uint64_t seed = 7, size_t cells = 2000,
+                             size_t movable_macros = 0,
+                             double target_density = 1.0) {
+  GenParams p;
+  p.name = "test";
+  p.seed = seed;
+  p.num_cells = cells;
+  p.num_movable_macros = movable_macros;
+  p.num_fixed_macros = movable_macros ? 2 : 0;
+  p.utilization = 0.6;
+  p.target_density = target_density;
+  return generate_circuit(p);
+}
+
+}  // namespace complx::testing

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "core/placer.h"
+#include "helpers.h"
+#include "legal/abacus.h"
+#include "legal/tetris.h"
+#include "wl/hpwl.h"
+
+namespace complx {
+namespace {
+
+TEST(Abacus, TrivialOverlapResolved) {
+  Netlist nl = complx::testing::two_cell_chain();
+  Placement p = nl.snapshot();
+  p.x[nl.find_cell("c0")] = 14.9;
+  p.x[nl.find_cell("c1")] = 15.1;
+  AbacusLegalizer legalizer(nl);
+  const LegalizeResult res = legalizer.legalize(p);
+  EXPECT_EQ(res.failed, 0u);
+  EXPECT_TRUE(TetrisLegalizer::is_legal(nl, p));
+}
+
+TEST(Abacus, NonOverlappingCellsBarelyMove) {
+  // Cells already legal and separated: Abacus's minimal-movement property
+  // means near-zero displacement.
+  Netlist nl = complx::testing::two_cell_chain();
+  Placement p = nl.snapshot();
+  p.x[nl.find_cell("c0")] = 6.0;
+  p.y[nl.find_cell("c0")] = 6.0;
+  p.x[nl.find_cell("c1")] = 21.0;
+  p.y[nl.find_cell("c1")] = 6.0;
+  AbacusLegalizer legalizer(nl);
+  const LegalizeResult res = legalizer.legalize(p);
+  EXPECT_TRUE(TetrisLegalizer::is_legal(nl, p));
+  EXPECT_LT(res.max_displacement, 1.0 + 1e-9);  // at most site rounding
+}
+
+TEST(Abacus, ClusterCollapseSharesDisplacement) {
+  // Three 10-wide cells all wanting left edge ~50 in a [0,100] row: the
+  // abutted least-squares solution puts the cluster start at the mean of
+  // (50, 50-10, 50-20) = 40 -> left edges 40/50/60 (middle cell at its
+  // desired spot, neighbours sharing the displacement).
+  Netlist nl;
+  for (int i = 0; i < 3; ++i) {
+    Cell c;
+    c.name = "c" + std::to_string(i);
+    c.width = 10;
+    c.height = 12;
+    nl.add_cell(c);
+  }
+  nl.set_core({0, 0, 100, 12});
+  nl.finalize();
+  Placement p = nl.snapshot();
+  for (CellId id = 0; id < 3; ++id) {
+    p.x[id] = 55.0 + 0.01 * id;  // centers ~55 => desired left edges ~50
+    p.y[id] = 6.0;
+  }
+  AbacusLegalizer legalizer(nl);
+  legalizer.legalize(p);
+  EXPECT_TRUE(TetrisLegalizer::is_legal(nl, p));
+  // Cells abutted and centered near the common target.
+  std::vector<double> xs{p.x[0] - 5, p.x[1] - 5, p.x[2] - 5};
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[1], 50.0, 1.5);  // middle cell keeps its desired spot
+  EXPECT_NEAR(xs[1] - xs[0], 10.0, 1e-6);
+  EXPECT_NEAR(xs[2] - xs[1], 10.0, 1e-6);
+}
+
+struct AbacusCase {
+  uint64_t seed;
+  size_t cells;
+  size_t macros;
+};
+
+class AbacusSweep : public ::testing::TestWithParam<AbacusCase> {};
+
+TEST_P(AbacusSweep, ProducesLegalPlacements) {
+  const auto [seed, cells, macros] = GetParam();
+  Netlist nl = complx::testing::small_circuit(seed, cells, macros);
+  ComplxConfig cfg;
+  cfg.max_iterations = 40;
+  Placement p = ComplxPlacer(nl, cfg).place().anchors;
+  AbacusLegalizer legalizer(nl);
+  const LegalizeResult res = legalizer.legalize(p);
+  EXPECT_EQ(res.failed, 0u);
+  EXPECT_TRUE(TetrisLegalizer::is_legal(nl, p));
+}
+
+TEST_P(AbacusSweep, DisplacementNotWorseThanTetrisByMuch) {
+  const auto [seed, cells, macros] = GetParam();
+  Netlist nl = complx::testing::small_circuit(seed, cells, macros);
+  ComplxConfig cfg;
+  cfg.max_iterations = 40;
+  const Placement anchors = ComplxPlacer(nl, cfg).place().anchors;
+
+  Placement pt = anchors;
+  const LegalizeResult tetris = TetrisLegalizer(nl).legalize(pt);
+  Placement pa = anchors;
+  const LegalizeResult abacus = AbacusLegalizer(nl).legalize(pa);
+
+  ASSERT_EQ(abacus.failed, 0u);
+  // Abacus targets minimal movement: its total displacement should be in
+  // the same ballpark or better than greedy Tetris.
+  EXPECT_LT(abacus.total_displacement, 1.5 * tetris.total_displacement);
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, AbacusSweep,
+                         ::testing::Values(AbacusCase{341, 800, 0},
+                                           AbacusCase{342, 1500, 0},
+                                           AbacusCase{343, 900, 2}));
+
+TEST(Abacus, HpwlComparableToTetris) {
+  Netlist nl = complx::testing::small_circuit(344, 1200);
+  ComplxConfig cfg;
+  cfg.max_iterations = 40;
+  const Placement anchors = ComplxPlacer(nl, cfg).place().anchors;
+  Placement pt = anchors, pa = anchors;
+  TetrisLegalizer(nl).legalize(pt);
+  AbacusLegalizer(nl).legalize(pa);
+  EXPECT_LT(hpwl(nl, pa), 1.15 * hpwl(nl, pt));
+}
+
+}  // namespace
+}  // namespace complx

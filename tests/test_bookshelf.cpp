@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "bookshelf/reader.h"
+#include "bookshelf/writer.h"
+#include "helpers.h"
+#include "wl/hpwl.h"
+
+namespace complx {
+namespace {
+
+namespace fs = std::filesystem;
+
+class BookshelfRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "complx_bookshelf_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir() const { return dir_.string(); }
+
+ private:
+  fs::path dir_;
+};
+
+TEST_F(BookshelfRoundTrip, PreservesTopologyAndGeometry) {
+  Netlist original = testing::small_circuit(11, 400);
+  write_bookshelf(original, dir(), "rt");
+  const BookshelfDesign loaded = read_bookshelf(dir() + "/rt.aux");
+  const Netlist& nl = loaded.netlist;
+
+  EXPECT_EQ(loaded.name, "rt");
+  EXPECT_EQ(nl.num_cells(), original.num_cells());
+  EXPECT_EQ(nl.num_nets(), original.num_nets());
+  EXPECT_EQ(nl.num_pins(), original.num_pins());
+  EXPECT_EQ(nl.num_movable(), original.num_movable());
+  EXPECT_EQ(nl.rows().size(), original.rows().size());
+
+  // Cell geometry survives by name.
+  for (CellId i = 0; i < original.num_cells(); ++i) {
+    const Cell& a = original.cell(i);
+    const CellId j = nl.find_cell(a.name);
+    ASSERT_LT(j, nl.num_cells()) << a.name;
+    const Cell& b = nl.cell(j);
+    EXPECT_DOUBLE_EQ(a.width, b.width);
+    EXPECT_DOUBLE_EQ(a.height, b.height);
+    EXPECT_NEAR(a.x, b.x, 1e-9);
+    EXPECT_NEAR(a.y, b.y, 1e-9);
+    EXPECT_EQ(a.movable(), b.movable());
+  }
+
+  // HPWL identical => pins and offsets survived.
+  EXPECT_NEAR(stored_hpwl(original), stored_hpwl(nl),
+              1e-6 * stored_hpwl(original));
+}
+
+TEST_F(BookshelfRoundTrip, OrientationFlagRoundTrips) {
+  Netlist original = testing::small_circuit(14, 300);
+  // Flip a handful of cells, then round-trip.
+  std::vector<std::string> flipped_names;
+  for (CellId id : original.movable_cells()) {
+    if (id % 7 == 0) {
+      original.flip_horizontal(id);
+      flipped_names.push_back(original.cell(id).name);
+    }
+  }
+  ASSERT_FALSE(flipped_names.empty());
+  write_bookshelf(original, dir(), "fl");
+  const Netlist& nl = read_bookshelf(dir() + "/fl.aux").netlist;
+  for (const std::string& name : flipped_names)
+    EXPECT_TRUE(nl.cell(nl.find_cell(name)).flipped_x) << name;
+  // Geometry identical (offsets were written post-flip).
+  EXPECT_NEAR(stored_hpwl(original), stored_hpwl(nl),
+              1e-6 * stored_hpwl(original));
+}
+
+TEST_F(BookshelfRoundTrip, MacrosSurvive) {
+  Netlist original = testing::small_circuit(12, 400, /*movable_macros=*/3);
+  write_bookshelf(original, dir(), "mx");
+  const Netlist& nl = read_bookshelf(dir() + "/mx.aux").netlist;
+  size_t macros = 0;
+  for (const Cell& c : nl.cells())
+    if (c.is_macro()) ++macros;
+  EXPECT_EQ(macros, 3u);
+}
+
+TEST_F(BookshelfRoundTrip, PlWriterEmitsFixedMarkers) {
+  Netlist nl = testing::two_cell_chain();
+  write_pl(nl, nl.snapshot(), dir() + "/t.pl");
+  std::ifstream in(dir() + "/t.pl");
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("/FIXED"), std::string::npos);
+  EXPECT_NE(all.find("c0"), std::string::npos);
+}
+
+TEST_F(BookshelfRoundTrip, ParserToleratesCommentsAndBlankLines) {
+  const std::string base = dir() + "/h";
+  std::ofstream(base + ".nodes") << "UCLA nodes 1.0\n# comment\n\n"
+                                 << "NumNodes : 2\nNumTerminals : 1\n"
+                                 << "a 4 12\n"
+                                 << "p 0 0 terminal\n";
+  std::ofstream(base + ".nets") << "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+                                << "NetDegree : 2 n0\n"
+                                << "a I : 0.5 -0.5\n"
+                                << "p O : 0 0\n";
+  std::ofstream(base + ".pl") << "UCLA pl 1.0\na 5 0 : N\np 0 0 : N /FIXED\n";
+  std::ofstream(base + ".scl") << "UCLA scl 1.0\nNumRows : 1\n"
+                               << "CoreRow Horizontal\n  Coordinate : 0\n"
+                               << "  Height : 12\n  Sitewidth : 1\n"
+                               << "  SubrowOrigin : 0  NumSites : 100\nEnd\n";
+  std::ofstream(base + ".aux")
+      << "RowBasedPlacement : h.nodes h.nets h.wts h.pl h.scl\n";
+
+  const BookshelfDesign d = read_bookshelf(base + ".aux");
+  EXPECT_EQ(d.netlist.num_cells(), 2u);
+  EXPECT_EQ(d.netlist.num_nets(), 1u);
+  EXPECT_EQ(d.netlist.num_movable(), 1u);
+  const CellId a = d.netlist.find_cell("a");
+  EXPECT_DOUBLE_EQ(d.netlist.cell(a).x, 5.0);
+  // Pin offset survived.
+  EXPECT_DOUBLE_EQ(d.netlist.pin(0).dx, 0.5);
+  EXPECT_DOUBLE_EQ(d.netlist.pin(0).dy, -0.5);
+  // Row parsed.
+  ASSERT_EQ(d.netlist.rows().size(), 1u);
+  EXPECT_DOUBLE_EQ(d.netlist.rows()[0].xh, 100.0);
+}
+
+TEST_F(BookshelfRoundTrip, WtsAppliesWeights) {
+  const std::string base = dir() + "/w";
+  std::ofstream(base + ".nodes") << "NumNodes : 2\na 4 12\nb 4 12\n";
+  std::ofstream(base + ".nets")
+      << "NumNets : 1\nNetDegree : 2 heavy\na I : 0 0\nb O : 0 0\n";
+  std::ofstream(base + ".wts") << "heavy 3.5\n";
+  std::ofstream(base + ".pl") << "a 0 0 : N\nb 10 0 : N\n";
+  std::ofstream(base + ".scl") << "";
+  std::ofstream(base + ".aux")
+      << "RowBasedPlacement : w.nodes w.nets w.wts w.pl w.scl\n";
+  const BookshelfDesign d = read_bookshelf(base + ".aux");
+  ASSERT_EQ(d.netlist.num_nets(), 1u);
+  EXPECT_DOUBLE_EQ(d.netlist.net(0).weight, 3.5);
+}
+
+TEST_F(BookshelfRoundTrip, MissingWtsDefaultsToUnitWeights) {
+  Netlist original = testing::small_circuit(13, 300);
+  write_bookshelf(original, dir(), "nw");
+  std::remove((dir() + "/nw.wts").c_str());
+  const Netlist& nl = read_bookshelf(dir() + "/nw.aux").netlist;
+  for (const Net& n : nl.nets()) EXPECT_DOUBLE_EQ(n.weight, 1.0);
+}
+
+TEST_F(BookshelfRoundTrip, UnknownCellInNetSkipsNet) {
+  const std::string base = dir() + "/u";
+  std::ofstream(base + ".nodes") << "NumNodes : 1\na 4 12\n";
+  std::ofstream(base + ".nets")
+      << "NumNets : 2\nNetDegree : 2 bad\na I : 0 0\nghost O : 0 0\n"
+      << "NetDegree : 2 ok\na I : 0 0\na O : 1 0\n";
+  std::ofstream(base + ".pl") << "a 0 0 : N\n";
+  std::ofstream(base + ".scl") << "";
+  std::ofstream(base + ".aux")
+      << "RowBasedPlacement : u.nodes u.nets u.wts u.pl u.scl\n";
+  const BookshelfDesign d = read_bookshelf(base + ".aux");
+  EXPECT_EQ(d.netlist.num_nets(), 1u);
+  EXPECT_EQ(d.netlist.net(0).name, "ok");
+}
+
+TEST(Bookshelf, MissingAuxThrows) {
+  EXPECT_THROW(read_bookshelf("/nonexistent/x.aux"), std::runtime_error);
+}
+
+TEST_F(BookshelfRoundTrip, MalformedNumberThrows) {
+  const std::string base = dir() + "/m";
+  std::ofstream(base + ".nodes") << "NumNodes : 1\na four 12\n";
+  std::ofstream(base + ".nets") << "";
+  std::ofstream(base + ".pl") << "";
+  std::ofstream(base + ".scl") << "";
+  std::ofstream(base + ".aux")
+      << "RowBasedPlacement : m.nodes m.nets m.wts m.pl m.scl\n";
+  EXPECT_THROW(read_bookshelf(base + ".aux"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace complx

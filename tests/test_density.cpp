@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "density/grid.h"
+#include "density/metric.h"
+#include "helpers.h"
+
+namespace complx {
+namespace {
+
+/// One 10x10 movable cell in a 100x100 core with a 10x10 grid.
+Netlist one_cell_core() {
+  Netlist nl;
+  Cell c;
+  c.name = "a";
+  c.width = 10;
+  c.height = 10;
+  c.x = 0;
+  c.y = 0;
+  nl.add_cell(c);
+  nl.set_core({0, 0, 100, 100});
+  nl.finalize();
+  return nl;
+}
+
+TEST(DensityGrid, CapacityIsBinAreaWithoutBlockage) {
+  Netlist nl = one_cell_core();
+  DensityGrid g(nl, 10, 10);
+  EXPECT_DOUBLE_EQ(g.bin_width(), 10.0);
+  EXPECT_DOUBLE_EQ(g.bin_height(), 10.0);
+  for (size_t j = 0; j < 10; ++j)
+    for (size_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(g.capacity(i, j), 100.0);
+}
+
+TEST(DensityGrid, FixedBlockageReducesCapacity) {
+  Netlist nl;
+  Cell blk;
+  blk.name = "blk";
+  blk.width = 10;
+  blk.height = 10;
+  blk.x = 0;
+  blk.y = 0;
+  blk.kind = CellKind::Fixed;
+  nl.add_cell(blk);
+  Cell c;
+  c.name = "a";
+  c.width = 2;
+  c.height = 2;
+  nl.add_cell(c);
+  nl.set_core({0, 0, 100, 100});
+  nl.finalize();
+  DensityGrid g(nl, 10, 10);
+  EXPECT_DOUBLE_EQ(g.capacity(0, 0), 0.0);  // fully blocked bin
+  EXPECT_DOUBLE_EQ(g.capacity(1, 0), 100.0);
+}
+
+TEST(DensityGrid, UsageSplitsAcrossBins) {
+  Netlist nl = one_cell_core();
+  Placement p = nl.snapshot();
+  // Center the 10x10 cell at a bin corner: area splits 25/25/25/25.
+  p.x[0] = 10.0;
+  p.y[0] = 10.0;
+  DensityGrid g(nl, 10, 10);
+  g.build(p);
+  EXPECT_DOUBLE_EQ(g.usage(0, 0), 25.0);
+  EXPECT_DOUBLE_EQ(g.usage(1, 0), 25.0);
+  EXPECT_DOUBLE_EQ(g.usage(0, 1), 25.0);
+  EXPECT_DOUBLE_EQ(g.usage(1, 1), 25.0);
+}
+
+TEST(DensityGrid, TotalUsageEqualsMovableAreaInsideCore) {
+  Netlist nl = complx::testing::small_circuit(41, 500);
+  const Placement p = nl.snapshot();
+  DensityGrid g(nl, 16, 16);
+  g.build(p);
+  double total = 0.0;
+  for (size_t j = 0; j < 16; ++j)
+    for (size_t i = 0; i < 16; ++i) total += g.usage(i, j);
+  EXPECT_NEAR(total, nl.movable_area(), 1e-6 * nl.movable_area());
+}
+
+TEST(DensityGrid, OverflowAndFeasibility) {
+  Netlist nl = one_cell_core();
+  Placement p = nl.snapshot();
+  p.x[0] = 5.0;
+  p.y[0] = 5.0;  // entirely inside bin (0, 0)
+  DensityGrid g(nl, 10, 10);
+  g.build(p);
+  // usage(0,0) = 100, capacity = 100, gamma = 0.5 -> overflow 50.
+  EXPECT_DOUBLE_EQ(g.overflow(0, 0, 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(g.total_overflow(0.5), 50.0);
+  EXPECT_FALSE(g.feasible(0.5));
+  EXPECT_TRUE(g.feasible(1.0));
+}
+
+TEST(DensityGrid, BinLookupClamps) {
+  Netlist nl = one_cell_core();
+  DensityGrid g(nl, 10, 10);
+  EXPECT_EQ(g.bin_x_of(-5.0), 0u);
+  EXPECT_EQ(g.bin_x_of(95.0), 9u);
+  EXPECT_EQ(g.bin_x_of(1000.0), 9u);
+  EXPECT_EQ(g.bin_y_of(15.0), 1u);
+}
+
+TEST(DensityGrid, FreeAreaInRectIntegrates) {
+  Netlist nl = one_cell_core();
+  DensityGrid g(nl, 10, 10);
+  EXPECT_NEAR(g.free_area_in({0, 0, 100, 100}), 100.0 * 100.0, 1e-9);
+  EXPECT_NEAR(g.free_area_in({0, 0, 50, 100}), 50.0 * 100.0, 1e-9);
+  // Half-bin slice: uniform-within-bin assumption gives exact half.
+  EXPECT_NEAR(g.free_area_in({0, 0, 5, 10}), 50.0, 1e-9);
+}
+
+TEST(DensityGrid, UsageInRectTracksDeposits) {
+  Netlist nl = one_cell_core();
+  Placement p = nl.snapshot();
+  p.x[0] = 5.0;
+  p.y[0] = 5.0;
+  DensityGrid g(nl, 10, 10);
+  g.build(p);
+  EXPECT_NEAR(g.usage_in({0, 0, 10, 10}), 100.0, 1e-9);
+  EXPECT_NEAR(g.usage_in({0, 0, 100, 100}), 100.0, 1e-9);
+  EXPECT_NEAR(g.usage_in({50, 50, 100, 100}), 0.0, 1e-9);
+}
+
+TEST(DensityGrid, BuildFromRectsMatchesBuild) {
+  Netlist nl = complx::testing::small_circuit(42, 300);
+  const Placement p = nl.snapshot();
+  DensityGrid a(nl, 8, 8), b(nl, 8, 8);
+  a.build(p);
+  std::vector<Rect> rects;
+  for (CellId id : nl.movable_cells()) {
+    const Cell& c = nl.cell(id);
+    rects.push_back({p.x[id] - c.width / 2, p.y[id] - c.height / 2,
+                     p.x[id] + c.width / 2, p.y[id] + c.height / 2});
+  }
+  b.build_from_rects(rects);
+  for (size_t j = 0; j < 8; ++j)
+    for (size_t i = 0; i < 8; ++i)
+      EXPECT_NEAR(a.usage(i, j), b.usage(i, j), 1e-9);
+}
+
+TEST(DensityGrid, ZeroBinsThrows) {
+  Netlist nl = one_cell_core();
+  EXPECT_THROW(DensityGrid(nl, 0, 4), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- metric ----
+
+TEST(Metric, NoOverflowMeansScaledEqualsPlain) {
+  Netlist nl = complx::testing::small_circuit(43, 400);
+  // Spread-out initial placement from the generator is roughly uniform.
+  nl.set_target_density(1.0);
+  const DensityMetric m = evaluate_scaled_hpwl(nl, nl.snapshot());
+  EXPECT_GE(m.scaled_hpwl, m.hpwl);
+  EXPECT_LT(m.overflow_percent, 40.0);  // sanity: not everything overflows
+}
+
+TEST(Metric, PileUpIsPenalized) {
+  Netlist nl = complx::testing::small_circuit(44, 400);
+  Placement piled = nl.snapshot();
+  const Point c = nl.core().center();
+  for (CellId id : nl.movable_cells()) {
+    piled.x[id] = c.x;
+    piled.y[id] = c.y;
+  }
+  const DensityMetric spread = evaluate_scaled_hpwl(nl, nl.snapshot());
+  const DensityMetric pile = evaluate_scaled_hpwl(nl, piled);
+  EXPECT_GT(pile.overflow_percent, spread.overflow_percent);
+  EXPECT_GT(pile.scaled_hpwl / std::max(pile.hpwl, 1e-9), 1.2);
+}
+
+TEST(Metric, RespectsExplicitBins) {
+  Netlist nl = complx::testing::small_circuit(45, 300);
+  const DensityMetric coarse = evaluate_scaled_hpwl(nl, nl.snapshot(), 2, 2);
+  const DensityMetric fine = evaluate_scaled_hpwl(nl, nl.snapshot(), 64, 64);
+  // Finer grids can only expose more (or equal) overflow.
+  EXPECT_GE(fine.overflow_percent + 1e-9, coarse.overflow_percent);
+}
+
+}  // namespace
+}  // namespace complx

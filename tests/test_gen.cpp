@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/generator.h"
+#include "gen/suites.h"
+
+namespace complx {
+namespace {
+
+TEST(Generator, DeterministicBySeed) {
+  GenParams p;
+  p.num_cells = 800;
+  p.seed = 99;
+  const Netlist a = generate_circuit(p);
+  const Netlist b = generate_circuit(p);
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  ASSERT_EQ(a.num_pins(), b.num_pins());
+  for (CellId i = 0; i < a.num_cells(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cell(i).x, b.cell(i).x);
+    EXPECT_DOUBLE_EQ(a.cell(i).width, b.cell(i).width);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GenParams p;
+  p.num_cells = 800;
+  p.seed = 1;
+  const Netlist a = generate_circuit(p);
+  p.seed = 2;
+  const Netlist b = generate_circuit(p);
+  bool any_diff = a.num_nets() != b.num_nets();
+  for (CellId i = 0; !any_diff && i < a.num_cells(); ++i)
+    any_diff = a.cell(i).width != b.cell(i).width;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, TooFewCellsThrows) {
+  GenParams p;
+  p.num_cells = 4;
+  EXPECT_THROW(generate_circuit(p), std::invalid_argument);
+}
+
+struct GenSweep {
+  size_t cells;
+  size_t mov_macros;
+  size_t fix_macros;
+  double util;
+  uint64_t seed;
+};
+
+class GeneratorSweep : public ::testing::TestWithParam<GenSweep> {
+ protected:
+  Netlist make() const {
+    const GenSweep& s = GetParam();
+    GenParams p;
+    p.num_cells = s.cells;
+    p.num_movable_macros = s.mov_macros;
+    p.num_fixed_macros = s.fix_macros;
+    p.utilization = s.util;
+    p.seed = s.seed;
+    return generate_circuit(p);
+  }
+};
+
+TEST_P(GeneratorSweep, CellCountsMatch) {
+  const Netlist nl = make();
+  const GenSweep& s = GetParam();
+  EXPECT_EQ(nl.num_movable(), s.cells + s.mov_macros);
+  size_t fixed = 0, macros = 0;
+  for (const Cell& c : nl.cells()) {
+    if (!c.movable()) ++fixed;
+    if (c.is_macro()) ++macros;
+  }
+  EXPECT_EQ(macros, s.mov_macros);
+  EXPECT_GE(fixed, s.fix_macros);  // + pads
+}
+
+TEST_P(GeneratorSweep, UtilizationBudgetHolds) {
+  const Netlist nl = make();
+  const double used = nl.movable_area() + nl.fixed_area_in_core();
+  const double util = used / nl.core().area();
+  // Core sizing targets the requested utilization from above.
+  EXPECT_LE(util, GetParam().util + 0.02);
+  EXPECT_GE(util, GetParam().util - 0.15);
+}
+
+TEST_P(GeneratorSweep, NetDegreesAreRealistic) {
+  const Netlist nl = make();
+  size_t small = 0;
+  for (const Net& n : nl.nets()) {
+    EXPECT_GE(n.num_pins, 2u);
+    if (n.num_pins <= 3) ++small;
+  }
+  EXPECT_GT(static_cast<double>(small) / static_cast<double>(nl.num_nets()),
+            0.5);
+}
+
+TEST_P(GeneratorSweep, PadsOutsideCore) {
+  const Netlist nl = make();
+  for (const Cell& c : nl.cells()) {
+    if (c.movable() || c.width > 2 * nl.row_height()) continue;  // pads only
+    EXPECT_FALSE(nl.core().contains(c.bounds().center()))
+        << c.name << " should ring the core";
+  }
+}
+
+TEST_P(GeneratorSweep, MovableCellsStartInsideCore) {
+  const Netlist nl = make();
+  for (CellId id : nl.movable_cells()) {
+    EXPECT_TRUE(nl.core().contains(Point{nl.cell(id).cx(), nl.cell(id).cy()}))
+        << nl.cell(id).name;
+  }
+}
+
+TEST_P(GeneratorSweep, PinsReferenceValidCellsWithBoundedOffsets) {
+  const Netlist nl = make();
+  for (PinId k = 0; k < nl.num_pins(); ++k) {
+    const Pin& p = nl.pin(k);
+    ASSERT_LT(p.cell, nl.num_cells());
+    const Cell& c = nl.cell(p.cell);
+    EXPECT_LE(std::abs(p.dx), c.width / 2.0 + 1e-9);
+    EXPECT_LE(std::abs(p.dy), c.height / 2.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, GeneratorSweep,
+    ::testing::Values(GenSweep{500, 0, 0, 0.7, 10},
+                      GenSweep{2000, 0, 0, 0.6, 11},
+                      GenSweep{2000, 4, 2, 0.5, 12},
+                      GenSweep{5000, 0, 8, 0.65, 13},
+                      GenSweep{1000, 8, 0, 0.4, 14}));
+
+// ---------------------------------------------------------------- suites --
+
+TEST(Suites, Ispd2005HasEightDesignsWithMonotoneNames) {
+  const auto suite = ispd2005_suite(100);
+  ASSERT_EQ(suite.size(), 8u);
+  EXPECT_EQ(suite[0].paper_name, "ADAPTEC1");
+  EXPECT_EQ(suite[7].paper_name, "BIGBLUE4");
+  for (const SuiteEntry& e : suite) {
+    EXPECT_GE(e.params.num_cells, 1000u);
+    EXPECT_DOUBLE_EQ(e.params.target_density, 1.0);
+  }
+  // Size progression mirrors the contest.
+  EXPECT_GT(suite[7].params.num_cells, suite[0].params.num_cells);
+}
+
+TEST(Suites, Ispd2006CarriesTargetDensitiesAndMacros) {
+  const auto suite = ispd2006_suite(100);
+  ASSERT_EQ(suite.size(), 8u);
+  for (const SuiteEntry& e : suite) {
+    EXPECT_GT(e.params.num_movable_macros, 0u);
+    EXPECT_LT(e.params.target_density, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(suite[0].params.target_density, 0.50);  // ADAPTEC5
+  EXPECT_DOUBLE_EQ(suite[2].params.target_density, 0.90);  // NEWBLUE2
+}
+
+TEST(Suites, ScaleDivisorScalesSizes) {
+  const auto big = ispd2005_suite(20);
+  const auto small = ispd2005_suite(200);
+  for (size_t i = 0; i < big.size(); ++i)
+    EXPECT_GE(big[i].params.num_cells, small[i].params.num_cells);
+}
+
+TEST(Suites, EnvOverrideParses) {
+  setenv("COMPLX_BENCH_SCALE", "17", 1);
+  EXPECT_EQ(bench_scale_from_env(40), 17u);
+  setenv("COMPLX_BENCH_SCALE", "garbage", 1);
+  EXPECT_EQ(bench_scale_from_env(40), 40u);
+  unsetenv("COMPLX_BENCH_SCALE");
+  EXPECT_EQ(bench_scale_from_env(40), 40u);
+}
+
+}  // namespace
+}  // namespace complx

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "util/rng.h"
+#include "wl/hpwl.h"
+#include "wl/incremental.h"
+
+namespace complx {
+namespace {
+
+TEST(IncrementalHpwl, TotalMatchesExact) {
+  Netlist nl = complx::testing::small_circuit(181, 800);
+  const Placement p = nl.snapshot();
+  IncrementalHpwl eval(nl, p);
+  EXPECT_NEAR(eval.total(), weighted_hpwl(nl, p), 1e-6 * eval.total());
+}
+
+TEST(IncrementalHpwl, RefreshTracksMoves) {
+  Netlist nl = complx::testing::small_circuit(182, 600);
+  Placement p = nl.snapshot();
+  IncrementalHpwl eval(nl, p);
+  Rng rng(3);
+  for (int k = 0; k < 200; ++k) {
+    const CellId id = nl.movable_cells()[rng.uniform_index(
+        nl.movable_cells().size())];
+    p.x[id] = rng.uniform(nl.core().xl, nl.core().xh);
+    p.y[id] = rng.uniform(nl.core().yl, nl.core().yh);
+    eval.refresh(id);
+  }
+  EXPECT_NEAR(eval.total(), weighted_hpwl(nl, p), 1e-6 * eval.total());
+}
+
+TEST(IncrementalHpwl, FreshSeesUncommittedMutation) {
+  Netlist nl = complx::testing::small_circuit(183, 400);
+  Placement p = nl.snapshot();
+  IncrementalHpwl eval(nl, p);
+  const CellId id = nl.movable_cells()[0];
+  const double cached = eval.incident_cost(id);
+  const double old_x = p.x[id];
+  p.x[id] += 100.0;
+  // Cache unchanged, fresh reflects the mutation.
+  EXPECT_DOUBLE_EQ(eval.incident_cost(id), cached);
+  EXPECT_NE(eval.fresh_incident_cost(id), cached);
+  p.x[id] = old_x;
+  EXPECT_NEAR(eval.fresh_incident_cost(id), cached, 1e-9);
+}
+
+TEST(IncrementalHpwl, PairIncidentDeduplicatesSharedNets) {
+  // Two cells on one shared net: the pair cost must count it once.
+  Netlist nl;
+  Cell c;
+  c.width = 2;
+  c.height = 2;
+  c.name = "a";
+  c.x = 0;
+  const CellId a = nl.add_cell(c);
+  c.name = "b";
+  c.x = 10;
+  const CellId b = nl.add_cell(c);
+  nl.add_net("shared", 1.0, {{a, 0, 0}, {b, 0, 0}});
+  nl.set_core({0, 0, 100, 100});
+  nl.finalize();
+  const Placement p = nl.snapshot();
+  IncrementalHpwl eval(nl, p);
+  EXPECT_DOUBLE_EQ(eval.incident_cost(a, b), eval.net_cost(0));
+  EXPECT_DOUBLE_EQ(eval.incident_cost(a, b),
+                   eval.incident_cost(a));  // same single net
+}
+
+TEST(IncrementalHpwl, RebuildAfterBulkChange) {
+  Netlist nl = complx::testing::small_circuit(184, 500);
+  Placement p = nl.snapshot();
+  IncrementalHpwl eval(nl, p);
+  const Point c = nl.core().center();
+  for (CellId id : nl.movable_cells()) {
+    p.x[id] = c.x;
+    p.y[id] = c.y;
+  }
+  eval.rebuild();
+  EXPECT_NEAR(eval.total(), weighted_hpwl(nl, p), 1e-6 * (eval.total() + 1));
+}
+
+TEST(IncrementalHpwl, WeightsAreRespected) {
+  Netlist nl = complx::testing::two_cell_chain();
+  nl.net(1).weight = 5.0;
+  const Placement p = nl.snapshot();
+  IncrementalHpwl eval(nl, p);
+  EXPECT_NEAR(eval.total(), weighted_hpwl(nl, p), 1e-9);
+  EXPECT_DOUBLE_EQ(eval.net_cost(1),
+                   5.0 * net_hpwl(nl, p, 1));
+}
+
+}  // namespace
+}  // namespace complx

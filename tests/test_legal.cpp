@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "core/placer.h"
+#include "helpers.h"
+#include "legal/tetris.h"
+#include "wl/hpwl.h"
+
+namespace complx {
+namespace {
+
+TEST(Legalizer, TrivialChainBecomesLegal) {
+  Netlist nl = complx::testing::two_cell_chain();
+  Placement p = nl.snapshot();
+  p.x[nl.find_cell("c0")] = 14.9;
+  p.x[nl.find_cell("c1")] = 15.1;  // overlapping
+  TetrisLegalizer legalizer(nl);
+  const LegalizeResult res = legalizer.legalize(p);
+  EXPECT_EQ(res.failed, 0u);
+  EXPECT_TRUE(TetrisLegalizer::is_legal(nl, p));
+}
+
+TEST(Legalizer, IsLegalDetectsOverlap) {
+  Netlist nl = complx::testing::two_cell_chain();
+  Placement p = nl.snapshot();
+  p.x[nl.find_cell("c0")] = 15.0;
+  p.x[nl.find_cell("c1")] = 15.5;  // overlap: widths 2
+  p.y[nl.find_cell("c0")] = 6.0;
+  p.y[nl.find_cell("c1")] = 6.0;
+  EXPECT_FALSE(TetrisLegalizer::is_legal(nl, p));
+}
+
+TEST(Legalizer, IsLegalDetectsOffRowPlacement) {
+  Netlist nl = complx::testing::two_cell_chain();
+  Placement p = nl.snapshot();
+  p.x[nl.find_cell("c0")] = 5.0;
+  p.y[nl.find_cell("c0")] = 6.7;  // off-row center
+  p.x[nl.find_cell("c1")] = 20.0;
+  p.y[nl.find_cell("c1")] = 6.0;
+  EXPECT_FALSE(TetrisLegalizer::is_legal(nl, p));
+}
+
+TEST(Legalizer, IsLegalDetectsOutOfCore) {
+  Netlist nl = complx::testing::two_cell_chain();
+  Placement p = nl.snapshot();
+  p.x[nl.find_cell("c0")] = -3.0;
+  p.y[nl.find_cell("c0")] = 6.0;
+  p.x[nl.find_cell("c1")] = 20.0;
+  p.y[nl.find_cell("c1")] = 6.0;
+  EXPECT_FALSE(TetrisLegalizer::is_legal(nl, p));
+}
+
+struct LegalCase {
+  uint64_t seed;
+  size_t cells;
+  size_t macros;
+};
+
+class LegalizerSweep : public ::testing::TestWithParam<LegalCase> {};
+
+TEST_P(LegalizerSweep, GlobalPlacementBecomesLegal) {
+  const auto [seed, cells, macros] = GetParam();
+  Netlist nl = complx::testing::small_circuit(seed, cells, macros);
+  ComplxConfig cfg;
+  cfg.max_iterations = 40;
+  ComplxPlacer placer(nl, cfg);
+  Placement p = placer.place().anchors;
+
+  TetrisLegalizer legalizer(nl);
+  const LegalizeResult res = legalizer.legalize(p);
+  EXPECT_EQ(res.failed, 0u);
+  EXPECT_TRUE(TetrisLegalizer::is_legal(nl, p));
+  EXPECT_GT(res.placed, 0u);
+}
+
+TEST_P(LegalizerSweep, DisplacementIsBounded) {
+  const auto [seed, cells, macros] = GetParam();
+  Netlist nl = complx::testing::small_circuit(seed, cells, macros);
+  ComplxConfig cfg;
+  cfg.max_iterations = 40;
+  ComplxPlacer placer(nl, cfg);
+  const Placement anchors = placer.place().anchors;
+  Placement p = anchors;
+  TetrisLegalizer legalizer(nl);
+  legalizer.legalize(p);
+  // Average displacement stays within a few rows of the anchors —
+  // legalizing a spread placement is a local operation.
+  double total = 0.0;
+  for (CellId id : nl.movable_cells())
+    total += std::abs(p.x[id] - anchors.x[id]) +
+             std::abs(p.y[id] - anchors.y[id]);
+  const double avg = total / static_cast<double>(nl.num_movable());
+  EXPECT_LT(avg, 12.0 * nl.row_height());
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, LegalizerSweep,
+                         ::testing::Values(LegalCase{91, 800, 0},
+                                           LegalCase{92, 1500, 0},
+                                           LegalCase{93, 1000, 2},
+                                           LegalCase{94, 600, 4}));
+
+TEST(Legalizer, LegalInputStaysNearlyPut) {
+  // Legalize twice: the second pass must barely move anything.
+  Netlist nl = complx::testing::small_circuit(95, 800);
+  ComplxConfig cfg;
+  cfg.max_iterations = 30;
+  Placement p = ComplxPlacer(nl, cfg).place().anchors;
+  TetrisLegalizer legalizer(nl);
+  legalizer.legalize(p);
+  const Placement once = p;
+  legalizer.legalize(p);
+  double max_move = 0.0;
+  for (CellId id : nl.movable_cells())
+    max_move = std::max(max_move, std::abs(p.x[id] - once.x[id]) +
+                                      std::abs(p.y[id] - once.y[id]));
+  // Identical x-order and free gaps => every cell finds its own spot again.
+  EXPECT_LT(max_move, 4.0 * nl.row_height());
+  EXPECT_TRUE(TetrisLegalizer::is_legal(nl, p));
+}
+
+TEST(Legalizer, RespectsFixedBlockages) {
+  GenParams prm;
+  prm.num_cells = 800;
+  prm.num_fixed_macros = 4;
+  prm.seed = 96;
+  prm.utilization = 0.5;
+  Netlist nl = generate_circuit(prm);
+  ComplxConfig cfg;
+  cfg.max_iterations = 30;
+  Placement p = ComplxPlacer(nl, cfg).place().anchors;
+  TetrisLegalizer legalizer(nl);
+  const LegalizeResult res = legalizer.legalize(p);
+  EXPECT_EQ(res.failed, 0u);
+  // is_legal includes fixed-vs-movable overlap checks.
+  EXPECT_TRUE(TetrisLegalizer::is_legal(nl, p));
+}
+
+}  // namespace
+}  // namespace complx

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "linalg/cg.h"
+#include "linalg/sparse.h"
+#include "util/rng.h"
+
+namespace complx {
+namespace {
+
+// ------------------------------------------------------------- vectors ----
+
+TEST(Vec, DotAndNorm) {
+  Vec a{1, 2, 3}, b{4, -5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4 - 10 + 18);
+  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5.0);
+}
+
+TEST(Vec, Axpy) {
+  Vec x{1, 2}, y{10, 20};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(Vec, Xpay) {
+  Vec x{1, 2}, y{10, 20};
+  xpay(y, 3.0, x);  // x = 3x + y
+  EXPECT_DOUBLE_EQ(x[0], 13.0);
+  EXPECT_DOUBLE_EQ(x[1], 26.0);
+}
+
+TEST(Vec, Distances) {
+  EXPECT_DOUBLE_EQ(l1_dist(Vec{0, 0}, Vec{3, -4}), 7.0);
+  EXPECT_DOUBLE_EQ(linf_dist(Vec{0, 0}, Vec{3, -4}), 4.0);
+}
+
+// ----------------------------------------------------------------- CSR ----
+
+TEST(Csr, FromTripletsMergesDuplicates) {
+  TripletList t(3);
+  t.add_diag(0, 1.0);
+  t.add_diag(0, 2.0);  // duplicate: must sum to 3
+  t.add_spring(0, 1, 4.0);
+  const CsrMatrix A = CsrMatrix::from_triplets(t);
+  EXPECT_EQ(A.dim(), 3u);
+  EXPECT_DOUBLE_EQ(A.at(0, 0), 3.0 + 4.0);
+  EXPECT_DOUBLE_EQ(A.at(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(A.at(0, 1), -4.0);
+  EXPECT_DOUBLE_EQ(A.at(1, 0), -4.0);
+  EXPECT_DOUBLE_EQ(A.at(2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(A.at(0, 2), 0.0);
+}
+
+TEST(Csr, SpMV) {
+  TripletList t(2);
+  t.add_diag(0, 2.0);
+  t.add_diag(1, 3.0);
+  t.add_spring(0, 1, 1.0);
+  const CsrMatrix A = CsrMatrix::from_triplets(t);
+  // A = [[3, -1], [-1, 4]]
+  Vec y;
+  A.multiply({1.0, 2.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0 - 2.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0 + 8.0);
+}
+
+TEST(Csr, Diagonal) {
+  TripletList t(3);
+  t.add_spring(0, 2, 5.0);
+  t.add_diag(1, 7.0);
+  const Vec d = CsrMatrix::from_triplets(t).diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 5.0);
+  EXPECT_DOUBLE_EQ(d[1], 7.0);
+  EXPECT_DOUBLE_EQ(d[2], 5.0);
+}
+
+TEST(Csr, SymmetryOfSpringAssembly) {
+  Rng rng(11);
+  TripletList t(50);
+  for (int k = 0; k < 300; ++k) {
+    const size_t i = rng.uniform_index(50), j = rng.uniform_index(50);
+    if (i == j)
+      t.add_diag(i, rng.uniform(0.1, 2.0));
+    else
+      t.add_spring(i, j, rng.uniform(0.1, 2.0));
+  }
+  EXPECT_LT(CsrMatrix::from_triplets(t).symmetry_error(), 1e-12);
+}
+
+TEST(Csr, OutOfRangeThrows) {
+  TripletList t(2);
+  t.add_diag(0, 1.0);
+  t.add_spring(0, 1, 1.0);
+  TripletList bad(2);
+  bad.add_diag(5, 1.0);
+  EXPECT_THROW(CsrMatrix::from_triplets(bad), std::out_of_range);
+}
+
+TEST(Csr, DimensionMismatchThrows) {
+  TripletList t(2);
+  t.add_diag(0, 1.0);
+  const CsrMatrix A = CsrMatrix::from_triplets(t);
+  Vec y;
+  EXPECT_THROW(A.multiply({1.0, 2.0, 3.0}, y), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ CG ----
+
+TEST(Cg, SolvesSmallSystemExactly) {
+  // A = [[4, -1], [-1, 3]], b = [1, 2] => x = [5/11, 9/11]... verify by Ax=b.
+  TripletList t(2);
+  t.add_diag(0, 3.0);
+  t.add_diag(1, 2.0);
+  t.add_spring(0, 1, 1.0);
+  const CsrMatrix A = CsrMatrix::from_triplets(t);
+  Vec x(2, 0.0);
+  const CgResult res = solve_pcg(A, {1.0, 2.0}, x, {.rel_tolerance = 1e-12});
+  EXPECT_TRUE(res.converged);
+  Vec ax;
+  A.multiply(x, ax);
+  EXPECT_NEAR(ax[0], 1.0, 1e-9);
+  EXPECT_NEAR(ax[1], 2.0, 1e-9);
+}
+
+TEST(Cg, ZeroRhsGivesZero) {
+  TripletList t(3);
+  for (size_t i = 0; i < 3; ++i) t.add_diag(i, 1.0);
+  const CsrMatrix A = CsrMatrix::from_triplets(t);
+  Vec x{5.0, -2.0, 1.0};
+  const CgResult res = solve_pcg(A, Vec(3, 0.0), x);
+  EXPECT_TRUE(res.converged);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Cg, WarmStartReducesIterations) {
+  // Laplacian chain with anchors at the ends.
+  const size_t n = 200;
+  TripletList t(n);
+  for (size_t i = 0; i + 1 < n; ++i) t.add_spring(i, i + 1, 1.0);
+  t.add_diag(0, 1.0);
+  t.add_diag(n - 1, 1.0);
+  const CsrMatrix A = CsrMatrix::from_triplets(t);
+  Vec b(n, 0.0);
+  b[0] = 0.0;
+  b[n - 1] = 100.0;
+
+  Vec cold(n, 0.0);
+  const CgResult cold_res = solve_pcg(A, b, cold);
+  ASSERT_TRUE(cold_res.converged);
+
+  Vec warm = cold;  // exact solution as start
+  const CgResult warm_res = solve_pcg(A, b, warm);
+  EXPECT_TRUE(warm_res.converged);
+  EXPECT_LT(warm_res.iterations, cold_res.iterations);
+}
+
+struct RandomSpdCase {
+  size_t n;
+  uint64_t seed;
+};
+
+class CgRandomSpd : public ::testing::TestWithParam<RandomSpdCase> {};
+
+TEST_P(CgRandomSpd, SolvesRandomLaplacianPlusDiagonal) {
+  const auto [n, seed] = GetParam();
+  Rng rng(seed);
+  TripletList t(n);
+  // Random connected-ish graph Laplacian + positive diagonal => SPD.
+  for (size_t i = 0; i + 1 < n; ++i)
+    t.add_spring(i, i + 1, rng.uniform(0.5, 2.0));
+  for (size_t k = 0; k < 3 * n; ++k) {
+    const size_t i = rng.uniform_index(n), j = rng.uniform_index(n);
+    if (i != j) t.add_spring(i, j, rng.uniform(0.1, 1.0));
+  }
+  for (size_t i = 0; i < n; ++i) t.add_diag(i, rng.uniform(0.01, 0.5));
+  const CsrMatrix A = CsrMatrix::from_triplets(t);
+
+  Vec x_true(n);
+  for (size_t i = 0; i < n; ++i) x_true[i] = rng.uniform(-10, 10);
+  Vec b;
+  A.multiply(x_true, b);
+
+  Vec x(n, 0.0);
+  const CgResult res = solve_pcg(A, b, x, {.rel_tolerance = 1e-10});
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(linf_dist(x, x_true), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CgRandomSpd,
+                         ::testing::Values(RandomSpdCase{10, 1},
+                                           RandomSpdCase{50, 2},
+                                           RandomSpdCase{200, 3},
+                                           RandomSpdCase{500, 4},
+                                           RandomSpdCase{1000, 5}));
+
+}  // namespace
+}  // namespace complx

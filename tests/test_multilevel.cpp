@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "legal/tetris.h"
+#include "multilevel/mlplacer.h"
+#include "wl/hpwl.h"
+
+namespace complx {
+namespace {
+
+// ------------------------------------------------------------ coarsening --
+
+TEST(Coarsen, ReducesCellCount) {
+  Netlist fine = complx::testing::small_circuit(401, 2000);
+  const CoarseLevel level = coarsen(fine);
+  EXPECT_LT(level.netlist.num_cells(), fine.num_cells());
+  // Heavy-edge matching merges at most pairs: >= half the cells remain.
+  EXPECT_GE(level.netlist.num_cells(), fine.num_cells() / 2);
+  EXPECT_EQ(level.fine_to_coarse.size(), fine.num_cells());
+}
+
+TEST(Coarsen, PreservesFixedAndMacros) {
+  Netlist fine = complx::testing::small_circuit(402, 1000, 3);
+  const CoarseLevel level = coarsen(fine);
+  size_t fine_fixed = 0, coarse_fixed = 0, fine_mac = 0, coarse_mac = 0;
+  for (const Cell& c : fine.cells()) {
+    if (!c.movable()) ++fine_fixed;
+    if (c.is_macro()) ++fine_mac;
+  }
+  for (const Cell& c : level.netlist.cells()) {
+    if (!c.movable()) ++coarse_fixed;
+    if (c.is_macro()) ++coarse_mac;
+  }
+  EXPECT_EQ(fine_fixed, coarse_fixed);
+  EXPECT_EQ(fine_mac, coarse_mac);
+}
+
+TEST(Coarsen, ConservesMovableArea) {
+  Netlist fine = complx::testing::small_circuit(403, 1500);
+  const CoarseLevel level = coarsen(fine);
+  EXPECT_NEAR(level.netlist.movable_area(), fine.movable_area(),
+              1e-6 * fine.movable_area());
+}
+
+TEST(Coarsen, MappingIsOntoValidIds) {
+  Netlist fine = complx::testing::small_circuit(404, 800);
+  const CoarseLevel level = coarsen(fine);
+  for (CellId cc : level.fine_to_coarse)
+    ASSERT_LT(cc, level.netlist.num_cells());
+}
+
+TEST(Coarsen, NetsNeverGainPins) {
+  Netlist fine = complx::testing::small_circuit(405, 800);
+  const CoarseLevel level = coarsen(fine);
+  EXPECT_LE(level.netlist.num_nets(), fine.num_nets());
+  EXPECT_LE(level.netlist.num_pins(), fine.num_pins());
+}
+
+TEST(Interpolate, FineCellsLandOnClusters) {
+  Netlist fine = complx::testing::small_circuit(406, 600);
+  const CoarseLevel level = coarsen(fine);
+  Placement coarse_p = level.netlist.snapshot();
+  const Placement fine_p = interpolate(fine, level.fine_to_coarse, coarse_p);
+  for (CellId id : fine.movable_cells()) {
+    const CellId cc = level.fine_to_coarse[id];
+    EXPECT_DOUBLE_EQ(fine_p.x[id], coarse_p.x[cc]);
+    EXPECT_DOUBLE_EQ(fine_p.y[id], coarse_p.y[cc]);
+  }
+}
+
+// -------------------------------------------------------------- ML placer --
+
+TEST(Multilevel, PlacesLegalizably) {
+  Netlist nl = complx::testing::small_circuit(411, 4000);
+  MultilevelConfig cfg;
+  cfg.coarsest_cells = 1000;
+  MultilevelPlacer placer(nl, cfg);
+  const MultilevelResult res = placer.place();
+  EXPECT_GE(res.levels, 1);
+  ASSERT_GE(res.level_sizes.size(), 2u);
+  EXPECT_LT(res.level_sizes.back(), res.level_sizes.front());
+
+  Placement p = res.anchors;
+  const LegalizeResult legal = TetrisLegalizer(nl).legalize(p);
+  EXPECT_EQ(legal.failed, 0u);
+  EXPECT_TRUE(TetrisLegalizer::is_legal(nl, p));
+}
+
+TEST(Multilevel, QualityWithinReasonOfFlat) {
+  Netlist nl = complx::testing::small_circuit(412, 4000);
+  MultilevelConfig mcfg;
+  mcfg.coarsest_cells = 1000;
+  const MultilevelResult ml = MultilevelPlacer(nl, mcfg).place();
+
+  ComplxConfig flat_cfg;
+  const PlaceResult flat = ComplxPlacer(nl, flat_cfg).place();
+
+  // Multilevel trades some quality for coarse-level speed; it must stay in
+  // the same league.
+  EXPECT_LT(hpwl(nl, ml.anchors), 1.35 * hpwl(nl, flat.anchors));
+}
+
+TEST(Multilevel, SmallDesignSkipsCoarsening) {
+  Netlist nl = complx::testing::small_circuit(413, 500);
+  MultilevelConfig cfg;
+  cfg.coarsest_cells = 2500;  // already below threshold
+  const MultilevelResult res = MultilevelPlacer(nl, cfg).place();
+  EXPECT_EQ(res.levels, 0);
+  EXPECT_GT(hpwl(nl, res.anchors), 0.0);
+}
+
+}  // namespace
+}  // namespace complx

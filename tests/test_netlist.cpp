@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "netlist/netlist.h"
+
+namespace complx {
+namespace {
+
+TEST(Netlist, CellAccessors) {
+  Cell c;
+  c.width = 4.0;
+  c.height = 12.0;
+  c.x = 10.0;
+  c.y = 24.0;
+  EXPECT_DOUBLE_EQ(c.cx(), 12.0);
+  EXPECT_DOUBLE_EQ(c.cy(), 30.0);
+  EXPECT_DOUBLE_EQ(c.area(), 48.0);
+  EXPECT_EQ(c.bounds(), (Rect{10, 24, 14, 36}));
+  EXPECT_TRUE(c.movable());
+  c.kind = CellKind::Fixed;
+  EXPECT_FALSE(c.movable());
+  c.kind = CellKind::MovableMacro;
+  EXPECT_TRUE(c.movable());
+  EXPECT_TRUE(c.is_macro());
+}
+
+TEST(Netlist, BuildAndFinalize) {
+  Netlist nl = testing::two_cell_chain();
+  EXPECT_EQ(nl.num_cells(), 4u);
+  EXPECT_EQ(nl.num_nets(), 3u);
+  EXPECT_EQ(nl.num_pins(), 6u);
+  EXPECT_EQ(nl.num_movable(), 2u);
+  EXPECT_DOUBLE_EQ(nl.movable_area(), 2 * 2.0 * 12.0);
+}
+
+TEST(Netlist, NetsOfCellBackReferences) {
+  Netlist nl = testing::two_cell_chain();
+  const CellId c0 = nl.find_cell("c0");
+  ASSERT_LT(c0, nl.num_cells());
+  const auto& nets = nl.nets_of_cell(c0);
+  EXPECT_EQ(nets.size(), 2u);  // e0 and e1
+}
+
+TEST(Netlist, FindCellMissingReturnsEnd) {
+  Netlist nl = testing::two_cell_chain();
+  EXPECT_EQ(nl.find_cell("no_such"), nl.num_cells());
+}
+
+TEST(Netlist, AddAfterFinalizeThrows) {
+  Netlist nl = testing::two_cell_chain();
+  Cell c;
+  c.name = "late";
+  EXPECT_THROW(nl.add_cell(c), std::logic_error);
+  EXPECT_THROW(nl.add_net("late", 1.0, {}), std::logic_error);
+}
+
+TEST(Netlist, PinToUnknownCellThrows) {
+  Netlist nl;
+  Cell c;
+  c.name = "a";
+  nl.add_cell(c);
+  EXPECT_THROW(nl.add_net("bad", 1.0, {{5, 0, 0}}), std::out_of_range);
+}
+
+TEST(Netlist, SynthesizedRowsCoverCore) {
+  Netlist nl = testing::two_cell_chain();  // no explicit rows
+  ASSERT_FALSE(nl.rows().empty());
+  EXPECT_DOUBLE_EQ(nl.rows().front().y, 0.0);
+  EXPECT_DOUBLE_EQ(nl.rows().front().xl, 0.0);
+  EXPECT_DOUBLE_EQ(nl.rows().front().xh, 30.0);
+}
+
+TEST(Netlist, SnapshotGivesCenters) {
+  Netlist nl = testing::two_cell_chain();
+  const CellId c0 = nl.find_cell("c0");
+  nl.cell(c0).x = 10.0;  // lower-left
+  nl.cell(c0).y = 0.0;
+  const Placement p = nl.snapshot();
+  EXPECT_DOUBLE_EQ(p.x[c0], 11.0);  // + width/2 = 1
+  EXPECT_DOUBLE_EQ(p.y[c0], 6.0);   // + height/2 = 6
+}
+
+TEST(Netlist, ApplyWritesLowerLeftAndSkipsFixed) {
+  Netlist nl = testing::two_cell_chain();
+  Placement p = nl.snapshot();
+  const CellId c0 = nl.find_cell("c0");
+  const CellId pad0 = nl.find_cell("pad0");
+  p.x[c0] = 20.0;
+  p.y[c0] = 6.0;
+  p.x[pad0] = 99.0;  // must be ignored
+  nl.apply(p);
+  EXPECT_DOUBLE_EQ(nl.cell(c0).x, 19.0);
+  EXPECT_DOUBLE_EQ(nl.cell(pad0).x, 0.0);
+}
+
+TEST(Netlist, ApplySizeMismatchThrows) {
+  Netlist nl = testing::two_cell_chain();
+  Placement p;
+  p.x.resize(1);
+  p.y.resize(1);
+  EXPECT_THROW(nl.apply(p), std::invalid_argument);
+}
+
+TEST(Netlist, MovableAreaExcludesFixed) {
+  Netlist nl = testing::small_circuit(3, 500);
+  double area = 0.0;
+  for (CellId id : nl.movable_cells()) area += nl.cell(id).area();
+  EXPECT_DOUBLE_EQ(area, nl.movable_area());
+}
+
+TEST(Netlist, FixedAreaInCoreCountsBlockages) {
+  GenParams prm;
+  prm.num_cells = 500;
+  prm.num_fixed_macros = 3;
+  prm.seed = 5;
+  Netlist nl = generate_circuit(prm);
+  // Pads sit outside the core, so fixed-in-core equals macro blockage area.
+  EXPECT_GT(nl.fixed_area_in_core(), 0.0);
+  double macro_area = 0.0;
+  for (const Cell& c : nl.cells())
+    if (!c.movable() && c.width > 2 * nl.row_height())
+      macro_area += c.bounds().overlap_area(nl.core());
+  EXPECT_NEAR(nl.fixed_area_in_core(), macro_area, 1e-6);
+}
+
+TEST(Netlist, RegionBookkeeping) {
+  Netlist nl;
+  Cell c;
+  c.name = "a";
+  c.width = 2;
+  c.height = 2;
+  const RegionId r = nl.add_region({"r0", {0, 0, 10, 10}});
+  c.region = r;
+  nl.add_cell(c);
+  nl.set_core({0, 0, 100, 100});
+  nl.finalize();
+  EXPECT_EQ(nl.regions().size(), 1u);
+  EXPECT_EQ(nl.cell(0).region, r);
+}
+
+}  // namespace
+}  // namespace complx

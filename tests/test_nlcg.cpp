@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "nlcg/nlcg.h"
+#include "wl/hpwl.h"
+
+namespace complx {
+namespace {
+
+TEST(Nlcg, MinimizesQuadraticBowl) {
+  // f(v) = sum (v_i - i)^2, minimum at v_i = i.
+  auto f = [](const Vec& v, Vec& g) {
+    g.assign(v.size(), 0.0);
+    double s = 0.0;
+    for (size_t i = 0; i < v.size(); ++i) {
+      const double d = v[i] - static_cast<double>(i);
+      s += d * d;
+      g[i] = 2 * d;
+    }
+    return s;
+  };
+  Vec v(10, 100.0);
+  NlcgOptions opts;
+  opts.max_iterations = 200;
+  opts.grad_tolerance = 1e-10;
+  const NlcgResult res = minimize_nlcg(f, v, opts);
+  for (size_t i = 0; i < v.size(); ++i)
+    EXPECT_NEAR(v[i], static_cast<double>(i), 1e-3);
+  EXPECT_LT(res.objective, 1e-5);
+}
+
+TEST(Nlcg, MinimizesRosenbrock2D) {
+  auto f = [](const Vec& v, Vec& g) {
+    const double x = v[0], y = v[1];
+    g.assign(2, 0.0);
+    const double a = y - x * x;
+    g[0] = -400 * x * a + 2 * (x - 1);
+    g[1] = 200 * a;
+    return 100 * a * a + (x - 1) * (x - 1);
+  };
+  Vec v{-1.2, 1.0};
+  NlcgOptions opts;
+  opts.max_iterations = 5000;
+  opts.grad_tolerance = 1e-12;
+  opts.initial_step = 0.01;
+  minimize_nlcg(f, v, opts);
+  EXPECT_NEAR(v[0], 1.0, 0.05);
+  EXPECT_NEAR(v[1], 1.0, 0.1);
+}
+
+TEST(Nlcg, MonotoneDecrease) {
+  // Armijo acceptance implies the objective never increases.
+  auto quad = [](const Vec& v, Vec& g) {
+    g.assign(v.size(), 0.0);
+    double s = 0.0;
+    for (size_t i = 0; i < v.size(); ++i) {
+      s += (i + 1) * v[i] * v[i];
+      g[i] = 2.0 * (i + 1) * v[i];
+    }
+    return s;
+  };
+  Vec v(5, 3.0);
+  Vec g0;
+  double last = quad(v, g0);
+  for (int it = 0; it < 10; ++it) {
+    NlcgOptions opts;
+    opts.max_iterations = 1;
+    minimize_nlcg(quad, v, opts);
+    Vec g;
+    const double now = quad(v, g);
+    EXPECT_LE(now, last + 1e-12);
+    last = now;
+  }
+}
+
+TEST(Nlcg, PlacementAdapterReducesLseWirelength) {
+  Netlist nl = complx::testing::small_circuit(131, 400);
+  LseWl lse(nl, 2.0 * nl.row_height());
+  Placement p = nl.snapshot();
+  const double before = hpwl(nl, p);
+  NlcgOptions opts;
+  opts.max_iterations = 150;
+  minimize_smooth_placement(nl, lse, p, nullptr, opts);
+  EXPECT_LT(hpwl(nl, p), 0.75 * before);
+}
+
+TEST(Nlcg, PlacementAdapterRespectsCore) {
+  Netlist nl = complx::testing::small_circuit(132, 300);
+  LseWl lse(nl, 2.0 * nl.row_height());
+  Placement p = nl.snapshot();
+  minimize_smooth_placement(nl, lse, p, nullptr, {});
+  for (CellId id : nl.movable_cells()) {
+    const Cell& c = nl.cell(id);
+    EXPECT_GE(p.x[id] - c.width / 2.0, nl.core().xl - 1e-9);
+    EXPECT_LE(p.x[id] + c.width / 2.0, nl.core().xh + 1e-9);
+  }
+}
+
+TEST(Nlcg, AnchorsPinThePlacement) {
+  Netlist nl = complx::testing::small_circuit(133, 300);
+  LseWl lse(nl, 2.0 * nl.row_height());
+  Placement p = nl.snapshot();
+  AnchorSet anchors(nl.num_cells());
+  for (CellId id : nl.movable_cells()) {
+    anchors.target_x[id] = p.x[id];
+    anchors.target_y[id] = p.y[id];
+    anchors.weight_x[id] = 1e5;
+    anchors.weight_y[id] = 1e5;
+  }
+  const Placement before = p;
+  minimize_smooth_placement(nl, lse, p, &anchors, {});
+  double max_move = 0.0;
+  for (CellId id : nl.movable_cells())
+    max_move = std::max(max_move, std::abs(p.x[id] - before.x[id]) +
+                                      std::abs(p.y[id] - before.y[id]));
+  EXPECT_LT(max_move, 1.0);
+}
+
+TEST(Nlcg, FixedCellsNeverMove) {
+  Netlist nl = complx::testing::small_circuit(134, 300);
+  LseWl lse(nl, 2.0 * nl.row_height());
+  Placement p = nl.snapshot();
+  std::vector<std::pair<double, double>> fixed_pos;
+  for (CellId id = 0; id < nl.num_cells(); ++id)
+    if (!nl.cell(id).movable()) fixed_pos.push_back({p.x[id], p.y[id]});
+  minimize_smooth_placement(nl, lse, p, nullptr, {});
+  size_t k = 0;
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    if (nl.cell(id).movable()) continue;
+    EXPECT_DOUBLE_EQ(p.x[id], fixed_pos[k].first);
+    EXPECT_DOUBLE_EQ(p.y[id], fixed_pos[k].second);
+    ++k;
+  }
+}
+
+}  // namespace
+}  // namespace complx

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "core/placer.h"
+#include "dp/detailed.h"
+#include "dp/orientation.h"
+#include "helpers.h"
+#include "legal/tetris.h"
+#include "wl/hpwl.h"
+
+namespace complx {
+namespace {
+
+/// Cell with an off-center pin pulled toward a pad on its "wrong" side:
+/// flipping must fix it.
+struct FlipFixture {
+  Netlist nl;
+  CellId cell, pad;
+  FlipFixture() {
+    Cell c;
+    c.name = "c";
+    c.width = 10;
+    c.height = 10;
+    c.x = 40;  // center at 45
+    c.y = 40;
+    cell = nl.add_cell(c);
+    Cell p;
+    p.name = "pad";
+    p.width = p.height = 0;
+    p.x = 100;
+    p.y = 45;
+    p.kind = CellKind::Fixed;
+    pad = nl.add_cell(p);
+    // Pin offset -4: sits at x 41, but the pad is at x 100 (to the right).
+    nl.add_net("n", 1.0, {{cell, -4.0, 0.0}, {pad, 0.0, 0.0}});
+    nl.set_core({0, 0, 200, 200});
+    nl.finalize();
+  }
+};
+
+TEST(Netlist, FlipHorizontalTogglesStateAndOffsets) {
+  FlipFixture f;
+  EXPECT_FALSE(f.nl.cell(f.cell).flipped_x);
+  EXPECT_DOUBLE_EQ(f.nl.pin(0).dx, -4.0);
+  f.nl.flip_horizontal(f.cell);
+  EXPECT_TRUE(f.nl.cell(f.cell).flipped_x);
+  EXPECT_DOUBLE_EQ(f.nl.pin(0).dx, 4.0);
+  f.nl.flip_horizontal(f.cell);
+  EXPECT_FALSE(f.nl.cell(f.cell).flipped_x);
+  EXPECT_DOUBLE_EQ(f.nl.pin(0).dx, -4.0);
+}
+
+TEST(Netlist, PinsOfCellIndex) {
+  FlipFixture f;
+  ASSERT_EQ(f.nl.pins_of_cell(f.cell).size(), 1u);
+  EXPECT_EQ(f.nl.pin(f.nl.pins_of_cell(f.cell)[0]).cell, f.cell);
+}
+
+TEST(Orientation, FlipsTheObviousCell) {
+  FlipFixture f;
+  const Placement p = f.nl.snapshot();
+  const double before = hpwl(f.nl, p);  // pin at 41, pad at 100: 59
+  const OrientationResult res = optimize_orientation(f.nl, p);
+  EXPECT_EQ(res.flipped, 1u);
+  EXPECT_TRUE(f.nl.cell(f.cell).flipped_x);
+  EXPECT_DOUBLE_EQ(res.initial_hpwl, before);
+  EXPECT_DOUBLE_EQ(res.final_hpwl, before - 8.0);  // pin moves 41 -> 49
+}
+
+TEST(Orientation, IdempotentOnSecondRun) {
+  FlipFixture f;
+  const Placement p = f.nl.snapshot();
+  optimize_orientation(f.nl, p);
+  const OrientationResult again = optimize_orientation(f.nl, p);
+  EXPECT_EQ(again.flipped, 0u);
+  EXPECT_DOUBLE_EQ(again.initial_hpwl, again.final_hpwl);
+}
+
+TEST(Orientation, NeverIncreasesHpwl) {
+  Netlist nl = complx::testing::small_circuit(171, 1500);
+  ComplxConfig cfg;
+  cfg.max_iterations = 35;
+  Placement p = ComplxPlacer(nl, cfg).place().anchors;
+  TetrisLegalizer(nl).legalize(p);
+  const double before = hpwl(nl, p);
+  const OrientationResult res = optimize_orientation(nl, p);
+  EXPECT_LE(res.final_hpwl, before * (1 + 1e-12));
+  EXPECT_GT(res.flipped, 0u);  // random pin offsets: some flips must win
+  // Legality untouched (orientation does not move cells).
+  EXPECT_TRUE(TetrisLegalizer::is_legal(nl, p));
+}
+
+TEST(Orientation, ZeroOffsetCellsSkipped) {
+  Netlist nl = complx::testing::mesh_netlist(3);  // all pins at centers
+  const Placement p = nl.snapshot();
+  const OrientationResult res = optimize_orientation(nl, p);
+  EXPECT_EQ(res.flipped, 0u);
+}
+
+TEST(Orientation, StacksWithDetailedPlacement) {
+  Netlist nl = complx::testing::small_circuit(172, 1000);
+  ComplxConfig cfg;
+  cfg.max_iterations = 35;
+  Placement p = ComplxPlacer(nl, cfg).place().anchors;
+  TetrisLegalizer(nl).legalize(p);
+  DetailedPlacer(nl).refine(p);
+  const double after_dp = hpwl(nl, p);
+  const OrientationResult res = optimize_orientation(nl, p);
+  // Orientation finds gains DP cannot (DP never flips).
+  EXPECT_LT(res.final_hpwl, after_dp);
+}
+
+}  // namespace
+}  // namespace complx

@@ -1,0 +1,163 @@
+// Cross-module property tests: randomized sweeps asserting the paper's
+// structural invariants over many seeds and configurations at once.
+#include <gtest/gtest.h>
+
+#include "core/placer.h"
+#include "density/grid.h"
+#include "helpers.h"
+#include "legal/tetris.h"
+#include "projection/lal.h"
+#include "wl/hpwl.h"
+
+namespace complx {
+namespace {
+
+// ------------------------------------------------- primal-dual invariants --
+
+struct SweepCase {
+  uint64_t seed;
+  size_t cells;
+  size_t macros;
+  double density;
+  bool use_gap;
+};
+
+class PrimalDualSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  PlaceResult run() {
+    const SweepCase& s = GetParam();
+    nl_ = complx::testing::small_circuit(s.seed, s.cells, s.macros,
+                                         s.density);
+    ComplxConfig cfg;
+    cfg.max_iterations = 50;
+    cfg.use_gap_criterion = s.use_gap;
+    return ComplxPlacer(nl_, cfg).place();
+  }
+  Netlist nl_;
+};
+
+TEST_P(PrimalDualSweep, StructuralInvariantsHold) {
+  const PlaceResult res = run();
+
+  // λ non-decreasing (Formula 12 is monotone).
+  for (size_t k = 1; k < res.trace.size(); ++k)
+    ASSERT_GE(res.trace[k].lambda, res.trace[k - 1].lambda * (1 - 1e-12));
+
+  // Weak duality (Formula 7) along essentially the whole trace.
+  size_t dual_ok = 0;
+  for (const IterationStats& st : res.trace)
+    if (st.phi_lower <= st.phi_upper * 1.02) ++dual_ok;
+  EXPECT_GE(dual_ok * 10, res.trace.size() * 9);
+
+  // Penalty and overflow decrease overall.
+  EXPECT_LT(res.trace.back().pi, res.trace.front().pi);
+  EXPECT_LT(res.trace.back().overflow_ratio,
+            res.trace.front().overflow_ratio + 0.05);
+
+  // Anchors fully inside the core.
+  for (CellId id : nl_.movable_cells()) {
+    const Cell& c = nl_.cell(id);
+    ASSERT_GE(res.anchors.x[id] - c.width / 2.0, nl_.core().xl - 1e-6);
+    ASSERT_LE(res.anchors.x[id] + c.width / 2.0, nl_.core().xh + 1e-6);
+    ASSERT_GE(res.anchors.y[id] - c.height / 2.0, nl_.core().yl - 1e-6);
+    ASSERT_LE(res.anchors.y[id] + c.height / 2.0, nl_.core().yh + 1e-6);
+  }
+
+  // The anchor placement must cost at least the lower bound.
+  EXPECT_GE(hpwl(nl_, res.anchors), hpwl(nl_, res.lower_bound) * 0.98);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PrimalDualSweep,
+    ::testing::Values(SweepCase{301, 700, 0, 1.0, true},
+                      SweepCase{302, 900, 0, 1.0, false},
+                      SweepCase{303, 800, 2, 0.8, true},
+                      SweepCase{304, 1100, 0, 0.6, true},
+                      SweepCase{305, 600, 3, 0.5, false},
+                      SweepCase{306, 1300, 0, 1.0, true}));
+
+// ------------------------------------------------- projection invariants --
+
+struct ProjCase {
+  uint64_t seed;
+  double gamma;
+};
+
+class ProjectionSweep : public ::testing::TestWithParam<ProjCase> {};
+
+TEST_P(ProjectionSweep, ProjectionContractsTowardFeasibility) {
+  const auto [seed, gamma] = GetParam();
+  Netlist nl = complx::testing::small_circuit(seed, 900);
+  Placement p = nl.snapshot();
+  const Point c = nl.core().center();
+  for (CellId id : nl.movable_cells()) {
+    p.x[id] = c.x + (p.x[id] - c.x) * 0.2;  // semi-pile
+    p.y[id] = c.y + (p.y[id] - c.y) * 0.2;
+  }
+  ProjectionOptions opts;
+  opts.gamma = gamma;
+  LookAheadLegalizer lal(nl, opts);
+
+  // Iterating the projection drives overflow down monotonically-ish.
+  double prev_overflow = 1e18;
+  for (int it = 0; it < 4; ++it) {
+    const ProjectionResult res = lal.project(p);
+    EXPECT_LT(res.input_overflow_ratio, prev_overflow + 0.02)
+        << "iteration " << it;
+    prev_overflow = res.input_overflow_ratio;
+    p = res.anchors;
+  }
+  // After a few projections the placement is close to feasible.
+  DensityGrid grid(nl, lal.bins_x(), lal.bins_y());
+  grid.build(p);
+  EXPECT_LT(grid.total_overflow(gamma) / nl.movable_area(), 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, ProjectionSweep,
+                         ::testing::Values(ProjCase{311, 1.0},
+                                           ProjCase{312, 0.8},
+                                           ProjCase{313, 0.6},
+                                           ProjCase{314, 0.5}));
+
+// ------------------------------------------------------ flow determinism --
+
+class DeterminismSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeterminismSweep, IdenticalRunsProduceIdenticalPlacements) {
+  Netlist nl = complx::testing::small_circuit(GetParam(), 700);
+  ComplxConfig cfg;
+  cfg.max_iterations = 25;
+  const PlaceResult a = ComplxPlacer(nl, cfg).place();
+  const PlaceResult b = ComplxPlacer(nl, cfg).place();
+  ASSERT_EQ(a.iterations, b.iterations);
+  for (CellId id : nl.movable_cells()) {
+    ASSERT_DOUBLE_EQ(a.anchors.x[id], b.anchors.x[id]);
+    ASSERT_DOUBLE_EQ(a.anchors.y[id], b.anchors.y[id]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep,
+                         ::testing::Values(321ull, 322ull, 323ull));
+
+// ------------------------------------------- legalization area invariants --
+
+TEST(FlowProperties, LegalizationConservesCells) {
+  Netlist nl = complx::testing::small_circuit(331, 1000, 2);
+  ComplxConfig cfg;
+  cfg.max_iterations = 35;
+  Placement p = ComplxPlacer(nl, cfg).place().anchors;
+  const LegalizeResult res = TetrisLegalizer(nl).legalize(p);
+  EXPECT_EQ(res.placed, nl.num_movable());
+  EXPECT_EQ(res.failed, 0u);
+
+  // Total movable area inside the core is conserved exactly.
+  DensityGrid grid(nl, 16, 16);
+  grid.build(p);
+  double total = 0.0;
+  for (size_t j = 0; j < 16; ++j)
+    for (size_t i = 0; i < 16; ++i) total += grid.usage(i, j);
+  EXPECT_NEAR(total, nl.movable_area(), 1e-6 * nl.movable_area());
+}
+
+}  // namespace
+}  // namespace complx

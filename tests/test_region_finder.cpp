@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "density/grid.h"
+#include "projection/region_finder.h"
+
+namespace complx {
+namespace {
+
+Netlist empty_core(double side = 100.0) {
+  Netlist nl;
+  Cell c;
+  c.name = "dummy";
+  c.width = 1;
+  c.height = 1;
+  nl.add_cell(c);
+  nl.set_core({0, 0, side, side});
+  nl.finalize();
+  return nl;
+}
+
+TEST(RegionFinder, NoOverflowNoRegions) {
+  Netlist nl = empty_core();
+  DensityGrid g(nl, 10, 10);
+  g.build_from_rects({{0, 0, 5, 5}});  // tiny usage
+  EXPECT_TRUE(find_spreading_regions(g, 1.0).empty());
+}
+
+TEST(RegionFinder, SingleHotspotProducesOneCoveringRegion) {
+  Netlist nl = empty_core();
+  DensityGrid g(nl, 10, 10);
+  // 400 units of area crammed into bin (5,5) whose capacity is 100.
+  g.build_from_rects({{50, 50, 60, 60},
+                      {50, 50, 60, 60},
+                      {50, 50, 60, 60},
+                      {50, 50, 60, 60}});
+  const auto regions = find_spreading_regions(g, 1.0);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_TRUE(regions[0].contains(Point{55.0, 55.0}));
+  // Region must hold at least 4 bins of capacity to absorb 400 area units.
+  EXPECT_GE(regions[0].area(), 399.0);
+}
+
+TEST(RegionFinder, RegionUtilizationSatisfiesGamma) {
+  Netlist nl = empty_core();
+  DensityGrid g(nl, 10, 10);
+  std::vector<Rect> rects;
+  for (int k = 0; k < 6; ++k) rects.push_back({20, 20, 30, 30});
+  g.build_from_rects(rects);
+  const double gamma = 0.8;
+  const auto regions = find_spreading_regions(g, gamma);
+  ASSERT_FALSE(regions.empty());
+  for (const Rect& r : regions) {
+    EXPECT_LE(g.usage_in(r), gamma * g.free_area_in(r) + 1.0);
+  }
+}
+
+TEST(RegionFinder, DistantHotspotsYieldSeparateRegions) {
+  Netlist nl = empty_core();
+  DensityGrid g(nl, 10, 10);
+  std::vector<Rect> rects;
+  for (int k = 0; k < 3; ++k) {
+    rects.push_back({10, 10, 20, 20});  // exactly bin (1,1): 300 vs cap 100
+    rects.push_back({80, 80, 90, 90});  // exactly bin (8,8)
+  }
+  g.build_from_rects(rects);
+  const auto regions = find_spreading_regions(g, 1.0);
+  EXPECT_EQ(regions.size(), 2u);
+}
+
+TEST(RegionFinder, OverlappingExpansionsMerge) {
+  Netlist nl = empty_core();
+  DensityGrid g(nl, 10, 10);
+  // Two adjacent severe hotspots whose expansions must collide.
+  std::vector<Rect> rects;
+  for (int k = 0; k < 8; ++k) {
+    rects.push_back({30, 50, 40, 60});
+    rects.push_back({60, 50, 70, 60});
+  }
+  g.build_from_rects(rects);
+  const auto regions = find_spreading_regions(g, 1.0);
+  // After merging there must be no overlapping pair.
+  for (size_t a = 0; a < regions.size(); ++a)
+    for (size_t b = a + 1; b < regions.size(); ++b)
+      EXPECT_FALSE(regions[a].overlaps(regions[b]));
+}
+
+TEST(RegionFinder, WholeCoreWhenEverythingOverflows) {
+  Netlist nl = empty_core();
+  DensityGrid g(nl, 4, 4);
+  // More area than the whole core can hold at gamma=0.5: region growth
+  // stops at the core and returns the full span.
+  std::vector<Rect> rects;
+  for (int k = 0; k < 10; ++k) rects.push_back({0, 0, 100, 100});
+  g.build_from_rects(rects);
+  const auto regions = find_spreading_regions(g, 0.5);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_NEAR(regions[0].area(), 100.0 * 100.0, 1.0);
+}
+
+TEST(RegionFinder, GammaTightensDetection) {
+  Netlist nl = empty_core();
+  DensityGrid g(nl, 10, 10);
+  // Uniform 60% fill: overfilled at gamma=0.5, fine at gamma=0.7.
+  std::vector<Rect> rects;
+  for (int i = 0; i < 10; ++i)
+    for (int j = 0; j < 10; ++j) {
+      const double x = i * 10.0, y = j * 10.0;
+      rects.push_back({x, y, x + 10.0, y + 6.0});
+    }
+  g.build_from_rects(rects);
+  EXPECT_TRUE(find_spreading_regions(g, 0.7).empty());
+  EXPECT_FALSE(find_spreading_regions(g, 0.5).empty());
+}
+
+}  // namespace
+}  // namespace complx

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "projection/regions.h"
+
+namespace complx {
+namespace {
+
+Netlist with_region(Rect region_box, double cell_w = 4, double cell_h = 12) {
+  Netlist nl;
+  const RegionId r = nl.add_region({"r0", region_box});
+  for (int i = 0; i < 4; ++i) {
+    Cell c;
+    c.name = "c" + std::to_string(i);
+    c.width = cell_w;
+    c.height = cell_h;
+    if (i < 2) c.region = r;  // first two constrained
+    nl.add_cell(c);
+  }
+  nl.set_core({0, 0, 200, 200});
+  nl.finalize();
+  return nl;
+}
+
+TEST(Regions, SnapMovesOutsidersIn) {
+  Netlist nl = with_region({50, 50, 100, 100});
+  Placement p = nl.snapshot();
+  p.x[0] = 10;
+  p.y[0] = 10;  // constrained, outside
+  p.x[1] = 75;
+  p.y[1] = 75;  // constrained, inside
+  p.x[2] = 10;
+  p.y[2] = 10;  // unconstrained, outside region
+  p.x[3] = 180;
+  p.y[3] = 180;
+  const size_t moved = snap_to_regions(nl, p);
+  EXPECT_EQ(moved, 1u);
+  EXPECT_TRUE(regions_satisfied(nl, p));
+  // Unconstrained cells untouched.
+  EXPECT_DOUBLE_EQ(p.x[2], 10.0);
+  EXPECT_DOUBLE_EQ(p.x[3], 180.0);
+  // Snapped cell is fully inside, honoring half-dimensions.
+  EXPECT_GE(p.x[0] - 2.0, 50.0 - 1e-9);
+  EXPECT_GE(p.y[0] - 6.0, 50.0 - 1e-9);
+}
+
+TEST(Regions, SnapIsIdempotent) {
+  Netlist nl = with_region({50, 50, 100, 100});
+  Placement p = nl.snapshot();
+  p.x[0] = 0;
+  p.y[0] = 0;
+  snap_to_regions(nl, p);
+  const Placement once = p;
+  const size_t moved = snap_to_regions(nl, p);
+  EXPECT_EQ(moved, 0u);
+  for (size_t i = 0; i < p.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p.x[i], once.x[i]);
+    EXPECT_DOUBLE_EQ(p.y[i], once.y[i]);
+  }
+}
+
+TEST(Regions, SatisfiedDetectsViolations) {
+  Netlist nl = with_region({50, 50, 100, 100});
+  Placement p = nl.snapshot();
+  p.x[0] = 52;  // center at 52, width 4 -> left edge at 50: OK
+  p.y[0] = 56;
+  p.x[1] = 75;
+  p.y[1] = 75;
+  EXPECT_TRUE(regions_satisfied(nl, p));
+  p.x[0] = 51;  // left edge 49 < 50: violation
+  EXPECT_FALSE(regions_satisfied(nl, p));
+}
+
+TEST(Regions, CellLargerThanRegionCollapsesToCenter) {
+  Netlist nl = with_region({50, 50, 52, 54}, /*cell_w=*/10, /*cell_h=*/20);
+  Placement p = nl.snapshot();
+  p.x[0] = 0;
+  p.y[0] = 0;
+  snap_to_regions(nl, p);
+  EXPECT_DOUBLE_EQ(p.x[0], 51.0);
+  EXPECT_DOUBLE_EQ(p.y[0], 52.0);
+}
+
+TEST(Regions, NoRegionsIsNoop) {
+  Netlist nl;
+  Cell c;
+  c.name = "c";
+  c.width = 2;
+  c.height = 2;
+  nl.add_cell(c);
+  nl.set_core({0, 0, 10, 10});
+  nl.finalize();
+  Placement p = nl.snapshot();
+  EXPECT_EQ(snap_to_regions(nl, p), 0u);
+  EXPECT_TRUE(regions_satisfied(nl, p));
+}
+
+}  // namespace
+}  // namespace complx

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "core/placer.h"
+#include "helpers.h"
+#include "route/global_router.h"
+
+namespace complx {
+namespace {
+
+/// Two cells on the same row, 4 gcells apart in x: the route must use
+/// exactly 4 horizontal edges along that row.
+struct StraightFixture {
+  Netlist nl;
+  StraightFixture() {
+    Cell a;
+    a.name = "a";
+    a.width = 2;
+    a.height = 2;
+    a.x = 5 - 1;
+    a.y = 5 - 1;
+    const CellId ia = nl.add_cell(a);
+    Cell b = a;
+    b.name = "b";
+    b.x = 45 - 1;
+    const CellId ib = nl.add_cell(b);
+    nl.add_net("n", 1.0, {{ia, 0, 0}, {ib, 0, 0}});
+    nl.set_core({0, 0, 100, 100});
+    nl.finalize();
+  }
+};
+
+TEST(Router, StraightNetUsesStraightEdges) {
+  StraightFixture f;
+  RouterOptions opts;
+  opts.gcells_x = opts.gcells_y = 10;
+  GlobalRouter router(f.nl, opts);
+  const RouteStats stats = router.route(f.nl.snapshot());
+  EXPECT_EQ(stats.routed_connections, 1u);
+  EXPECT_DOUBLE_EQ(stats.overflow, 0.0);
+  // Pins in gcells (0,0) and (4,0): 4 horizontal edges on row 0.
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(router.h_edge_usage(i, 0), 1.0);
+  EXPECT_DOUBLE_EQ(router.h_edge_usage(5, 0), 0.0);
+  // Wirelength = 4 gcells * 10 units pitch.
+  EXPECT_NEAR(stats.wirelength, 40.0, 1e-9);
+}
+
+TEST(Router, LShapeForDiagonalNet) {
+  Netlist nl;
+  Cell a;
+  a.name = "a";
+  a.width = 2;
+  a.height = 2;
+  a.x = 5;
+  a.y = 5;
+  const CellId ia = nl.add_cell(a);
+  Cell b = a;
+  b.name = "b";
+  b.x = 75;
+  b.y = 75;
+  const CellId ib = nl.add_cell(b);
+  nl.add_net("n", 1.0, {{ia, 0, 0}, {ib, 0, 0}});
+  nl.set_core({0, 0, 100, 100});
+  nl.finalize();
+  RouterOptions opts;
+  opts.gcells_x = opts.gcells_y = 10;
+  GlobalRouter router(nl, opts);
+  const RouteStats stats = router.route(nl.snapshot());
+  // Manhattan distance 7+7 = 14 gcells; any monotone pattern has the same
+  // length (no detours in this router).
+  EXPECT_NEAR(stats.wirelength, 14.0 * 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.overflow, 0.0);
+}
+
+TEST(Router, MstDecomposesMultiPinNets) {
+  // Three pins in an L: MST has 2 connections, total length 8+6 gcells.
+  Netlist nl;
+  auto add = [&](const char* name, double x, double y) {
+    Cell c;
+    c.name = name;
+    c.width = 2;
+    c.height = 2;
+    c.x = x;
+    c.y = y;
+    return nl.add_cell(c);
+  };
+  const CellId a = add("a", 5, 5);
+  const CellId b = add("b", 85, 5);
+  const CellId c = add("c", 85, 65);
+  nl.add_net("n", 1.0, {{a, 0, 0}, {b, 0, 0}, {c, 0, 0}});
+  nl.set_core({0, 0, 100, 100});
+  nl.finalize();
+  RouterOptions opts;
+  opts.gcells_x = opts.gcells_y = 10;
+  GlobalRouter router(nl, opts);
+  const RouteStats stats = router.route(nl.snapshot());
+  EXPECT_EQ(stats.routed_connections, 2u);
+  EXPECT_NEAR(stats.wirelength, (8.0 + 6.0) * 10.0, 1e-9);
+}
+
+TEST(Router, CongestionAwareRoutingBeatsBlind) {
+  // Several nets with the same diagonal bounding box: a congestion-blind
+  // router ties on cost and stacks them on one pattern; congestion costs
+  // plus rip-up spread them over distinct bend positions.
+  Netlist nl;
+  for (int k = 0; k < 6; ++k) {
+    Cell a;
+    a.name = "a" + std::to_string(k);
+    a.width = 2;
+    a.height = 2;
+    a.x = 5 + k;   // all sources in gcell (0, 0)
+    a.y = 5;
+    const CellId ia = nl.add_cell(a);
+    Cell b = a;
+    b.name = "b" + std::to_string(k);
+    b.x = 85;
+    b.y = 85;  // all sinks in gcell (8, 8)
+    const CellId ib = nl.add_cell(b);
+    nl.add_net("n" + std::to_string(k), 1.0, {{ia, 0, 0}, {ib, 0, 0}});
+  }
+  nl.set_core({0, 0, 100, 100});
+  nl.finalize();
+
+  RouterOptions opts;
+  opts.gcells_x = opts.gcells_y = 10;
+  opts.edge_capacity_tracks = 2.0;  // 6 wires cannot share one bend pattern
+
+  RouterOptions blind_opts = opts;
+  blind_opts.rip_up_rounds = 0;
+  blind_opts.overflow_penalty = 0.0;  // cost-blind: everyone ties
+  blind_opts.history_increment = 0.0;
+  GlobalRouter blind(nl, blind_opts);
+  const RouteStats before = blind.route(nl.snapshot());
+
+  GlobalRouter smart(nl, opts);
+  const RouteStats after = smart.route(nl.snapshot());
+  EXPECT_GT(before.overflow, 0.0);
+  EXPECT_LT(after.overflow, before.overflow);
+}
+
+TEST(Router, SkipsHugeNets) {
+  Netlist nl;
+  std::vector<Pin> pins;
+  for (int i = 0; i < 30; ++i) {
+    Cell c;
+    c.name = "c" + std::to_string(i);
+    c.width = 2;
+    c.height = 2;
+    c.x = 3.0 * i;
+    pins.push_back({nl.add_cell(c), 0, 0});
+  }
+  nl.add_net("huge", 1.0, pins);
+  nl.set_core({0, 0, 100, 100});
+  nl.finalize();
+  RouterOptions opts;
+  opts.max_net_degree = 10;
+  GlobalRouter router(nl, opts);
+  const RouteStats stats = router.route(nl.snapshot());
+  EXPECT_EQ(stats.skipped_nets, 1u);
+  EXPECT_EQ(stats.routed_connections, 0u);
+}
+
+TEST(Router, RoutesGeneratedDesign) {
+  Netlist nl = complx::testing::small_circuit(161, 1500);
+  ComplxConfig cfg;
+  cfg.max_iterations = 35;
+  const PlaceResult gp = ComplxPlacer(nl, cfg).place();
+  GlobalRouter router(nl, {});
+  const RouteStats stats = router.route(gp.anchors);
+  EXPECT_GT(stats.routed_connections, 500u);
+  EXPECT_GT(stats.wirelength, 0.0);
+  // Routed wirelength is bounded below by HPWL-ish scale (sanity).
+  EXPECT_LT(stats.max_overflow, 100.0);
+}
+
+TEST(Router, PlacedDesignRoutesBetterThanScatter) {
+  // A wirelength-optimized placement must route with less wirelength AND
+  // less overflow than the generator's random scatter.
+  Netlist nl = complx::testing::small_circuit(162, 1200);
+  RouterOptions opts;
+  opts.edge_capacity_tracks = 6.0;
+  GlobalRouter r1(nl, opts);
+  const RouteStats scatter = r1.route(nl.snapshot());
+
+  ComplxConfig cfg;
+  cfg.max_iterations = 35;
+  const PlaceResult gp = ComplxPlacer(nl, cfg).place();
+  GlobalRouter r2(nl, opts);
+  const RouteStats placed = r2.route(gp.anchors);
+
+  EXPECT_LT(placed.wirelength, 0.7 * scatter.wirelength);
+  EXPECT_LE(placed.overflow, scatter.overflow);
+}
+
+}  // namespace
+}  // namespace complx

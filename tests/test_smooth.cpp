@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "helpers.h"
+#include "wl/hpwl.h"
+#include "wl/smooth.h"
+
+namespace complx {
+namespace {
+
+/// Central finite-difference check of value_and_grad on movable cells.
+void check_gradient(const Netlist& nl, const SmoothWl& wl, Placement p,
+                    double h, double rel_tol) {
+  Vec gx, gy;
+  wl.value_and_grad(p, gx, gy);
+  int checked = 0;
+  for (CellId id : nl.movable_cells()) {
+    if (checked >= 12) break;  // spot-check a dozen cells
+    ++checked;
+    for (int axis = 0; axis < 2; ++axis) {
+      Vec& coord = axis == 0 ? p.x : p.y;
+      const double g = axis == 0 ? gx[id] : gy[id];
+      const double orig = coord[id];
+      Vec tx, ty;
+      coord[id] = orig + h;
+      const double fp = wl.value_and_grad(p, tx, ty);
+      coord[id] = orig - h;
+      const double fm = wl.value_and_grad(p, tx, ty);
+      coord[id] = orig;
+      const double fd = (fp - fm) / (2 * h);
+      const double scale = std::max({std::abs(g), std::abs(fd), 1e-3});
+      EXPECT_NEAR(g, fd, rel_tol * scale)
+          << "cell " << id << " axis " << axis;
+    }
+  }
+}
+
+class SmoothModels : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nl_ = complx::testing::small_circuit(31, 200);
+    p_ = nl_.snapshot();
+  }
+  Netlist nl_;
+  Placement p_;
+};
+
+// ----------------------------------------------------------------- LSE ----
+
+TEST_F(SmoothModels, LseUpperBoundsHpwl) {
+  // log-sum-exp over-approximates the max, so LSE-WL >= HPWL.
+  LseWl lse(nl_, /*gamma=*/5.0);
+  Vec gx, gy;
+  const double v = lse.value_and_grad(p_, gx, gy);
+  EXPECT_GE(v, hpwl(nl_, p_) * 0.999);
+}
+
+TEST_F(SmoothModels, LseConvergesToHpwlAsGammaShrinks) {
+  const double exact = hpwl(nl_, p_);
+  Vec gx, gy;
+  const double coarse = LseWl(nl_, 50.0).value_and_grad(p_, gx, gy);
+  const double fine = LseWl(nl_, 1.0).value_and_grad(p_, gx, gy);
+  EXPECT_LT(std::abs(fine - exact), std::abs(coarse - exact));
+  EXPECT_NEAR(fine, exact, 0.05 * exact);
+}
+
+TEST_F(SmoothModels, LseGradientMatchesFiniteDifference) {
+  LseWl lse(nl_, 8.0);
+  check_gradient(nl_, lse, p_, 1e-4, 1e-4);
+}
+
+TEST(Lse, RejectsNonPositiveGamma) {
+  Netlist nl = complx::testing::two_cell_chain();
+  EXPECT_THROW(LseWl(nl, 0.0), std::invalid_argument);
+  EXPECT_THROW(LseWl(nl, -1.0), std::invalid_argument);
+}
+
+TEST(Lse, TranslationInvariantGradientSumsToZero) {
+  // For nets among movable cells only, translating everything changes
+  // nothing: the gradient entries must sum to ~0 per axis.
+  Netlist nl = complx::testing::mesh_netlist(4);
+  LseWl lse(nl, 3.0);
+  Vec gx, gy;
+  lse.value_and_grad(nl.snapshot(), gx, gy);
+  double sx = 0.0, sy = 0.0;
+  for (double v : gx) sx += v;
+  for (double v : gy) sy += v;
+  EXPECT_NEAR(sx, 0.0, 1e-9);
+  EXPECT_NEAR(sy, 0.0, 1e-9);
+}
+
+// ------------------------------------------------------------- BetaReg ----
+
+TEST_F(SmoothModels, BetaRegApproachesHpwlOnTwoPinNets) {
+  // On an all-2-pin-net design the clique decomposition is exact and
+  // sqrt(d^2+beta) -> |d| as beta -> 0.
+  Netlist mesh = complx::testing::mesh_netlist(5);
+  const Placement mp = mesh.snapshot();
+  Vec gx, gy;
+  const double approx = BetaRegWl(mesh, 1e-6).value_and_grad(mp, gx, gy);
+  const double exact = hpwl(mesh, mp);
+  EXPECT_NEAR(approx, exact, 1e-2 * exact + 1.0);
+}
+
+TEST_F(SmoothModels, BetaRegGradientMatchesFiniteDifference) {
+  BetaRegWl wl(nl_, 1.0);
+  check_gradient(nl_, wl, p_, 1e-4, 1e-4);
+}
+
+TEST(BetaReg, RejectsNonPositiveBeta) {
+  Netlist nl = complx::testing::two_cell_chain();
+  EXPECT_THROW(BetaRegWl(nl, 0.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ PBetaReg ----
+
+TEST_F(SmoothModels, PBetaGradientMatchesFiniteDifference) {
+  PBetaRegWl wl(nl_, 6.0, 1e-3);
+  check_gradient(nl_, wl, p_, 1e-4, 5e-3);
+}
+
+TEST_F(SmoothModels, PBetaApproachesMaxPairDistanceAsPGrows) {
+  Netlist mesh = complx::testing::mesh_netlist(3);
+  const Placement mp = mesh.snapshot();
+  Vec gx, gy;
+  const double exact = hpwl(mesh, mp);
+  // p and beta tighten together (beta^(1/p) is the zero-distance floor).
+  const double loose = PBetaRegWl(mesh, 2.0, 1e-2).value_and_grad(mp, gx, gy);
+  const double tight =
+      PBetaRegWl(mesh, 8.0, 1e-12).value_and_grad(mp, gx, gy);
+  EXPECT_LT(std::abs(tight - exact), std::abs(loose - exact));
+}
+
+TEST(PBetaReg, RejectsBadParameters) {
+  Netlist nl = complx::testing::two_cell_chain();
+  EXPECT_THROW(PBetaRegWl(nl, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(PBetaRegWl(nl, 4.0, 0.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------- static edges ----
+
+TEST(StaticEdges, CliqueForSmallStarForLarge) {
+  Netlist nl;
+  std::vector<Pin> small_pins, big_pins;
+  for (int i = 0; i < 14; ++i) {
+    Cell c;
+    c.name = "c" + std::to_string(i);
+    c.width = 2;
+    c.height = 2;
+    c.x = i;
+    const CellId id = nl.add_cell(c);
+    if (i < 4) small_pins.push_back({id, 0, 0});
+    else big_pins.push_back({id, 0, 0});
+  }
+  nl.add_net("small", 1.0, small_pins);  // 4 pins -> clique: 6 edges
+  nl.add_net("big", 1.0, big_pins);      // 10 pins -> fan: 9 edges
+  nl.set_core({0, 0, 100, 100});
+  nl.finalize();
+  const auto edges = build_static_edges(nl, /*clique_max_degree=*/8);
+  EXPECT_EQ(edges.size(), 6u + 9u);
+}
+
+}  // namespace
+}  // namespace complx

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "helpers.h"
+#include "util/svg.h"
+
+namespace complx {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+TEST(Svg, RendersAllObjectClasses) {
+  Netlist nl = complx::testing::small_circuit(191, 400, /*movable_macros=*/2);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "complx_test.svg").string();
+  write_placement_svg(nl, nl.snapshot(), path);
+  const std::string svg = slurp(path);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Std cells (blue), macros (amber), fixed (gray) all present.
+  EXPECT_NE(svg.find("#4285f4"), std::string::npos);
+  EXPECT_NE(svg.find("#f9ab00"), std::string::npos);
+  EXPECT_NE(svg.find("#9aa0a6"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Svg, HighlightsMarkedCells) {
+  Netlist nl = complx::testing::small_circuit(192, 300);
+  SvgOptions opts;
+  opts.highlight.assign(nl.num_cells(), 0);
+  opts.highlight[nl.movable_cells()[0]] = 1;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "complx_test2.svg").string();
+  write_placement_svg(nl, nl.snapshot(), path, opts);
+  EXPECT_NE(slurp(path).find("#d93025"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Svg, RegionBoxesDrawn) {
+  Netlist nl;
+  const RegionId r = nl.add_region({"r", {10, 10, 50, 50}});
+  Cell c;
+  c.name = "c";
+  c.width = 2;
+  c.height = 2;
+  c.region = r;
+  nl.add_cell(c);
+  nl.set_core({0, 0, 100, 100});
+  nl.finalize();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "complx_test3.svg").string();
+  write_placement_svg(nl, nl.snapshot(), path);
+  const std::string svg = slurp(path);
+  EXPECT_NE(svg.find("#d93025"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Svg, ThrowsOnBadPath) {
+  Netlist nl = complx::testing::two_cell_chain();
+  EXPECT_THROW(
+      write_placement_svg(nl, nl.snapshot(), "/no_such_dir_xyz/f.svg"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace complx

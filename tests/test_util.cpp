@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/geom.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace complx {
+namespace {
+
+// ---------------------------------------------------------------- Rect ----
+
+TEST(Rect, BasicAccessors) {
+  Rect r{1.0, 2.0, 5.0, 10.0};
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 8.0);
+  EXPECT_DOUBLE_EQ(r.area(), 32.0);
+  EXPECT_EQ(r.center(), (Point{3.0, 6.0}));
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(Rect, EmptyWhenDegenerate) {
+  EXPECT_TRUE((Rect{3, 3, 3, 5}).empty());
+  EXPECT_TRUE((Rect{3, 5, 3, 3}).empty());
+  EXPECT_TRUE((Rect{5, 1, 3, 2}).empty());
+}
+
+TEST(Rect, ContainsPointInclusiveEdges) {
+  Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains(Point{0.0, 0.0}));
+  EXPECT_TRUE(r.contains(Point{10.0, 10.0}));
+  EXPECT_TRUE(r.contains(Point{5.0, 5.0}));
+  EXPECT_FALSE(r.contains(Point{10.01, 5.0}));
+  EXPECT_FALSE(r.contains(Point{5.0, -0.01}));
+}
+
+TEST(Rect, ContainsRect) {
+  Rect outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.contains(Rect{2, 2, 8, 8}));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(Rect{-1, 2, 8, 8}));
+}
+
+TEST(Rect, OverlapsIsStrict) {
+  Rect a{0, 0, 10, 10};
+  EXPECT_TRUE(a.overlaps(Rect{5, 5, 15, 15}));
+  // Touching edges do not overlap.
+  EXPECT_FALSE(a.overlaps(Rect{10, 0, 20, 10}));
+  EXPECT_FALSE(a.overlaps(Rect{0, 10, 10, 20}));
+  EXPECT_FALSE(a.overlaps(Rect{11, 0, 20, 10}));
+}
+
+TEST(Rect, OverlapArea) {
+  Rect a{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(a.overlap_area(Rect{5, 5, 15, 15}), 25.0);
+  EXPECT_DOUBLE_EQ(a.overlap_area(Rect{10, 10, 20, 20}), 0.0);
+  EXPECT_DOUBLE_EQ(a.overlap_area(Rect{2, 2, 4, 4}), 4.0);
+  EXPECT_DOUBLE_EQ(a.overlap_area(a), 100.0);
+}
+
+TEST(Rect, United) {
+  Rect u = Rect{0, 0, 1, 1}.united({5, 5, 6, 7});
+  EXPECT_EQ(u, (Rect{0, 0, 6, 7}));
+}
+
+TEST(Rect, ClampPoint) {
+  Rect r{0, 0, 10, 10};
+  EXPECT_EQ(r.clamp({-5, 5}), (Point{0, 5}));
+  EXPECT_EQ(r.clamp({15, 12}), (Point{10, 10}));
+  EXPECT_EQ(r.clamp({3, 4}), (Point{3, 4}));
+}
+
+TEST(Geom, L1Dist) {
+  EXPECT_DOUBLE_EQ(l1_dist({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(l1_dist({-1, -1}, {1, 1}), 4.0);
+}
+
+// ----------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+  }
+  // Different seed should diverge immediately (overwhelming probability).
+  Rng a2(42);
+  EXPECT_NE(a2.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 2;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NetDegreeDistribution) {
+  Rng rng(3);
+  int small = 0, total = 20000;
+  int max_seen = 0;
+  for (int i = 0; i < total; ++i) {
+    const int d = rng.net_degree(32);
+    EXPECT_GE(d, 2);
+    EXPECT_LE(d, 32);
+    if (d <= 3) ++small;
+    max_seen = std::max(max_seen, d);
+  }
+  // VLSI-like: most nets are 2-3 pins, but the tail exists.
+  EXPECT_GT(small, total / 2);
+  EXPECT_GT(max_seen, 10);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(4);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+// --------------------------------------------------------------- stats ----
+
+TEST(Stats, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
+  EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-12);
+  EXPECT_THROW(geomean({}), std::invalid_argument);
+  EXPECT_THROW(geomean({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(geomean({1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(Stats, MeanAndMedian) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(median({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+// ----------------------------------------------------------------- CSV ----
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "complx_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.row(std::vector<double>{1.5, 2.5});
+    csv.row(std::vector<std::string>{"x", "y"});
+  }
+  std::ifstream in(path);
+  std::string l1, l2, l3;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  std::getline(in, l3);
+  EXPECT_EQ(l1, "a,b");
+  EXPECT_EQ(l2, "1.5,2.5");
+  EXPECT_EQ(l3, "x,y");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsWidthMismatch) {
+  const std::string path = ::testing::TempDir() + "complx_csv_test2.csv";
+  CsvWriter csv(path, {"a", "b", "c"});
+  EXPECT_THROW(csv.row(std::vector<double>{1.0}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/f.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace complx
