@@ -9,6 +9,9 @@
 //   --simpl               run the SimPL-compatibility configuration
 //   --lse                 use the log-sum-exp interconnect model
 //   --max-iters <n>       global placement iteration cap
+//   --threads <n>         worker threads for the parallel kernels (default:
+//                         hardware concurrency; 1 = fully serial; results
+//                         are bitwise identical for any value)
 //   --no-dp               skip detailed placement
 //   --orient              run cell-orientation optimization after DP
 //   --trace <file.csv>    dump the per-iteration L/Phi/Pi trace
@@ -30,6 +33,7 @@
 #include "util/svg.h"
 #include "legal/tetris.h"
 #include "util/log.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 #include "wl/hpwl.h"
 
@@ -41,8 +45,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: complx_place <design.aux> [--out f.pl] "
                "[--target-density g] [--simpl] [--lse] [--max-iters n] "
-               "[--no-dp] [--orient] [--trace f.csv] [--svg f.svg] "
-               "[--quiet]\n");
+               "[--threads n] [--no-dp] [--orient] [--trace f.csv] "
+               "[--svg f.svg] [--quiet]\n");
 }
 
 }  // namespace
@@ -60,6 +64,7 @@ int main(int argc, char** argv) {
   bool simpl = false, lse = false, run_dp = true, quiet = false;
   bool orient = false;
   int max_iters = 0;
+  int threads = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -75,6 +80,7 @@ int main(int argc, char** argv) {
     else if (arg == "--simpl") simpl = true;
     else if (arg == "--lse") lse = true;
     else if (arg == "--max-iters") max_iters = std::atoi(next());
+    else if (arg == "--threads") threads = std::atoi(next());
     else if (arg == "--no-dp") run_dp = false;
     else if (arg == "--orient") orient = true;
     else if (arg == "--trace") trace_path = next();
@@ -93,6 +99,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   set_log_level(quiet ? LogLevel::Warn : LogLevel::Info);
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return 1;
+  }
+  set_global_threads(static_cast<size_t>(threads));
 
   try {
     Timer total;

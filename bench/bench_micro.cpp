@@ -10,6 +10,7 @@
 #include "legal/tetris.h"
 #include "projection/lal.h"
 #include "qp/solver.h"
+#include "util/parallel.h"
 #include "wl/hpwl.h"
 #include "wl/incremental.h"
 
@@ -112,6 +113,74 @@ void BM_IncrementalVsNaiveMoveEval(benchmark::State& state) {
 BENCHMARK(BM_IncrementalVsNaiveMoveEval)
     ->Arg(0)  // naive
     ->Arg(1);  // cached
+
+// --------------------------------------------------------------------------
+// Thread-scaling benchmarks (Arg = thread count) on a 100k-cell design.
+// These back the docs/BENCHMARKS.md parallel-speedup table; results are
+// bitwise identical across thread counts by construction (determinism
+// tests), so these measure time only.
+// --------------------------------------------------------------------------
+
+const Netlist& big_circuit() {
+  static const Netlist nl = make_circuit(100000);
+  return nl;
+}
+
+void BM_SpMVThreads(benchmark::State& state) {
+  const Netlist& nl = big_circuit();
+  static const CsrMatrix A = [&] {
+    const VarMap vars(nl);
+    SystemBuilder builder(nl, vars, Axis::X, nl.snapshot());
+    builder.add_pin_springs(build_b2b(nl, nl.snapshot(), Axis::X, {}));
+    return builder.build_matrix();
+  }();
+  set_global_threads(static_cast<size_t>(state.range(0)));
+  Vec x(A.dim(), 1.0), y;
+  for (auto _ : state) {
+    A.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(A.nnz()));
+  set_global_threads(0);
+}
+BENCHMARK(BM_SpMVThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DensityBuildThreads(benchmark::State& state) {
+  const Netlist& nl = big_circuit();
+  const Placement p = nl.snapshot();
+  DensityGrid grid(nl, 256, 256);
+  set_global_threads(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) grid.build(p);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(nl.num_movable()));
+  set_global_threads(0);
+}
+BENCHMARK(BM_DensityBuildThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HpwlThreads(benchmark::State& state) {
+  const Netlist& nl = big_circuit();
+  const Placement p = nl.snapshot();
+  set_global_threads(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(hpwl(nl, p));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(nl.num_pins()));
+  set_global_threads(0);
+}
+BENCHMARK(BM_HpwlThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_B2bBuildThreads(benchmark::State& state) {
+  const Netlist& nl = big_circuit();
+  const Placement p = nl.snapshot();
+  set_global_threads(static_cast<size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(build_b2b(nl, p, Axis::X, {}));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(nl.num_pins()));
+  set_global_threads(0);
+}
+BENCHMARK(BM_B2bBuildThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_Legalize(benchmark::State& state) {
   const Netlist nl = make_circuit(static_cast<size_t>(state.range(0)));

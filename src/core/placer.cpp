@@ -6,6 +6,7 @@
 
 #include "nlcg/nlcg.h"
 #include "util/log.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/timer.h"
 #include "wl/hpwl.h"
@@ -156,6 +157,8 @@ PlaceResult ComplxPlacer::place_from(const Placement& initial) {
 }
 
 PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
+  if (cfg_.threads > 0) set_global_threads(cfg_.threads);
+
   Timer timer;
   PlaceResult result;
 

@@ -91,6 +91,13 @@ struct ComplxConfig {
   bool use_gap_criterion = true;  ///< false = SimPL (overflow only)
   int min_iterations = 10;
 
+  // Worker threads for the parallel kernels (SpMV/CG reductions, B2B
+  // assembly, density binning, HPWL/RUDY). 0 = leave the process-wide
+  // setting alone (default: hardware concurrency). All kernels use
+  // deterministic fixed-chunk reductions, so any value produces bitwise
+  // identical placements; 1 runs everything inline on the caller.
+  size_t threads = 0;
+
   // Pseudonet linearization ε in row heights (paper: 1.5).
   double epsilon_rows = 1.5;
 

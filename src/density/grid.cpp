@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/parallel.h"
+
 namespace complx {
 
 DensityGrid::DensityGrid(const Netlist& nl, size_t bins_x, size_t bins_y)
@@ -38,19 +40,56 @@ void DensityGrid::deposit(const Rect& r, std::vector<double>& field) {
       field[idx(i, j)] += bin_rect(i, j).overlap_area(clipped);
 }
 
-void DensityGrid::build(const Placement& p) {
-  use_.assign(bx_ * by_, 0.0);
-  for (CellId id : nl_.movable_cells()) {
-    const Cell& c = nl_.cell(id);
-    const Rect r = {p.x[id] - c.width / 2.0, p.y[id] - c.height / 2.0,
-                    p.x[id] + c.width / 2.0, p.y[id] + c.height / 2.0};
-    deposit(r, use_);
+void DensityGrid::parallel_deposit(
+    size_t n, const std::function<void(size_t, std::vector<double>&)>& dep,
+    std::vector<double>& field) {
+  field.assign(bx_ * by_, 0.0);
+  const Partition part = partition_range(n, 1024, 32);
+  if (part.parts <= 1) {  // small designs: exactly the historical loop
+    for (size_t k = 0; k < n; ++k) dep(k, field);
+    return;
   }
+  // Per-block partial grids. Block boundaries depend only on n, and bins
+  // merge their partials in block order, so the grid is bitwise identical
+  // at any thread count.
+  std::vector<std::vector<double>> partial(part.parts);
+  parallel_for(
+      n,
+      [&](size_t begin, size_t end) {
+        std::vector<double>& f = partial[begin / part.chunk];
+        f.assign(bx_ * by_, 0.0);
+        for (size_t k = begin; k < end; ++k) dep(k, f);
+      },
+      part.chunk);
+  parallel_for(bx_ * by_, [&](size_t b0, size_t b1) {
+    for (size_t b = b0; b < b1; ++b) {
+      double s = 0.0;
+      for (const std::vector<double>& f : partial)
+        if (!f.empty()) s += f[b];
+      field[b] = s;
+    }
+  });
+}
+
+void DensityGrid::build(const Placement& p) {
+  const std::vector<CellId>& movable = nl_.movable_cells();
+  parallel_deposit(
+      movable.size(),
+      [&](size_t k, std::vector<double>& f) {
+        const CellId id = movable[k];
+        const Cell& c = nl_.cell(id);
+        const Rect r = {p.x[id] - c.width / 2.0, p.y[id] - c.height / 2.0,
+                        p.x[id] + c.width / 2.0, p.y[id] + c.height / 2.0};
+        deposit(r, f);
+      },
+      use_);
 }
 
 void DensityGrid::build_from_rects(const std::vector<Rect>& movable_rects) {
-  use_.assign(bx_ * by_, 0.0);
-  for (const Rect& r : movable_rects) deposit(r, use_);
+  parallel_deposit(
+      movable_rects.size(),
+      [&](size_t k, std::vector<double>& f) { deposit(movable_rects[k], f); },
+      use_);
 }
 
 Rect DensityGrid::bin_rect(size_t i, size_t j) const {
@@ -65,10 +104,14 @@ double DensityGrid::overflow(size_t i, size_t j, double gamma) const {
 }
 
 double DensityGrid::total_overflow(double gamma) const {
-  double s = 0.0;
-  for (size_t j = 0; j < by_; ++j)
-    for (size_t i = 0; i < bx_; ++i) s += overflow(i, j, gamma);
-  return s;
+  // Bin-order reduction with deterministic fixed chunking (the serial loop
+  // visited bins in exactly this linear order).
+  return parallel_sum(bx_ * by_, [&](size_t begin, size_t end) {
+    double s = 0.0;
+    for (size_t k = begin; k < end; ++k)
+      s += std::max(0.0, use_[k] - gamma * cap_[k]);
+    return s;
+  });
 }
 
 bool DensityGrid::feasible(double gamma, double tol) const {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "netlist/netlist.h"
@@ -67,6 +68,12 @@ class DensityGrid {
  private:
   size_t idx(size_t i, size_t j) const { return j * bx_ + i; }
   void deposit(const Rect& r, std::vector<double>& field);
+  /// Deposits items [0, n) into `field` via per-block partial grids merged
+  /// in block order — deterministic at any thread count (see
+  /// docs/PARALLELISM.md). `dep(k, f)` adds item k's area into grid f.
+  void parallel_deposit(
+      size_t n, const std::function<void(size_t, std::vector<double>&)>& dep,
+      std::vector<double>& field);
 
   const Netlist& nl_;
   size_t bx_, by_;

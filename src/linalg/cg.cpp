@@ -14,7 +14,11 @@ CgResult solve_pcg(const CsrMatrix& A, const Vec& b, Vec& x,
   CgResult result;
   const double b_norm = norm2(b);
   if (b_norm == 0.0) {
+    // x = 0 solves the system exactly; report a fully-populated result
+    // (0 iterations, zero residual) instead of default-initialized fields.
     x.assign(n, 0.0);
+    result.iterations = 0;
+    result.residual_norm = 0.0;
     result.converged = true;
     return result;
   }
@@ -35,14 +39,13 @@ CgResult solve_pcg(const CsrMatrix& A, const Vec& b, Vec& x,
       opts.max_iterations ? opts.max_iterations : 4 * n + 16;
   const double tol = opts.rel_tolerance * b_norm;
 
-  for (size_t it = 0; it < max_iter; ++it) {
-    const double r_norm = norm2(r);
-    if (r_norm <= tol) {
-      result.converged = true;
-      result.residual_norm = r_norm;
-      result.iterations = it;
-      return result;
-    }
+  // The residual norm is computed once per iteration (after the update) and
+  // carried into both the convergence test and the reported result, so
+  // result.iterations / result.residual_norm always describe the same
+  // iterate on every exit path (converged, breakdown, or budget exhausted).
+  double r_norm = norm2(r);
+  size_t it = 0;
+  for (; it < max_iter && r_norm > tol; ++it) {
     A.multiply(p, Ap);
     const double pAp = dot(p, Ap);
     if (pAp <= 0.0) break;  // not SPD (or numerical breakdown)
@@ -54,10 +57,11 @@ CgResult solve_pcg(const CsrMatrix& A, const Vec& b, Vec& x,
     const double beta = rz_next / rz;
     rz = rz_next;
     xpay(z, beta, p);  // p = z + beta * p
-    result.iterations = it + 1;
+    r_norm = norm2(r);
   }
-  result.residual_norm = norm2(r);
-  result.converged = result.residual_norm <= tol;
+  result.iterations = it;
+  result.residual_norm = r_norm;
+  result.converged = r_norm <= tol;
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/parallel.h"
+
 namespace complx {
 
 CsrMatrix CsrMatrix::from_triplets(const TripletList& t) {
@@ -64,13 +66,17 @@ CsrMatrix CsrMatrix::from_triplets(const TripletList& t) {
 void CsrMatrix::multiply(const Vec& x, Vec& y) const {
   const size_t n = dim();
   if (x.size() != n) throw std::invalid_argument("SpMV dimension mismatch");
-  y.assign(n, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    double s = 0.0;
-    for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
-      s += val_[k] * x[col_[k]];
-    y[i] = s;
-  }
+  y.resize(n);
+  // Row-parallel: each y[i] is the same left-to-right accumulation as the
+  // serial loop, so the result is bitwise identical at any thread count.
+  parallel_for(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double s = 0.0;
+      for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+        s += val_[k] * x[col_[k]];
+      y[i] = s;
+    }
+  });
 }
 
 Vec CsrMatrix::diagonal() const {

@@ -1,6 +1,11 @@
 // Dense vector helpers for the CG solver and quadratic-system assembly.
 // Kept free-function style over std::vector<double> — the solver's hot loops
 // are simple enough that a dedicated vector class would add nothing.
+//
+// Reductions use the deterministic fixed-chunk scheme of util/parallel.h:
+// vectors up to kReduceChunk reduce with the plain serial loop (identical
+// bits to the pre-parallel code); longer vectors sum per-chunk partials in
+// chunk order, so results are bitwise independent of the thread count.
 #pragma once
 
 #include <algorithm>
@@ -8,26 +13,39 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/parallel.h"
+
 namespace complx {
 
 using Vec = std::vector<double>;
 
 inline double dot(const Vec& a, const Vec& b) {
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  if (a.size() <= kReduceChunk) {  // single chunk: allocation-free fast path
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+  }
+  return par_dot(a, b);
 }
 
 inline double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
 
 /// y += alpha * x
 inline void axpy(double alpha, const Vec& x, Vec& y) {
-  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  if (x.size() <= kReduceChunk) {
+    for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+    return;
+  }
+  par_axpy(alpha, x, y);
 }
 
 /// x = alpha * x + y  (used for CG direction updates)
 inline void xpay(const Vec& y, double alpha, Vec& x) {
-  for (size_t i = 0; i < x.size(); ++i) x[i] = alpha * x[i] + y[i];
+  if (x.size() <= kReduceChunk) {
+    for (size_t i = 0; i < x.size(); ++i) x[i] = alpha * x[i] + y[i];
+    return;
+  }
+  par_xpay(y, alpha, x);
 }
 
 inline double linf_dist(const Vec& a, const Vec& b) {

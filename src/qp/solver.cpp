@@ -1,6 +1,9 @@
 #include "qp/solver.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "util/parallel.h"
 
 namespace complx {
 
@@ -29,9 +32,13 @@ QpIterationResult solve_qp_iteration(const Netlist& nl, const VarMap& vars,
   // even though x is solved first.
   const Placement point = p;
 
-  QpIterationResult result;
-  for (Axis axis : {Axis::X, Axis::Y}) {
-    SystemBuilder builder(nl, vars, axis, point);
+  // The two axis systems are independent given the frozen linearization
+  // point, so their assembly (net model + anchor pseudonets into triplets)
+  // runs concurrently. The CG solves stay sequential on the caller so each
+  // solve gets the full pool for its SpMV/reduction parallelism.
+  SystemBuilder builder_x(nl, vars, Axis::X, point);
+  SystemBuilder builder_y(nl, vars, Axis::Y, point);
+  auto assemble = [&](SystemBuilder& builder, Axis axis) {
     switch (opts.model) {
       case NetModel::B2B:
         builder.add_pin_springs(build_b2b(nl, point, axis, opts.b2b));
@@ -49,6 +56,13 @@ QpIterationResult solve_qp_iteration(const Netlist& nl, const VarMap& vars,
       for (CellId id : nl.movable_cells())
         builder.add_anchor(id, tgt[id], wgt[id]);
     }
+  };
+  parallel_invoke([&] { assemble(builder_x, Axis::X); },
+                  [&] { assemble(builder_y, Axis::Y); });
+
+  QpIterationResult result;
+  for (Axis axis : {Axis::X, Axis::Y}) {
+    SystemBuilder& builder = axis == Axis::X ? builder_x : builder_y;
     CgResult cg = builder.solve(p, opts.cg);
     if (opts.clamp_to_core)
       clamp_axis(nl, axis == Axis::X ? p.x : p.y, axis);

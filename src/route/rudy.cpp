@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.h"
 #include "wl/hpwl.h"
 
 namespace complx {
@@ -38,15 +39,14 @@ size_t CongestionMap::bin_y_of(double y) const {
   return static_cast<size_t>(std::clamp(k, 0L, static_cast<long>(by_) - 1));
 }
 
-void CongestionMap::build(const Placement& p) {
-  std::fill(h_demand_.begin(), h_demand_.end(), 0.0);
-  std::fill(v_demand_.begin(), v_demand_.end(), 0.0);
+void CongestionMap::deposit_net_range(const Placement& p, size_t begin,
+                                      size_t end, std::vector<double>& h_out,
+                                      std::vector<double>& v_out) const {
   const double min_ext = opts_.min_extent_rows * nl_.row_height();
-
-  for (NetId e = 0; e < nl_.num_nets(); ++e) {
-    const Net& net = nl_.net(e);
+  for (size_t e = begin; e < end; ++e) {
+    const Net& net = nl_.net(static_cast<NetId>(e));
     if (net.num_pins < 2) continue;
-    Rect bb = net_bbox(nl_, p, e);
+    Rect bb = net_bbox(nl_, p, static_cast<NetId>(e));
     // Degenerate boxes still consume local routing resources.
     if (bb.width() < min_ext) {
       const double c = (bb.xl + bb.xh) / 2.0;
@@ -76,11 +76,48 @@ void CongestionMap::build(const Placement& p) {
                        core_.xl + static_cast<double>(i + 1) * bw_,
                        core_.yl + static_cast<double>(j + 1) * bh_};
         const double ov = bin.overlap_area(bb);
-        h_demand_[idx(i, j)] += h_density * ov;
-        v_demand_[idx(i, j)] += v_density * ov;
+        h_out[idx(i, j)] += h_density * ov;
+        v_out[idx(i, j)] += v_density * ov;
       }
     }
   }
+}
+
+void CongestionMap::build(const Placement& p) {
+  const size_t num_nets = nl_.num_nets();
+  const Partition part = partition_range(num_nets, 1024, 32);
+  if (part.parts <= 1) {  // historical serial path
+    std::fill(h_demand_.begin(), h_demand_.end(), 0.0);
+    std::fill(v_demand_.begin(), v_demand_.end(), 0.0);
+    deposit_net_range(p, 0, num_nets, h_demand_, v_demand_);
+    return;
+  }
+
+  // Per-block partial demand grids merged in block order — same
+  // determinism scheme as DensityGrid (docs/PARALLELISM.md).
+  const size_t bins = bx_ * by_;
+  std::vector<std::vector<double>> h_part(part.parts), v_part(part.parts);
+  parallel_for(
+      num_nets,
+      [&](size_t begin, size_t end) {
+        const size_t blk = begin / part.chunk;
+        h_part[blk].assign(bins, 0.0);
+        v_part[blk].assign(bins, 0.0);
+        deposit_net_range(p, begin, end, h_part[blk], v_part[blk]);
+      },
+      part.chunk);
+  parallel_for(bins, [&](size_t b0, size_t b1) {
+    for (size_t b = b0; b < b1; ++b) {
+      double h = 0.0, v = 0.0;
+      for (size_t blk = 0; blk < part.parts; ++blk) {
+        if (h_part[blk].empty()) continue;
+        h += h_part[blk][b];
+        v += v_part[blk][b];
+      }
+      h_demand_[b] = h;
+      v_demand_[b] = v;
+    }
+  });
 }
 
 double CongestionMap::congestion_at(double x, double y) const {

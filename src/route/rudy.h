@@ -59,6 +59,10 @@ class CongestionMap {
   size_t idx(size_t i, size_t j) const { return j * bx_ + i; }
   size_t bin_x_of(double x) const;
   size_t bin_y_of(double y) const;
+  /// Adds demand of nets [begin, end) into the given demand grids.
+  void deposit_net_range(const Placement& p, size_t begin, size_t end,
+                         std::vector<double>& h_out,
+                         std::vector<double>& v_out) const;
 
   const Netlist& nl_;
   RudyOptions opts_;

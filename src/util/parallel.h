@@ -1,0 +1,157 @@
+// Deterministic parallel execution for the primal/projection hot paths.
+//
+// Design goals, in priority order:
+//  1. Bitwise reproducibility independent of thread count. Every parallel
+//     reduction is computed over a *fixed* partition of the index range
+//     (chunk boundaries depend only on the problem size, never on the
+//     thread count), and per-chunk partial results are combined in chunk
+//     order. Threads only decide *who* computes a chunk, never *what* is
+//     summed with what — so `--threads 1/2/8` produce identical bytes.
+//  2. No surprises for existing code: ranges small enough to fit a single
+//     chunk reduce exactly like the historical serial loops, and a pool of
+//     one thread executes everything inline on the caller.
+//  3. Simplicity over peak throughput: static block partitioning with a
+//     shared chunk counter, one job in flight at a time, caller
+//     participates in the work.
+//
+// Nested parallel regions are rejected by construction: a parallel_for
+// issued from inside another parallel region (worker or caller thread)
+// executes its whole range inline on the issuing thread. This keeps the
+// pool deadlock-free and keeps determinism trivial to reason about.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace complx {
+
+/// Fixed-size worker pool executing one static-partitioned loop at a time.
+/// `num_threads` counts the calling thread: a pool of N spawns N−1 workers,
+/// and a pool of 1 spawns none (all calls run inline — today's behavior).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_; }
+
+  /// Runs body(chunk_begin, chunk_end) over [0, n) split into blocks of
+  /// `chunk` indices (the last block may be short). Chunk boundaries depend
+  /// only on (n, chunk), so any value written or summed per chunk is
+  /// independent of the thread count. Blocks are claimed dynamically but
+  /// the caller participates and the call returns only when every block
+  /// has run. The first exception thrown by `body` is rethrown here.
+  void parallel_for(size_t n, size_t chunk,
+                    const std::function<void(size_t, size_t)>& body);
+
+  /// Runs the given independent tasks concurrently (caller participates).
+  void invoke(const std::vector<std::function<void()>>& tasks);
+
+  /// True while the current thread is executing inside a parallel region
+  /// (worker chunk or caller participation). Used to reject nesting.
+  static bool in_parallel_region();
+
+ private:
+  struct Job {
+    const std::function<void(size_t, size_t)>* body = nullptr;
+    size_t n = 0;
+    size_t chunk = 0;
+    size_t num_chunks = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    size_t active = 0;  ///< workers currently attached (guarded by pool mu_)
+    std::exception_ptr error;
+    std::mutex error_mu;
+  };
+
+  void worker_loop();
+  void run_chunks(Job& job);
+  void run_inline(size_t n, size_t chunk,
+                  const std::function<void(size_t, size_t)>& body);
+
+  size_t threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait for a new job
+  std::condition_variable done_cv_;  ///< caller waits for job completion
+  Job* job_ = nullptr;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// std::thread::hardware_concurrency with a floor of 1.
+size_t hardware_threads();
+
+/// Sets the process-wide thread count used by the parallel kernels.
+/// 0 restores the default (hardware concurrency). Not thread-safe: call
+/// from the main thread before starting parallel work.
+void set_global_threads(size_t n);
+
+/// Current process-wide thread count (never 0).
+size_t global_threads();
+
+/// The shared pool all parallel kernels run on (created lazily).
+ThreadPool& global_pool();
+
+// ---------------------------------------------------------------------------
+// Deterministic helpers over the global pool.
+// ---------------------------------------------------------------------------
+
+/// Fixed reduction chunk: ranges up to this size reduce exactly like the
+/// historical serial loops (single chunk). Never derive chunking from the
+/// thread count — that is what keeps results bitwise thread-independent.
+inline constexpr size_t kReduceChunk = 4096;
+
+/// Partition [0, n) into equal blocks: at least `min_chunk` indices per
+/// block, at most `max_parts` blocks. Depends only on n — used by kernels
+/// that keep one scratch buffer per block (density/RUDY partial grids).
+struct Partition {
+  size_t parts = 1;
+  size_t chunk = 0;  ///< indices per block (last block may be short)
+};
+Partition partition_range(size_t n, size_t min_chunk, size_t max_parts);
+
+/// parallel_for over [0, n) on the global pool; body(begin, end) must only
+/// write locations owned by its indices. `chunk` 0 picks a size aimed at
+/// ~4 blocks per thread (execution-only choice — safe because the body's
+/// writes are index-owned, not order-dependent).
+void parallel_for(size_t n, const std::function<void(size_t, size_t)>& body,
+                  size_t chunk = 0);
+
+/// Deterministic sum: chunk_sum(begin, end) is evaluated per kReduceChunk
+/// block and the partials are added in block order. Bitwise independent of
+/// the thread count; equal to the serial loop whenever n <= kReduceChunk.
+double parallel_sum(size_t n,
+                    const std::function<double(size_t, size_t)>& chunk_sum);
+
+/// Runs two independent tasks concurrently (e.g. the two placement axes).
+void parallel_invoke(const std::function<void()>& a,
+                     const std::function<void()>& b);
+
+// ---------------------------------------------------------------------------
+// Parallel backends for the vec.h reductions (deterministic chunking).
+// vec.h wraps these behind a small-size fast path; declared on raw
+// std::vector<double> here so util does not depend on linalg headers.
+// ---------------------------------------------------------------------------
+
+/// dot(a, b) with deterministic fixed-chunk reduction.
+double par_dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// y += alpha * x, element-parallel (bitwise identical to the serial loop).
+void par_axpy(double alpha, const std::vector<double>& x,
+              std::vector<double>& y);
+
+/// x = alpha * x + y, element-parallel (bitwise identical to serial).
+void par_xpay(const std::vector<double>& y, double alpha,
+              std::vector<double>& x);
+
+}  // namespace complx

@@ -3,15 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace complx {
 
-std::vector<PinSpring> build_b2b(const Netlist& nl, const Placement& p,
-                                 Axis axis, const B2bOptions& opts) {
-  std::vector<PinSpring> springs;
-  springs.reserve(2 * nl.num_pins());
+namespace {
 
-  for (NetId e = 0; e < nl.num_nets(); ++e) {
-    const Net& net = nl.net(e);
+/// Emits the B2B springs of nets [begin, end) into `springs` in net order.
+void build_b2b_range(const Netlist& nl, const Placement& p, Axis axis,
+                     const B2bOptions& opts, size_t begin, size_t end,
+                     std::vector<PinSpring>& springs) {
+  for (size_t e = begin; e < end; ++e) {
+    const Net& net = nl.net(static_cast<NetId>(e));
     const uint32_t deg = net.num_pins;
     if (deg < 2 || deg > opts.max_degree) continue;
 
@@ -44,6 +47,40 @@ std::vector<PinSpring> build_b2b(const Netlist& nl, const Placement& p,
       emit(k, hi);
     }
   }
+}
+
+}  // namespace
+
+std::vector<PinSpring> build_b2b(const Netlist& nl, const Placement& p,
+                                 Axis axis, const B2bOptions& opts) {
+  const size_t num_nets = nl.num_nets();
+  const Partition part = partition_range(num_nets, 512, 64);
+
+  std::vector<PinSpring> springs;
+  if (part.parts <= 1) {
+    springs.reserve(2 * nl.num_pins());
+    build_b2b_range(nl, p, axis, opts, 0, num_nets, springs);
+    return springs;
+  }
+
+  // Per-block spring buffers built in parallel, concatenated in block
+  // order: the output is the exact spring sequence of the serial loop, so
+  // everything downstream (triplets, CSR, CG) is bitwise unchanged.
+  std::vector<std::vector<PinSpring>> blocks(part.parts);
+  parallel_for(
+      num_nets,
+      [&](size_t begin, size_t end) {
+        std::vector<PinSpring>& out = blocks[begin / part.chunk];
+        out.reserve(3 * (end - begin));
+        build_b2b_range(nl, p, axis, opts, begin, end, out);
+      },
+      part.chunk);
+
+  size_t total = 0;
+  for (const auto& blk : blocks) total += blk.size();
+  springs.reserve(total);
+  for (const auto& blk : blocks)
+    springs.insert(springs.end(), blk.begin(), blk.end());
   return springs;
 }
 

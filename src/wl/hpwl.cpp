@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/parallel.h"
+
 namespace complx {
 
 Rect net_bbox(const Netlist& nl, const Placement& p, NetId e) {
@@ -27,17 +29,26 @@ double net_hpwl(const Netlist& nl, const Placement& p, NetId e) {
   return (b.xh - b.xl) + (b.yh - b.yl);
 }
 
+// Both totals reduce over nets with the deterministic fixed-chunk scheme:
+// per-chunk sums in net order, combined in chunk order — identical bytes at
+// any thread count, and identical to the old serial loop for designs with
+// at most kReduceChunk nets.
 double hpwl(const Netlist& nl, const Placement& p) {
-  double total = 0.0;
-  for (NetId e = 0; e < nl.num_nets(); ++e) total += net_hpwl(nl, p, e);
-  return total;
+  return parallel_sum(nl.num_nets(), [&](size_t begin, size_t end) {
+    double s = 0.0;
+    for (size_t e = begin; e < end; ++e)
+      s += net_hpwl(nl, p, static_cast<NetId>(e));
+    return s;
+  });
 }
 
 double weighted_hpwl(const Netlist& nl, const Placement& p) {
-  double total = 0.0;
-  for (NetId e = 0; e < nl.num_nets(); ++e)
-    total += nl.net(e).weight * net_hpwl(nl, p, e);
-  return total;
+  return parallel_sum(nl.num_nets(), [&](size_t begin, size_t end) {
+    double s = 0.0;
+    for (size_t e = begin; e < end; ++e)
+      s += nl.net(e).weight * net_hpwl(nl, p, static_cast<NetId>(e));
+    return s;
+  });
 }
 
 double stored_hpwl(const Netlist& nl) {

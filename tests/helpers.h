@@ -2,7 +2,10 @@
 // known optima, plus convenience wrappers around the generator.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <algorithm>
+#include <ios>
 #include <string>
 #include <vector>
 
@@ -10,6 +13,29 @@
 #include "netlist/netlist.h"
 
 namespace complx::testing {
+
+/// Asserts two coordinate vectors are identical to the last bit. Doubles are
+/// compared by value with == (not memcmp) so that, e.g., -0.0 == 0.0 — what
+/// the determinism contract actually promises is identical *values* from
+/// identical arithmetic; NaNs would fail, which is also what we want.
+inline void expect_vec_bitwise_equal(const Vec& a, const Vec& b,
+                                     const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what << ": size mismatch";
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) {
+      ADD_FAILURE() << what << ": first mismatch at index " << i << ": "
+                    << std::hexfloat << a[i] << " vs " << b[i];
+      return;
+    }
+  }
+}
+
+/// Bitwise comparison of two placements (both axes, all cells).
+inline void expect_placements_bitwise_equal(const Placement& a,
+                                            const Placement& b) {
+  expect_vec_bitwise_equal(a.x, b.x, "x coordinates");
+  expect_vec_bitwise_equal(a.y, b.y, "y coordinates");
+}
 
 /// Two movable cells between two fixed pads on a line:
 ///   pad0 (x=0) -- c0 -- c1 -- pad1 (x=30)

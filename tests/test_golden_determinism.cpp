@@ -1,0 +1,74 @@
+// Seed-anchored end-to-end determinism: the full Placer, run at 1 thread
+// and at the maximum thread count, must produce identical final coordinates,
+// identical iteration counts, and an identical per-iteration (Φ, Π, λ)
+// trace. Every future performance PR must keep this green — it is the
+// regression net that lets hot paths be rewritten without re-validating
+// placement quality.
+#include <gtest/gtest.h>
+
+#include "core/placer.h"
+#include "helpers.h"
+#include "util/parallel.h"
+
+namespace complx {
+namespace {
+
+struct ThreadGuard {
+  ~ThreadGuard() { set_global_threads(0); }
+};
+
+void expect_traces_identical(const std::vector<IterationStats>& a,
+                             const std::vector<IterationStats>& b) {
+  ASSERT_EQ(a.size(), b.size()) << "trace length differs";
+  for (size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].iteration, b[k].iteration) << "iter " << k;
+    EXPECT_EQ(a[k].lambda, b[k].lambda) << "lambda, iter " << k;
+    EXPECT_EQ(a[k].phi_lower, b[k].phi_lower) << "phi_lower, iter " << k;
+    EXPECT_EQ(a[k].phi_upper, b[k].phi_upper) << "phi_upper, iter " << k;
+    EXPECT_EQ(a[k].pi, b[k].pi) << "pi, iter " << k;
+    EXPECT_EQ(a[k].lagrangian, b[k].lagrangian) << "lagrangian, iter " << k;
+    EXPECT_EQ(a[k].overflow_ratio, b[k].overflow_ratio)
+        << "overflow, iter " << k;
+    EXPECT_EQ(a[k].grid_bins, b[k].grid_bins) << "grid, iter " << k;
+  }
+}
+
+void run_and_compare(const Netlist& nl, ComplxConfig cfg) {
+  ThreadGuard guard;
+
+  cfg.threads = 1;
+  const PlaceResult serial = ComplxPlacer(nl, cfg).place();
+
+  cfg.threads = 8;  // oversubscribes small hosts on purpose — must not matter
+  const PlaceResult parallel = ComplxPlacer(nl, cfg).place();
+
+  EXPECT_EQ(serial.iterations, parallel.iterations);
+  EXPECT_EQ(serial.final_lambda, parallel.final_lambda);
+  EXPECT_EQ(serial.final_overflow, parallel.final_overflow);
+  testing::expect_placements_bitwise_equal(serial.lower_bound,
+                                           parallel.lower_bound);
+  testing::expect_placements_bitwise_equal(serial.anchors, parallel.anchors);
+  expect_traces_identical(serial.trace, parallel.trace);
+}
+
+TEST(GoldenDeterminism, StandardCellDesign) {
+  const Netlist nl = testing::small_circuit(7, 2000);
+  ComplxConfig cfg;
+  cfg.max_iterations = 30;
+  run_and_compare(nl, cfg);
+}
+
+TEST(GoldenDeterminism, MacroDesignWithRoutability) {
+  // Movable macros exercise the shredder/density rect path; routability
+  // exercises the parallel RUDY build feeding inflation back into P_C.
+  const Netlist nl = testing::small_circuit(13, 1500, /*movable_macros=*/2,
+                                            /*target_density=*/0.8);
+  ComplxConfig cfg;
+  cfg.max_iterations = 25;
+  cfg.routability.enabled = true;
+  cfg.routability.period = 3;
+  run_and_compare(nl, cfg);
+}
+
+}  // namespace
+}  // namespace complx

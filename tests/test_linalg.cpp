@@ -130,6 +130,35 @@ TEST(Cg, ZeroRhsGivesZero) {
   const CgResult res = solve_pcg(A, Vec(3, 0.0), x);
   EXPECT_TRUE(res.converged);
   for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+  // The early return must report a fully-consistent result, not stale
+  // default fields: the x = 0 solution is exact after 0 iterations.
+  EXPECT_EQ(res.iterations, 0u);
+  EXPECT_DOUBLE_EQ(res.residual_norm, 0.0);
+}
+
+TEST(Cg, MaxIterationExhaustionReportsConsistentResult) {
+  // Laplacian chain: needs ~n iterations, so a budget of 3 must run out.
+  const size_t n = 200;
+  TripletList t(n);
+  for (size_t i = 0; i + 1 < n; ++i) t.add_spring(i, i + 1, 1.0);
+  t.add_diag(0, 1.0);
+  t.add_diag(n - 1, 1.0);
+  const CsrMatrix A = CsrMatrix::from_triplets(t);
+  Vec b(n, 0.0);
+  b[n - 1] = 100.0;
+
+  Vec x(n, 0.0);
+  const CgResult res =
+      solve_pcg(A, b, x, {.rel_tolerance = 1e-12, .max_iterations = 3});
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 3u);
+  // residual_norm must describe the returned x exactly.
+  Vec ax(n);
+  A.multiply(x, ax);
+  Vec r(n);
+  for (size_t i = 0; i < n; ++i) r[i] = b[i] - ax[i];
+  EXPECT_NEAR(res.residual_norm, norm2(r), 1e-9 * norm2(b));
+  EXPECT_GT(res.residual_norm, 1e-12 * norm2(b));
 }
 
 TEST(Cg, WarmStartReducesIterations) {
