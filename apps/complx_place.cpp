@@ -9,6 +9,8 @@
 //   --simpl               run the SimPL-compatibility configuration
 //   --lse                 use the log-sum-exp interconnect model
 //   --max-iters <n>       global placement iteration cap
+//   --time-limit <s>      wall-clock budget for global placement in seconds;
+//                         on expiry the best-so-far checkpoint is used
 //   --threads <n>         worker threads for the parallel kernels (default:
 //                         hardware concurrency; 1 = fully serial; results
 //                         are bitwise identical for any value)
@@ -18,7 +20,17 @@
 //   --svg <file.svg>      render the final placement
 //   --seed-quiet          lower log verbosity
 //
-// Exit code 0 on success, 1 on usage errors, 2 on placement failure.
+// Exit-code contract (see README "Failure modes & exit codes"):
+//   0    success — including time-limited runs that returned the best-so-far
+//        checkpoint instead of a converged placement
+//   1    usage error (bad flags / missing arguments)
+//   2    fatal error: unreadable or malformed input, I/O failure, or
+//        legalization failure
+//   3    numerical divergence: the watchdog exhausted its recovery retries;
+//        the best-so-far placement is still written before exiting
+//   130  interrupted (SIGINT); the best-so-far placement is written first
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -45,8 +57,19 @@ void usage() {
   std::fprintf(stderr,
                "usage: complx_place <design.aux> [--out f.pl] "
                "[--target-density g] [--simpl] [--lse] [--max-iters n] "
-               "[--threads n] [--no-dp] [--orient] [--trace f.csv] "
-               "[--svg f.svg] [--quiet]\n");
+               "[--time-limit s] [--threads n] [--no-dp] [--orient] "
+               "[--trace f.csv] [--svg f.svg] [--quiet]\n");
+}
+
+// SIGINT raises the cooperative cancel flag; the placer stops at the next
+// iteration boundary and returns its best-so-far checkpoint, which main()
+// writes out before exiting 130. A second ^C kills the process the default
+// way (the handler restores SIG_DFL).
+std::atomic<bool> g_interrupted{false};
+
+void handle_sigint(int) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+  std::signal(SIGINT, SIG_DFL);
 }
 
 }  // namespace
@@ -65,6 +88,7 @@ int main(int argc, char** argv) {
   bool orient = false;
   int max_iters = 0;
   int threads = 0;
+  double time_limit = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,6 +104,7 @@ int main(int argc, char** argv) {
     else if (arg == "--simpl") simpl = true;
     else if (arg == "--lse") lse = true;
     else if (arg == "--max-iters") max_iters = std::atoi(next());
+    else if (arg == "--time-limit") time_limit = std::atof(next());
     else if (arg == "--threads") threads = std::atoi(next());
     else if (arg == "--no-dp") run_dp = false;
     else if (arg == "--orient") orient = true;
@@ -118,13 +143,28 @@ int main(int argc, char** argv) {
     ComplxConfig cfg = simpl ? ComplxConfig::simpl_mode() : ComplxConfig{};
     cfg.use_lse = lse;
     if (max_iters > 0) cfg.max_iterations = max_iters;
+    if (time_limit > 0.0) cfg.time_limit_s = time_limit;
+    cfg.cancel = &g_interrupted;
+    std::signal(SIGINT, handle_sigint);
 
     ComplxPlacer placer(nl, cfg);
     const PlaceResult gp = placer.place();
-    std::printf("global placement: %d iterations, lambda %.3f, overflow "
-                "%.1f%%, HPWL(lb/ub) %.4g / %.4g\n",
-                gp.iterations, gp.final_lambda, 100.0 * gp.final_overflow,
-                hpwl(nl, gp.lower_bound), hpwl(nl, gp.anchors));
+    std::printf("global placement: %d iterations (%s), lambda %.3f, "
+                "overflow %.1f%%, HPWL(lb/ub) %.4g / %.4g\n",
+                gp.iterations, to_string(gp.stop), gp.final_lambda,
+                100.0 * gp.final_overflow, hpwl(nl, gp.lower_bound),
+                hpwl(nl, gp.anchors));
+    std::printf("solver: %zu solves (%zu non-converged, %zu breakdowns), "
+                "%d recoveries, %zu health faults\n",
+                gp.solver.solves, gp.solver.nonconverged,
+                gp.solver.breakdowns, gp.recovered, gp.health.faults);
+    if (gp.stop != StopReason::Converged)
+      std::fprintf(stderr,
+                   "warning: stopped early (%s); using best-so-far "
+                   "checkpoint from iteration %d\n",
+                   to_string(gp.stop), gp.best_iteration);
+    if (gp.failed)
+      std::fprintf(stderr, "error: %s\n", gp.failure.c_str());
     if (!trace_path.empty()) write_trace_csv(trace_path, gp.trace);
 
     Placement p = gp.anchors;
@@ -134,6 +174,8 @@ int main(int argc, char** argv) {
                    legal.failed);
       return 2;
     }
+    // After ^C the user wants the checkpoint on disk, not minutes of DP.
+    if (gp.stop == StopReason::Cancelled) run_dp = orient = false;
     if (run_dp) {
       const DetailedResult dp = DetailedPlacer(nl).refine(p);
       std::printf("detailed placement: %.4g -> %.4g\n", dp.initial_hpwl,
@@ -165,6 +207,10 @@ int main(int argc, char** argv) {
       write_placement_svg(nl, p, svg_path);
       std::printf("svg written to %s\n", svg_path.c_str());
     }
+    // Exit-code contract: the best-so-far placement has been written by the
+    // time these non-zero codes are returned.
+    if (gp.failed) return 3;
+    if (gp.stop == StopReason::Cancelled) return 130;
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

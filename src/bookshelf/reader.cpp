@@ -6,9 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
-
-#include "util/log.h"
 
 namespace complx {
 
@@ -95,6 +94,7 @@ NodesData read_nodes(const std::string& path) {
   NodesData data;
   long declared = -1;
   std::vector<std::string> vals;
+  std::unordered_set<std::string> seen;
   for (auto toks = lr.next(); !toks.empty(); toks = lr.next()) {
     if (key_line(toks, "NumNodes", vals)) {
       declared = to_long(lr, vals.at(0));
@@ -103,14 +103,20 @@ NodesData read_nodes(const std::string& path) {
     if (key_line(toks, "NumTerminals", vals)) continue;
     if (toks.size() < 3)
       fail(path, lr.lineno(), "node line needs: name width height");
+    if (!seen.insert(toks[0]).second)
+      fail(path, lr.lineno(), "duplicate node name '" + toks[0] + "'");
     NodesData::Entry e{to_double(lr, toks[1]), to_double(lr, toks[2]), false};
     for (size_t i = 3; i < toks.size(); ++i)
       if (toks[i] == "terminal" || toks[i] == "terminal_NI") e.terminal = true;
     data.nodes.emplace_back(toks[0], e);
   }
+  // A count mismatch means the file was truncated (or the header lies);
+  // either way downstream net references would dangle — hard error.
   if (declared >= 0 && static_cast<size_t>(declared) != data.nodes.size())
-    log_warn("%s: NumNodes=%ld but %zu nodes parsed", path.c_str(), declared,
-             data.nodes.size());
+    fail(path, lr.lineno(),
+         "NumNodes=" + std::to_string(declared) + " but " +
+             std::to_string(data.nodes.size()) +
+             " nodes parsed (truncated file?)");
   return data;
 }
 
@@ -118,17 +124,20 @@ struct NetsData {
   struct PinRef {
     std::string cell;
     double dx, dy;
+    size_t line;  ///< source line, for unknown-node diagnostics
   };
   struct NetRef {
     std::string name;
     std::vector<PinRef> pins;
   };
+  std::string path;  ///< .nets file, for unknown-node diagnostics
   std::vector<NetRef> nets;
 };
 
 NetsData read_nets(const std::string& path) {
   LineReader lr(path);
   NetsData data;
+  data.path = path;
   std::vector<std::string> vals;
   long pending_pins = 0;
   for (auto toks = lr.next(); !toks.empty(); toks = lr.next()) {
@@ -136,6 +145,13 @@ NetsData read_nets(const std::string& path) {
       continue;
     if (key_line(toks, "NetDegree", vals)) {
       if (vals.empty()) fail(path, lr.lineno(), "NetDegree without count");
+      if (pending_pins > 0)
+        fail(path, lr.lineno(),
+             "net '" + data.nets.back().name + "' declared NetDegree " +
+                 std::to_string(data.nets.back().pins.size() +
+                                static_cast<size_t>(pending_pins)) +
+                 " but only " + std::to_string(data.nets.back().pins.size()) +
+                 " pin lines followed");
       pending_pins = to_long(lr, vals[0]);
       NetsData::NetRef net;
       net.name = vals.size() > 1 ? vals[1]
@@ -146,7 +162,7 @@ NetsData read_nets(const std::string& path) {
     // Pin line: "cellname I|O|B [: dx dy]"
     if (data.nets.empty() || pending_pins <= 0)
       fail(path, lr.lineno(), "pin line outside a NetDegree block");
-    NetsData::PinRef pin{toks[0], 0.0, 0.0};
+    NetsData::PinRef pin{toks[0], 0.0, 0.0, lr.lineno()};
     // Find the colon; offsets follow it when present.
     for (size_t i = 1; i < toks.size(); ++i) {
       if (toks[i] != ":") continue;
@@ -157,6 +173,10 @@ NetsData read_nets(const std::string& path) {
     data.nets.back().pins.push_back(pin);
     --pending_pins;
   }
+  if (pending_pins > 0)
+    fail(path, lr.lineno(),
+         "net '" + data.nets.back().name + "' truncated: " +
+             std::to_string(pending_pins) + " pin lines missing at EOF");
   return data;
 }
 
@@ -284,18 +304,17 @@ BookshelfDesign read_bookshelf_files(const std::string& nodes_path,
   for (const auto& net : nets.nets) {
     std::vector<Pin> pins;
     pins.reserve(net.pins.size());
-    bool ok = true;
     for (const auto& pr : net.pins) {
       const CellId id = nl.find_cell(pr.cell);
-      if (id >= nl.num_cells()) {
-        log_warn("net %s references unknown cell %s; net skipped",
-                 net.name.c_str(), pr.cell.c_str());
-        ok = false;
-        break;
-      }
+      // A dangling reference means the .nodes/.nets pair is inconsistent;
+      // silently dropping the net would corrupt the connectivity model.
+      if (id >= nl.num_cells())
+        throw std::runtime_error(
+            nets.path + ":" + std::to_string(pr.line) + ": net '" + net.name +
+            "' pin references unknown node '" + pr.cell + "'");
       pins.push_back({id, pr.dx, pr.dy});
     }
-    if (!ok || pins.size() < 2) continue;
+    if (pins.size() < 2) continue;
     const auto w = weights.find(net.name);
     nl.add_net(net.name, w == weights.end() ? 1.0 : w->second, pins);
   }

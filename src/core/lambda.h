@@ -9,6 +9,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 
 namespace complx {
 
@@ -31,10 +32,13 @@ class LambdaSchedule {
   /// a force-balance estimate of the final multiplier so convergence takes
   /// a size-independent number of iterations (Section S3's flat iteration
   /// counts). When h_base <= 0, h falls back to h_factor · λ₁.
+  /// Non-finite inputs (a corrupted first trace point) fall back to the
+  /// zero-penalty default instead of seeding λ with NaN.
   void init(double phi, double pi, double h_base = 0.0) {
+    const bool sane = std::isfinite(phi) && std::isfinite(pi) && pi > 0.0;
     switch (kind_) {
       case ScheduleKind::ComplxFormula12:
-        lambda_ = pi > 0.0 ? phi / (100.0 * pi) : 1e-6;
+        lambda_ = sane ? phi / (100.0 * pi) : 1e-6;
         h_ = h_base > 0.0 ? h_factor_ * h_base : h_factor_ * lambda_;
         break;
       case ScheduleKind::SimplLinearRamp:
@@ -42,18 +46,27 @@ class LambdaSchedule {
         lambda_ = step_;
         break;
       case ScheduleKind::NaiveDoubling:
-        lambda_ = pi > 0.0 ? phi / (100.0 * pi) : 1e-6;
+        lambda_ = sane ? phi / (100.0 * pi) : 1e-6;
         break;
     }
+    clamp();
     iteration_ = 1;
   }
 
   /// Advances λ given the previous and current penalty values (Formula 12).
+  /// Non-finite penalties are treated as ratio 1 (the neutral step) and λ is
+  /// clamped to the finite ceiling — NaiveDoubling would otherwise reach Inf
+  /// after ~1000 iterations, and Formula 12's ratio is undefined when the
+  /// projection returned a corrupted Π.
   void update(double pi_prev, double pi_cur) {
     ++iteration_;
     switch (kind_) {
       case ScheduleKind::ComplxFormula12: {
-        const double ratio = pi_prev > 0.0 ? pi_cur / pi_prev : 1.0;
+        const double ratio =
+            (pi_prev > 0.0 && std::isfinite(pi_prev) && std::isfinite(pi_cur) &&
+             pi_cur >= 0.0)
+                ? pi_cur / pi_prev
+                : 1.0;
         lambda_ = std::min(2.0 * lambda_, lambda_ + ratio * h_);
         break;
       }
@@ -64,18 +77,41 @@ class LambdaSchedule {
         lambda_ *= 2.0;
         break;
     }
+    clamp();
   }
 
   double lambda() const { return lambda_; }
   int iteration() const { return iteration_; }
   ScheduleKind kind() const { return kind_; }
 
+  /// Finite ceiling for λ. Healthy runs converge at O(1) multipliers
+  /// (Section S3), so the default is unreachable except under runaway
+  /// growth — it exists to keep long ablation runs finite.
+  double max_lambda() const { return lambda_max_; }
+  void set_max_lambda(double m) {
+    if (std::isfinite(m) && m > 0.0) lambda_max_ = m;
+    clamp();
+  }
+
+  /// Overrides λ directly (recovery rollback-and-backoff); clamped to
+  /// [0, max_lambda] and sanitized against non-finite values.
+  void set_lambda(double l) {
+    lambda_ = std::isfinite(l) ? std::max(0.0, l) : lambda_max_;
+    clamp();
+  }
+
  private:
+  void clamp() {
+    if (!std::isfinite(lambda_) || lambda_ > lambda_max_)
+      lambda_ = lambda_max_;
+  }
+
   ScheduleKind kind_;
   double h_factor_;
   double lambda_ = 0.0;
   double h_ = 0.0;
   double step_ = 0.01;  ///< SimPL ramp per-iteration increment
+  double lambda_max_ = 1e12;
   int iteration_ = 0;
 };
 

@@ -166,20 +166,35 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
   if (!cfg_.warm_start) init_at_center(nl_, p);
   const VarMap vars(nl_);
 
+  // Mutable copy: the recovery policy may relax the CG tolerance and add a
+  // diagonal shift after repeated PCG breakdown.
+  QpOptions qp_opts = cfg_.qp;
+  bool inject_breakdown = false;  // armed per-iteration by the fault hooks
+
   // Primal minimizer: linearized-quadratic B2B by default, log-sum-exp via
-  // nonlinear CG when configured (Section S1 instantiation).
+  // nonlinear CG when configured (Section S1 instantiation). Returns true
+  // when the linear solver reported a breakdown (QP path only).
   std::unique_ptr<LseWl> lse;
   if (cfg_.use_lse)
     lse = std::make_unique<LseWl>(nl_,
                                   cfg_.lse_gamma_rows * nl_.row_height());
-  auto primal_step = [&](const AnchorSet* anchors) {
+  auto primal_step = [&](const AnchorSet* anchors) -> bool {
     if (lse) {
       NlcgOptions o;
       o.max_iterations = cfg_.nlcg_iterations;
       minimize_smooth_placement(nl_, *lse, p, anchors, o);
-    } else {
-      solve_qp_iteration(nl_, vars, p, anchors, cfg_.qp);
+      return false;
     }
+    QpOptions opts = qp_opts;
+    opts.cg.inject_breakdown = inject_breakdown;
+    const QpIterationResult qr =
+        solve_qp_iteration(nl_, vars, p, anchors, opts);
+    result.solver.add(qr.cg_x);
+    result.solver.add(qr.cg_y);
+    if (!qr.fully_converged())
+      log_debug("cg non-converged (residual x=%.3g y=%.3g)",
+                qr.cg_x.residual_norm, qr.cg_y.residual_norm);
+    return qr.breakdown();
   };
 
   // --- Initial unconstrained minimization of Φ (λ = 0) -------------------
@@ -215,8 +230,8 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
       schedule.update(proj.displacement_l1, proj.displacement_l1);
   }
 
-  auto record = [&](int iter, double lambda, const ProjectionResult& pr,
-                    size_t grid_bins) {
+  auto make_stats = [&](int iter, double lambda, const ProjectionResult& pr,
+                        size_t grid_bins) {
     IterationStats st;
     st.iteration = iter;
     st.lambda = lambda;
@@ -230,20 +245,146 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
                  : 0.0;
     st.grid_bins = grid_bins;
     st.elapsed_s = timer.seconds();
-    result.trace.push_back(st);
     return st;
   };
-  record(0, schedule.lambda(), proj, lal.bins_x());
+
+  // --- Watchdog / recovery state -----------------------------------------
+  // All monitor checks are read-only: a healthy run executes bitwise the
+  // same arithmetic with the watchdog on or off.
+  const bool watchdog = cfg_.health.enabled;
+  HealthMonitor monitor(nl_, cfg_.health);
+  Checkpoint best;
+  int consecutive_faults = 0;  // rollbacks since the last healthy iteration
+  int breakdown_streak = 0;    // consecutive CG-breakdown faults
+  int pending_recoveries = 0;  // recoveries to stamp on the next trace row
+
+  result.trace.push_back(make_stats(0, schedule.lambda(), proj, lal.bins_x()));
+
+  if (watchdog) {
+    // A corrupted *initial* state is unrecoverable — no checkpoint exists
+    // yet — so surface a structured failure instead of iterating on NaNs.
+    HealthFault f0 = HealthFault::None;
+    if (!HealthMonitor::placement_finite(nl_, p))
+      f0 = HealthFault::NonFiniteIterate;
+    else if (!HealthMonitor::placement_finite(nl_, proj.anchors))
+      f0 = HealthFault::NonFiniteAnchors;
+    else
+      f0 = monitor.check_stats(result.trace.back());
+    if (f0 != HealthFault::None) {
+      monitor.stats().count(f0);
+      result.failed = true;
+      result.stop = StopReason::Diverged;
+      result.failure = std::string("initial state: ") + to_string(f0);
+      log_error("placement aborted: %s", result.failure.c_str());
+      result.lower_bound = std::move(p);
+      result.anchors = proj.anchors;
+      result.final_lambda = schedule.lambda();
+      result.final_overflow = result.trace.back().overflow_ratio;
+      result.health = monitor.stats();
+      result.runtime_s = timer.seconds();
+      return result;
+    }
+  }
+  monitor.accept(result.trace.back());
+  if (watchdog)
+    best.offer(nl_, p, proj.anchors, schedule.lambda(),
+               proj.displacement_l1, 0, lal.bins_x(),
+               result.trace.back().overflow_ratio,
+               result.trace.back().phi_upper);
 
   Placement prev_iter = p;
   Placement prev_proj = proj.anchors;
   double prev_pi = proj.displacement_l1;
 
+  // Restores the loop state from the best-so-far checkpoint and backs off
+  // λ (halving per consecutive retry); from the second consecutive CG
+  // breakdown also relaxes the CG tolerance and regularizes the diagonal.
+  // Returns false when the retry budget is spent.
+  auto rollback = [&](int iter, HealthFault fault) -> bool {
+    monitor.stats().count(fault);
+    if (!best.valid() || consecutive_faults >= cfg_.recovery.max_retries)
+      return false;
+    ++consecutive_faults;
+    ++result.recovered;
+    ++pending_recoveries;
+    if (fault == HealthFault::CgBreakdown) {
+      ++breakdown_streak;
+      if (breakdown_streak >= 2) {
+        qp_opts.cg.rel_tolerance *= cfg_.recovery.cg_tol_relax;
+        qp_opts.cg.diag_shift += cfg_.recovery.diag_shift;
+      }
+    }
+    p = best.iterate;
+    proj.anchors = best.anchors;
+    proj.displacement_l1 = best.pi;
+    proj.input_overflow_ratio = best.overflow;
+    prev_iter = p;
+    prev_proj = proj.anchors;
+    prev_pi = best.pi;
+    double backed_off = best.lambda;
+    for (int i = 0; i < consecutive_faults; ++i)
+      backed_off *= cfg_.recovery.lambda_backoff;
+    schedule.set_lambda(std::max(backed_off, 1e-12));
+    log_warn("iter %d: %s — rolled back to iteration %d, lambda %.3g "
+             "(retry %d/%d)",
+             iter, to_string(fault), best.trace_index, schedule.lambda(),
+             consecutive_faults, cfg_.recovery.max_retries);
+    return true;
+  };
+
+  StopReason stop = StopReason::MaxIterations;
+  auto give_up = [&](int iter, HealthFault fault) {
+    result.failed = true;
+    stop = StopReason::Diverged;
+    result.failure = "iteration " + std::to_string(iter) + ": " +
+                     to_string(fault) + ": recovery retries exhausted (" +
+                     std::to_string(cfg_.recovery.max_retries) + ")";
+    log_error("placement diverged: %s", result.failure.c_str());
+  };
+
   // --- Primal-dual iterations --------------------------------------------
   int k = 1;
   for (; k <= cfg_.max_iterations; ++k) {
-    const AnchorSet anchors = make_anchors(p, proj.anchors, schedule.lambda());
-    primal_step(&anchors);
+    if (cfg_.cancel && cfg_.cancel->load(std::memory_order_relaxed)) {
+      stop = StopReason::Cancelled;
+      break;
+    }
+    if (cfg_.time_limit_s > 0.0 && timer.seconds() >= cfg_.time_limit_s) {
+      stop = StopReason::TimeLimit;
+      break;
+    }
+
+    double lambda_k = schedule.lambda();
+    if (faults_.corrupt_lambda) lambda_k = faults_.corrupt_lambda(k, lambda_k);
+    if (watchdog && !std::isfinite(lambda_k)) {
+      if (!rollback(k, HealthFault::NonFiniteLambda)) {
+        give_up(k, HealthFault::NonFiniteLambda);
+        break;
+      }
+      continue;
+    }
+
+    const AnchorSet anchors = make_anchors(p, proj.anchors, lambda_k);
+    inject_breakdown =
+        faults_.force_cg_breakdown && faults_.force_cg_breakdown(k);
+    const bool solver_broke = primal_step(&anchors);
+    inject_breakdown = false;
+    if (faults_.corrupt_iterate) faults_.corrupt_iterate(k, p);
+
+    if (watchdog) {
+      HealthFault fault = HealthFault::None;
+      if (solver_broke)
+        fault = HealthFault::CgBreakdown;
+      else if (!HealthMonitor::placement_finite(nl_, p))
+        fault = HealthFault::NonFiniteIterate;
+      if (fault != HealthFault::None) {
+        if (!rollback(k, fault)) {
+          give_up(k, fault);
+          break;
+        }
+        continue;
+      }
+    }
 
     bins = std::min(static_cast<double>(finest), bins * cfg_.grid_refine_rate);
     lal.set_grid(static_cast<size_t>(bins), static_cast<size_t>(bins));
@@ -264,13 +405,41 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
       proj.displacement_l1 = movable_l1(nl_, p, proj.anchors);
     }
 
+    if (watchdog && !HealthMonitor::placement_finite(nl_, proj.anchors)) {
+      if (!rollback(k, HealthFault::NonFiniteAnchors)) {
+        give_up(k, HealthFault::NonFiniteAnchors);
+        break;
+      }
+      continue;
+    }
+
     check_self_consistency(prev_iter, prev_proj, p, proj.anchors,
                            lal.bins_x() >= finest,
                            result.self_consistency);
 
     schedule.update(prev_pi, proj.displacement_l1);
-    const IterationStats st =
-        record(k, schedule.lambda(), proj, lal.bins_x());
+    IterationStats st = make_stats(k, schedule.lambda(), proj, lal.bins_x());
+    st.recoveries = pending_recoveries;
+
+    if (watchdog) {
+      const HealthFault fault = monitor.check_stats(st);
+      if (fault != HealthFault::None) {
+        if (!rollback(k, fault)) {
+          give_up(k, fault);
+          break;
+        }
+        continue;
+      }
+    }
+
+    result.trace.push_back(st);
+    monitor.accept(st);
+    pending_recoveries = 0;
+    consecutive_faults = 0;
+    breakdown_streak = 0;
+    if (watchdog)
+      best.offer(nl_, p, proj.anchors, st.lambda, st.pi, st.iteration,
+                 st.grid_bins, st.overflow_ratio, st.phi_upper);
     log_debug("iter %3d lambda=%.5f phi=[%.4g, %.4g] pi=%.4g ovfl=%.3f", k,
               st.lambda, st.phi_lower, st.phi_upper, st.pi,
               st.overflow_ratio);
@@ -285,18 +454,54 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
     // the gap bounds the cost difference).
     const bool grid_final = lal.bins_x() >= finest;
     if (k >= cfg_.min_iterations && grid_final) {
-      if (st.overflow_ratio < cfg_.stop_overflow) break;
-      if (cfg_.use_gap_criterion && st.gap < cfg_.stop_gap &&
-          st.overflow_ratio < 2.0 * cfg_.stop_overflow)
+      if (st.overflow_ratio < cfg_.stop_overflow) {
+        stop = StopReason::Converged;
         break;
+      }
+      if (cfg_.use_gap_criterion && st.gap < cfg_.stop_gap &&
+          st.overflow_ratio < 2.0 * cfg_.stop_overflow) {
+        stop = StopReason::Converged;
+        break;
+      }
     }
   }
 
-  result.lower_bound = std::move(p);
-  result.anchors = proj.anchors;
+  // Which placement to return: a clean converged exit returns the final
+  // iterate untouched (the watchdog adds zero perturbation to healthy
+  // runs). Abnormal exits — divergence, iteration exhaustion, time limit,
+  // cancellation — fall back to the best-so-far checkpoint when it ranks
+  // strictly better by (overflow, Φ_upper), and any exit whose final state
+  // is non-finite always does.
+  const IterationStats& last = result.trace.back();
+  bool use_checkpoint = false;
+  if (best.valid()) {
+    const bool final_finite =
+        HealthMonitor::placement_finite(nl_, p) &&
+        HealthMonitor::placement_finite(nl_, proj.anchors);
+    if (!final_finite)
+      use_checkpoint = true;
+    else if (stop != StopReason::Converged &&
+             Checkpoint::ranks_better(best.grid_bins, best.overflow,
+                                      best.phi_upper, last.grid_bins,
+                                      last.overflow_ratio, last.phi_upper))
+      use_checkpoint = true;
+  }
+  if (use_checkpoint) {
+    result.lower_bound = std::move(best.iterate);
+    result.anchors = std::move(best.anchors);
+    result.final_lambda = best.lambda;
+    result.final_overflow = best.overflow;
+    result.best_iteration = best.trace_index;
+  } else {
+    result.lower_bound = std::move(p);
+    result.anchors = std::move(proj.anchors);
+    result.final_lambda = schedule.lambda();
+    result.final_overflow = last.overflow_ratio;
+    result.best_iteration = last.iteration;
+  }
   result.iterations = std::min(k, cfg_.max_iterations);
-  result.final_lambda = schedule.lambda();
-  result.final_overflow = result.trace.back().overflow_ratio;
+  result.stop = stop;
+  result.health = monitor.stats();
   result.runtime_s = timer.seconds();
   return result;
 }

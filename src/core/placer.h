@@ -17,10 +17,13 @@
 // the overflow-only stopping rule (see ComplxConfig::simpl_mode()).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/health.h"
 #include "core/lambda.h"
 #include "core/trace.h"
 #include "projection/lal.h"
@@ -126,6 +129,24 @@ struct ComplxConfig {
   double lse_gamma_rows = 2.0;  ///< LSE smoothing in row heights
   int nlcg_iterations = 60;     ///< NLCG steps per primal iteration
 
+  // Numerical-safety watchdog: NaN/Inf screening of every iterate and
+  // projection, divergence detection from the trace, and the
+  // rollback-and-backoff recovery policy. All checks are read-only on
+  // healthy runs — the determinism guarantee is unaffected. Disabling
+  // `health.enabled` removes even the checks (ablation/debug only).
+  HealthOptions health;
+  RecoveryOptions recovery;
+
+  // Wall-clock budget in seconds (0 = unlimited). When exceeded, the loop
+  // stops after the current iteration and the best-so-far checkpoint is
+  // returned (stop reason TimeLimit).
+  double time_limit_s = 0.0;
+
+  // Cooperative cancellation: when non-null and set (e.g. from a SIGINT
+  // handler), the loop stops at the next iteration boundary and returns the
+  // best-so-far checkpoint (stop reason Cancelled).
+  const std::atomic<bool>* cancel = nullptr;
+
   /// Returns a configuration equivalent to the SimPL special case: fixed
   /// linear pseudo-net weight ramp (h_factor scales the 0.01 base step)
   /// and the overflow-only stopping rule.
@@ -139,14 +160,27 @@ struct ComplxConfig {
 };
 
 struct PlaceResult {
-  Placement lower_bound;  ///< last iterate (x, y)
-  Placement anchors;      ///< last projection (x°, y°) — hand to legalizer
+  /// The returned iterate (x, y). Normally the last one; after an abnormal
+  /// stop (divergence, time limit, cancellation) it is the best-so-far
+  /// checkpoint, ranked by (grid resolution, overflow_ratio, then Φ_upper).
+  Placement lower_bound;
+  Placement anchors;  ///< matching projection (x°, y°) — hand to legalizer
   std::vector<IterationStats> trace;
   SelfConsistencyStats self_consistency;
   int iterations = 0;
   double final_lambda = 0.0;
   double final_overflow = 0.0;
   double runtime_s = 0.0;
+
+  // Health / recovery bookkeeping (see core/health.h).
+  StopReason stop = StopReason::Converged;
+  SolverStats solver;   ///< aggregated CG statistics (both axes, all solves)
+  HealthStats health;   ///< watchdog fault counters
+  int recovered = 0;    ///< rollback-and-backoff recoveries performed
+  int best_iteration = -1;  ///< trace iteration the placements come from
+  bool failed = false;  ///< recovery retries exhausted; placements are the
+                        ///< best-so-far checkpoint, `failure` explains why
+  std::string failure;  ///< structured failure description (empty when ok)
 };
 
 class ComplxPlacer {
@@ -165,6 +199,13 @@ class ComplxPlacer {
   /// legalize+DP here; region/alignment experiments can also use it.
   void set_post_projection_hook(std::function<void(Placement&)> hook) {
     post_projection_ = std::move(hook);
+  }
+
+  /// Test-only fault hooks (corrupt iterate / corrupt λ / force CG
+  /// breakdown) used to prove the recovery path end-to-end. Production
+  /// callers never install these.
+  void set_fault_injection(FaultInjection faults) {
+    faults_ = std::move(faults);
   }
 
   PlaceResult place();
@@ -195,6 +236,7 @@ class ComplxPlacer {
   ComplxConfig cfg_;
   Vec criticality_;
   std::function<void(Placement&)> post_projection_;
+  FaultInjection faults_;
 };
 
 }  // namespace complx

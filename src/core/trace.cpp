@@ -6,14 +6,18 @@ namespace complx {
 
 void write_trace_csv(const std::string& path,
                      const std::vector<IterationStats>& trace) {
+  // elapsed_s stays the LAST column: it is the one field that legitimately
+  // differs between otherwise-identical runs, and downstream tooling strips
+  // it by position when comparing traces.
   CsvWriter csv(path, {"iteration", "lambda", "phi_lower", "phi_upper", "pi",
                        "lagrangian", "overflow_ratio", "gap", "grid_bins",
-                       "elapsed_s"});
+                       "recoveries", "elapsed_s"});
   for (const IterationStats& it : trace) {
     csv.row(std::vector<double>{
         static_cast<double>(it.iteration), it.lambda, it.phi_lower,
         it.phi_upper, it.pi, it.lagrangian, it.overflow_ratio, it.gap,
-        static_cast<double>(it.grid_bins), it.elapsed_s});
+        static_cast<double>(it.grid_bins), static_cast<double>(it.recoveries),
+        it.elapsed_s});
   }
 }
 

@@ -19,6 +19,10 @@ struct IterationStats {
   double gap = 0.0;             ///< (Φ_upper − Φ_lower) / Φ_upper
   size_t grid_bins = 0;
   double elapsed_s = 0.0;
+  /// Rollback-and-backoff recoveries performed between the previous recorded
+  /// iteration and this one (0 on healthy steps — faulted steps themselves
+  /// are never recorded, so the trace stays finite by construction).
+  int recoveries = 0;
 };
 
 /// Section S2 bookkeeping for the approximate projection's self-consistency

@@ -13,6 +13,11 @@ CgResult solve_pcg(const CsrMatrix& A, const Vec& b, Vec& x,
 
   CgResult result;
   const double b_norm = norm2(b);
+  if (opts.inject_breakdown) {
+    result.residual_norm = b_norm;
+    result.breakdown = true;
+    return result;
+  }
   if (b_norm == 0.0) {
     // x = 0 solves the system exactly; report a fully-populated result
     // (0 iterations, zero residual) instead of default-initialized fields.
@@ -23,13 +28,17 @@ CgResult solve_pcg(const CsrMatrix& A, const Vec& b, Vec& x,
     return result;
   }
 
+  // Optional Tikhonov shift: operate on A + σI without materializing it.
+  const double shift = opts.diag_shift;
+
   // Jacobi preconditioner: M^{-1} = 1/diag(A). Zero diagonals (isolated,
   // unanchored variables) fall back to identity scaling.
   Vec inv_diag = A.diagonal();
-  for (double& d : inv_diag) d = (d > 0.0) ? 1.0 / d : 1.0;
+  for (double& d : inv_diag) d = (d + shift > 0.0) ? 1.0 / (d + shift) : 1.0;
 
   Vec r(n), z(n), p(n), Ap(n);
   A.multiply(x, Ap);
+  if (shift > 0.0) axpy(shift, x, Ap);
   for (size_t i = 0; i < n; ++i) r[i] = b[i] - Ap[i];
   for (size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
   p = z;
@@ -47,8 +56,12 @@ CgResult solve_pcg(const CsrMatrix& A, const Vec& b, Vec& x,
   size_t it = 0;
   for (; it < max_iter && r_norm > tol; ++it) {
     A.multiply(p, Ap);
+    if (shift > 0.0) axpy(shift, p, Ap);
     const double pAp = dot(p, Ap);
-    if (pAp <= 0.0) break;  // not SPD (or numerical breakdown)
+    if (pAp <= 0.0) {  // not SPD (or numerical breakdown)
+      result.breakdown = true;
+      break;
+    }
     const double alpha = rz / pAp;
     axpy(alpha, p, x);
     axpy(-alpha, Ap, r);

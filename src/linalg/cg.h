@@ -16,12 +16,23 @@ namespace complx {
 struct CgOptions {
   double rel_tolerance = 1e-6;  ///< stop when ||r|| <= rel_tolerance * ||b||
   size_t max_iterations = 0;    ///< 0 means 4 * dim
+  /// Tikhonov shift: solves (A + diag_shift·I) x = b. The recovery policy
+  /// raises it on repeated breakdown to restore positive definiteness of a
+  /// numerically indefinite system; 0 (the default) changes nothing.
+  double diag_shift = 0.0;
+  /// Test-only fault injection: report an immediate breakdown without
+  /// touching x (drives the recovery-path tests; never set in production).
+  bool inject_breakdown = false;
 };
 
 struct CgResult {
   size_t iterations = 0;
   double residual_norm = 0.0;  ///< final ||b - Ax||
   bool converged = false;
+  /// True when the solve aborted on pAp <= 0 — the matrix was not SPD (or
+  /// lost definiteness numerically). Distinct from running out of the
+  /// iteration budget, which leaves breakdown false with converged false.
+  bool breakdown = false;
 };
 
 /// Solves A x = b in place (x is the initial guess on entry, solution on

@@ -13,6 +13,7 @@ NlcgResult minimize_nlcg(
   Vec g(n), g_prev(n), d(n), trial(n), g_trial(n);
 
   double f = value_and_grad(v, g);
+  if (!std::isfinite(f)) return result;  // corrupted start: leave v alone
   for (size_t i = 0; i < n; ++i) d[i] = -g[i];
   double g_dot = dot(g, g);
   const double scale = std::max(1.0, norm2(g));
@@ -38,7 +39,10 @@ NlcgResult minimize_nlcg(
     for (int bt = 0; bt < opts.max_backtracks; ++bt) {
       for (size_t i = 0; i < n; ++i) trial[i] = v[i] + t * d[i];
       f_new = value_and_grad(trial, g_trial);
-      if (f_new <= f + opts.armijo_c * t * dir_slope) {
+      // A non-finite trial value (overflowed exponentials, poisoned
+      // gradient) is treated as a failed step, never accepted.
+      if (std::isfinite(f_new) &&
+          f_new <= f + opts.armijo_c * t * dir_slope) {
         accepted = true;
         break;
       }

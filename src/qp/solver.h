@@ -36,6 +36,9 @@ struct QpOptions {
 
 struct QpIterationResult {
   CgResult cg_x, cg_y;
+
+  bool breakdown() const { return cg_x.breakdown || cg_y.breakdown; }
+  bool fully_converged() const { return cg_x.converged && cg_y.converged; }
 };
 
 /// Solves min Φ_Q(x, y) (+ anchor penalties) linearized at `p`, writing the

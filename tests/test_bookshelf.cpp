@@ -153,7 +153,18 @@ TEST_F(BookshelfRoundTrip, MissingWtsDefaultsToUnitWeights) {
   for (const Net& n : nl.nets()) EXPECT_DOUBLE_EQ(n.weight, 1.0);
 }
 
-TEST_F(BookshelfRoundTrip, UnknownCellInNetSkipsNet) {
+// Capture the message of the runtime_error thrown by `expr` (empty if none).
+#define THROWN_MESSAGE(expr)                 \
+  [&]() -> std::string {                     \
+    try {                                    \
+      (void)(expr);                          \
+    } catch (const std::runtime_error& e) {  \
+      return e.what();                       \
+    }                                        \
+    return {};                               \
+  }()
+
+TEST_F(BookshelfRoundTrip, UnknownCellInNetThrowsWithFileAndLine) {
   const std::string base = dir() + "/u";
   std::ofstream(base + ".nodes") << "NumNodes : 1\na 4 12\n";
   std::ofstream(base + ".nets")
@@ -163,9 +174,81 @@ TEST_F(BookshelfRoundTrip, UnknownCellInNetSkipsNet) {
   std::ofstream(base + ".scl") << "";
   std::ofstream(base + ".aux")
       << "RowBasedPlacement : u.nodes u.nets u.wts u.pl u.scl\n";
-  const BookshelfDesign d = read_bookshelf(base + ".aux");
-  EXPECT_EQ(d.netlist.num_nets(), 1u);
-  EXPECT_EQ(d.netlist.net(0).name, "ok");
+  // A dangling pin reference is an inconsistent .nodes/.nets pair; the
+  // reader refuses it rather than silently dropping connectivity.
+  const std::string msg = THROWN_MESSAGE(read_bookshelf(base + ".aux"));
+  EXPECT_NE(msg.find(".nets:4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("ghost"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("bad"), std::string::npos) << msg;
+}
+
+TEST_F(BookshelfRoundTrip, DuplicateNodeNameThrows) {
+  const std::string base = dir() + "/d";
+  std::ofstream(base + ".nodes") << "NumNodes : 2\na 4 12\na 6 12\n";
+  std::ofstream(base + ".nets") << "";
+  std::ofstream(base + ".pl") << "";
+  std::ofstream(base + ".scl") << "";
+  std::ofstream(base + ".aux")
+      << "RowBasedPlacement : d.nodes d.nets d.wts d.pl d.scl\n";
+  const std::string msg = THROWN_MESSAGE(read_bookshelf(base + ".aux"));
+  EXPECT_NE(msg.find(".nodes:3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("duplicate node name 'a'"), std::string::npos) << msg;
+}
+
+TEST_F(BookshelfRoundTrip, NumNodesMismatchThrows) {
+  const std::string base = dir() + "/t";
+  // Declares 3 nodes, supplies 2: a truncated file must not parse.
+  std::ofstream(base + ".nodes") << "NumNodes : 3\na 4 12\nb 4 12\n";
+  std::ofstream(base + ".nets") << "";
+  std::ofstream(base + ".pl") << "";
+  std::ofstream(base + ".scl") << "";
+  std::ofstream(base + ".aux")
+      << "RowBasedPlacement : t.nodes t.nets t.wts t.pl t.scl\n";
+  const std::string msg = THROWN_MESSAGE(read_bookshelf(base + ".aux"));
+  EXPECT_NE(msg.find("NumNodes=3"), std::string::npos) << msg;
+}
+
+TEST_F(BookshelfRoundTrip, ShortNetDegreeBlockThrows) {
+  const std::string base = dir() + "/s";
+  std::ofstream(base + ".nodes") << "NumNodes : 2\na 4 12\nb 4 12\n";
+  // First net declares 3 pins but only 2 follow before the next NetDegree.
+  std::ofstream(base + ".nets")
+      << "NumNets : 2\nNetDegree : 3 short\na I : 0 0\nb O : 0 0\n"
+      << "NetDegree : 2 ok\na I : 0 0\nb O : 0 0\n";
+  std::ofstream(base + ".pl") << "a 0 0 : N\nb 0 0 : N\n";
+  std::ofstream(base + ".scl") << "";
+  std::ofstream(base + ".aux")
+      << "RowBasedPlacement : s.nodes s.nets s.wts s.pl s.scl\n";
+  const std::string msg = THROWN_MESSAGE(read_bookshelf(base + ".aux"));
+  EXPECT_NE(msg.find("'short'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("NetDegree 3"), std::string::npos) << msg;
+}
+
+TEST_F(BookshelfRoundTrip, TruncatedNetsFileThrows) {
+  const std::string base = dir() + "/e";
+  std::ofstream(base + ".nodes") << "NumNodes : 2\na 4 12\nb 4 12\n";
+  std::ofstream(base + ".nets")
+      << "NumNets : 1\nNetDegree : 3 cut\na I : 0 0\n";
+  std::ofstream(base + ".pl") << "a 0 0 : N\nb 0 0 : N\n";
+  std::ofstream(base + ".scl") << "";
+  std::ofstream(base + ".aux")
+      << "RowBasedPlacement : e.nodes e.nets e.wts e.pl e.scl\n";
+  const std::string msg = THROWN_MESSAGE(read_bookshelf(base + ".aux"));
+  EXPECT_NE(msg.find("'cut'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("missing at EOF"), std::string::npos) << msg;
+}
+
+TEST_F(BookshelfRoundTrip, PinLineOutsideNetBlockThrows) {
+  const std::string base = dir() + "/p";
+  std::ofstream(base + ".nodes") << "NumNodes : 1\na 4 12\n";
+  std::ofstream(base + ".nets") << "NumNets : 0\na I : 0 0\n";
+  std::ofstream(base + ".pl") << "a 0 0 : N\n";
+  std::ofstream(base + ".scl") << "";
+  std::ofstream(base + ".aux")
+      << "RowBasedPlacement : p.nodes p.nets p.wts p.pl p.scl\n";
+  const std::string msg = THROWN_MESSAGE(read_bookshelf(base + ".aux"));
+  EXPECT_NE(msg.find("pin line outside a NetDegree block"), std::string::npos)
+      << msg;
 }
 
 TEST(Bookshelf, MissingAuxThrows) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/lambda.h"
 
 namespace complx {
@@ -66,6 +69,69 @@ TEST(Lambda, NaiveDoublingDoubles) {
   EXPECT_DOUBLE_EQ(s.lambda(), 2 * l1);
   s.update(1, 1);
   EXPECT_DOUBLE_EQ(s.lambda(), 4 * l1);
+}
+
+TEST(Lambda, NaiveDoublingClampsAtFiniteCeiling) {
+  LambdaSchedule s(ScheduleKind::NaiveDoubling);
+  s.init(100.0, 1.0);
+  // 2000 doublings would overflow to Inf without the ceiling.
+  for (int k = 0; k < 2000; ++k) s.update(1, 1);
+  EXPECT_TRUE(std::isfinite(s.lambda()));
+  EXPECT_DOUBLE_EQ(s.lambda(), s.max_lambda());
+  // Further updates stay pinned at the ceiling.
+  s.update(1, 1);
+  EXPECT_DOUBLE_EQ(s.lambda(), s.max_lambda());
+}
+
+TEST(Lambda, InitGuardsNonFiniteInputs) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const auto kind :
+       {ScheduleKind::ComplxFormula12, ScheduleKind::NaiveDoubling}) {
+    LambdaSchedule s(kind);
+    s.init(nan, 10.0);
+    EXPECT_TRUE(std::isfinite(s.lambda())) << static_cast<int>(kind);
+    EXPECT_GT(s.lambda(), 0.0);
+    s.init(100.0, inf);
+    EXPECT_TRUE(std::isfinite(s.lambda()));
+    EXPECT_GT(s.lambda(), 0.0);
+  }
+}
+
+TEST(Lambda, UpdateGuardsNonFinitePenalties) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  LambdaSchedule s(ScheduleKind::ComplxFormula12);
+  s.init(100.0, 1.0);
+  const double l1 = s.lambda();
+  s.update(nan, 1.0);  // ratio falls back to the neutral step
+  EXPECT_TRUE(std::isfinite(s.lambda()));
+  EXPECT_GE(s.lambda(), l1);
+  s.update(1.0, inf);
+  EXPECT_TRUE(std::isfinite(s.lambda()));
+}
+
+TEST(Lambda, SetLambdaSanitizesAndClamps) {
+  LambdaSchedule s(ScheduleKind::ComplxFormula12);
+  s.init(100.0, 1.0);
+  s.set_lambda(42.0);
+  EXPECT_DOUBLE_EQ(s.lambda(), 42.0);
+  s.set_lambda(-5.0);  // negative multipliers are meaningless
+  EXPECT_DOUBLE_EQ(s.lambda(), 0.0);
+  s.set_lambda(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_DOUBLE_EQ(s.lambda(), s.max_lambda());
+  s.set_lambda(2.0 * s.max_lambda());
+  EXPECT_DOUBLE_EQ(s.lambda(), s.max_lambda());
+}
+
+TEST(Lambda, SetMaxLambdaLowersCeilingAndReclamps) {
+  LambdaSchedule s(ScheduleKind::ComplxFormula12);
+  s.init(100.0, 1.0);
+  s.set_lambda(500.0);
+  s.set_max_lambda(100.0);
+  EXPECT_DOUBLE_EQ(s.lambda(), 100.0);
+  s.set_max_lambda(-1.0);  // rejected: ceiling unchanged
+  EXPECT_DOUBLE_EQ(s.max_lambda(), 100.0);
 }
 
 TEST(Lambda, IterationCounterAdvances) {

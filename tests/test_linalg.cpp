@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "linalg/cg.h"
 #include "linalg/sparse.h"
 #include "util/rng.h"
@@ -181,6 +183,88 @@ TEST(Cg, WarmStartReducesIterations) {
   const CgResult warm_res = solve_pcg(A, b, warm);
   EXPECT_TRUE(warm_res.converged);
   EXPECT_LT(warm_res.iterations, cold_res.iterations);
+}
+
+TEST(Cg, BreakdownFlagOnIndefiniteSystem) {
+  // A negative diagonal makes pAp < 0 on the first step: the solve must
+  // report breakdown (not merely "did not converge") and leave x finite.
+  TripletList t(2);
+  t.add_diag(0, -5.0);
+  t.add_diag(1, -3.0);
+  const CsrMatrix A = CsrMatrix::from_triplets(t);
+  Vec x(2, 0.0);
+  const CgResult res = solve_pcg(A, {1.0, 2.0}, x);
+  EXPECT_TRUE(res.breakdown);
+  EXPECT_FALSE(res.converged);
+  for (double v : x) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Cg, BudgetExhaustionIsNotBreakdown) {
+  const size_t n = 200;
+  TripletList t(n);
+  for (size_t i = 0; i + 1 < n; ++i) t.add_spring(i, i + 1, 1.0);
+  t.add_diag(0, 1.0);
+  const CsrMatrix A = CsrMatrix::from_triplets(t);
+  Vec b(n, 1.0);
+  Vec x(n, 0.0);
+  const CgResult res =
+      solve_pcg(A, b, x, {.rel_tolerance = 1e-12, .max_iterations = 2});
+  EXPECT_FALSE(res.converged);
+  EXPECT_FALSE(res.breakdown);
+}
+
+TEST(Cg, InjectedBreakdownLeavesGuessUntouched) {
+  TripletList t(2);
+  t.add_diag(0, 2.0);
+  t.add_diag(1, 2.0);
+  const CsrMatrix A = CsrMatrix::from_triplets(t);
+  Vec x{7.0, -3.0};
+  CgOptions opts;
+  opts.inject_breakdown = true;
+  const CgResult res = solve_pcg(A, {1.0, 1.0}, x, opts);
+  EXPECT_TRUE(res.breakdown);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 0u);
+  // The warm-start guess is the caller's fallback state: untouched.
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+  EXPECT_DOUBLE_EQ(x[1], -3.0);
+}
+
+TEST(Cg, DiagShiftSolvesShiftedSystem) {
+  // A = diag(2), shift = 3: the solve must satisfy (A + 3I) x = b.
+  TripletList t(2);
+  t.add_diag(0, 2.0);
+  t.add_diag(1, 2.0);
+  const CsrMatrix A = CsrMatrix::from_triplets(t);
+  Vec x(2, 0.0);
+  CgOptions opts;
+  opts.rel_tolerance = 1e-12;
+  opts.diag_shift = 3.0;
+  const CgResult res = solve_pcg(A, {10.0, -5.0}, x, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_NEAR(x[1], -1.0, 1e-9);
+}
+
+TEST(Cg, DiagShiftRestoresDefiniteness) {
+  // Indefinite alone (diagonal -1), SPD once shifted by 2: breakdown
+  // without the shift, clean convergence with it — the recovery policy's
+  // Tikhonov escape hatch.
+  TripletList t(2);
+  t.add_diag(0, -1.0);
+  t.add_diag(1, -1.0);
+  const CsrMatrix A = CsrMatrix::from_triplets(t);
+  Vec x(2, 0.0);
+  EXPECT_TRUE(solve_pcg(A, {1.0, 1.0}, x).breakdown);
+  x.assign(2, 0.0);
+  CgOptions opts;
+  opts.rel_tolerance = 1e-12;
+  opts.diag_shift = 2.0;
+  const CgResult res = solve_pcg(A, {1.0, 1.0}, x, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_FALSE(res.breakdown);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);  // (-1 + 2) x = 1
+  EXPECT_NEAR(x[1], 1.0, 1e-9);
 }
 
 struct RandomSpdCase {
