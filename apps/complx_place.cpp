@@ -29,6 +29,8 @@
 //   3    numerical divergence: the watchdog exhausted its recovery retries;
 //        the best-so-far placement is still written before exiting
 //   130  interrupted (SIGINT); the best-so-far placement is written first
+// complx-lint: allow(P1): the SIGINT flag must be async-signal-safe; a plain
+// bool or anything mutex-based would be UB inside a signal handler.
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -65,9 +67,13 @@ void usage() {
 // iteration boundary and returns its best-so-far checkpoint, which main()
 // writes out before exiting 130. A second ^C kills the process the default
 // way (the handler restores SIG_DFL).
+// complx-lint: allow(P1): set from the SIGINT handler, read by the placer's
+// cooperative cancel hook; control flow only, never numeric data.
 std::atomic<bool> g_interrupted{false};
 
 void handle_sigint(int) {
+  // complx-lint: allow(P1): relaxed is enough — a single flag, one writer
+  // (the handler), polled at iteration boundaries.
   g_interrupted.store(true, std::memory_order_relaxed);
   std::signal(SIGINT, SIG_DFL);
 }

@@ -73,7 +73,8 @@ int main() {
       yh = std::max(yh, m.y);
     }
     if (n == 0) continue;
-    const double cx = sx / n, cy = sy / n;
+    const double shreds = static_cast<double>(n);
+    const double cx = sx / shreds, cy = sy / shreds;
     const double centroid_err = std::abs(cx - proj.anchors.x[id]) +
                                 std::abs(cy - proj.anchors.y[id]);
     worst_centroid = std::max(worst_centroid, centroid_err);

@@ -44,11 +44,15 @@ int main() {
   run_suite(ispd2006_suite(scale));
 
   std::printf("\nOverall over %zu consecutive-iteration checks:\n", checked);
+  const auto pct = [&](size_t k) {
+    return 100.0 * static_cast<double>(k) /
+           static_cast<double>(std::max<size_t>(checked, 1));
+  };
   std::printf("  self-consistent : %5.1f%%   (paper: 96.0%%)\n",
-              100.0 * consistent / std::max<size_t>(checked, 1));
+              pct(consistent));
   std::printf("  inconsistent    : %5.1f%%   (paper:  0.6%%)\n",
-              100.0 * inconsistent / std::max<size_t>(checked, 1));
+              pct(inconsistent));
   std::printf("  premise failed  : %5.1f%%   (paper:  3.3%%)\n",
-              100.0 * premise_failed / std::max<size_t>(checked, 1));
+              pct(premise_failed));
   return 0;
 }

@@ -49,7 +49,8 @@ int main(int argc, char** argv) {
   const LegalizeResult legal = TetrisLegalizer(netlist).legalize(placement);
   std::printf("legalization: %zu cells placed, avg displacement %.1f\n",
               legal.placed,
-              legal.total_displacement / std::max<size_t>(legal.placed, 1));
+              legal.total_displacement /
+                  static_cast<double>(std::max<size_t>(legal.placed, 1)));
 
   // 4. Detailed placement.
   const DetailedResult dp = DetailedPlacer(netlist).refine(placement);

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Check-only clang-format over the tracked C++ sources (.clang-format at the
+# repo root). Never rewrites anything; lists the offending files and exits 1.
+# Skipped gracefully when clang-format is not installed.
+set -u
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check-format: clang-format not installed — skipped"
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.cpp' '*.h' '*.hpp' '*.cc')
+bad=0
+for f in "${files[@]}"; do
+  if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    bad=1
+  fi
+done
+if [ "$bad" -eq 0 ]; then
+  echo "check-format: ${#files[@]} files clean"
+fi
+exit "$bad"

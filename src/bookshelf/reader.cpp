@@ -315,8 +315,8 @@ BookshelfDesign read_bookshelf_files(const std::string& nodes_path,
       pins.push_back({id, pr.dx, pr.dy});
     }
     if (pins.size() < 2) continue;
-    const auto w = weights.find(net.name);
-    nl.add_net(net.name, w == weights.end() ? 1.0 : w->second, pins);
+    const auto wit = weights.find(net.name);
+    nl.add_net(net.name, wit == weights.end() ? 1.0 : wit->second, pins);
   }
 
   // Core area: union of rows if present, else bounding box of everything.

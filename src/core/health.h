@@ -33,6 +33,7 @@
 #include "core/trace.h"
 #include "linalg/cg.h"
 #include "netlist/netlist.h"
+#include "util/fpcmp.h"
 
 namespace complx {
 
@@ -175,7 +176,8 @@ struct Checkpoint {
                            double phi_upper_a, size_t bins_b,
                            double overflow_b, double phi_upper_b) {
     if (bins_a != bins_b) return bins_a > bins_b;
-    if (overflow_a != overflow_b) return overflow_a < overflow_b;
+    if (!fp::exactly_equal(overflow_a, overflow_b))
+      return overflow_a < overflow_b;
     return phi_upper_a < phi_upper_b;
   }
 

@@ -17,6 +17,8 @@
 // the overflow-only stopping rule (see ComplxConfig::simpl_mode()).
 #pragma once
 
+// complx-lint: allow(P1): std::atomic is the async-signal-safe primitive for
+// the cooperative cancel flag below; util/parallel.h has no signal-safe API.
 #include <atomic>
 #include <functional>
 #include <memory>
@@ -145,6 +147,8 @@ struct ComplxConfig {
   // Cooperative cancellation: when non-null and set (e.g. from a SIGINT
   // handler), the loop stops at the next iteration boundary and returns the
   // best-so-far checkpoint (stop reason Cancelled).
+  // complx-lint: allow(P1): written from a SIGINT handler, polled at
+  // iteration boundaries; never touches the deterministic numeric path.
   const std::atomic<bool>* cancel = nullptr;
 
   /// Returns a configuration equivalent to the SimPL special case: fixed

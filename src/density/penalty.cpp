@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "density/grid.h"
+#include "util/fpcmp.h"
 
 namespace complx {
 
@@ -76,8 +77,8 @@ double DensityPenalty::value_and_grad(const Placement& p, Vec& gx,
     double wsum = 0.0;
     for (long j = j0; j <= j1; ++j)
       for (long i = i0; i <= i1; ++i) {
-        const double cxb = core.xl + (i + 0.5) * bw_;
-        const double cyb = core.yl + (j + 0.5) * bh_;
+        const double cxb = core.xl + (static_cast<double>(i) + 0.5) * bw_;
+        const double cyb = core.yl + (static_cast<double>(j) + 0.5) * bh_;
         wsum += bell((p.x[id] - cxb) / radius_) *
                 bell((p.y[id] - cyb) / radius_y_);
       }
@@ -85,8 +86,8 @@ double DensityPenalty::value_and_grad(const Placement& p, Vec& gx,
     const double scale = cell.area() / wsum;
     for (long j = j0; j <= j1; ++j)
       for (long i = i0; i <= i1; ++i) {
-        const double cxb = core.xl + (i + 0.5) * bw_;
-        const double cyb = core.yl + (j + 0.5) * bh_;
+        const double cxb = core.xl + (static_cast<double>(i) + 0.5) * bw_;
+        const double cyb = core.yl + (static_cast<double>(j) + 0.5) * bh_;
         density[static_cast<size_t>(j) * bins_ + static_cast<size_t>(i)] +=
             scale * bell((p.x[id] - cxb) / radius_) *
             bell((p.y[id] - cyb) / radius_y_);
@@ -114,8 +115,8 @@ double DensityPenalty::value_and_grad(const Placement& p, Vec& gx,
     double wsum = 0.0;
     for (long j = j0; j <= j1; ++j)
       for (long i = i0; i <= i1; ++i) {
-        const double cxb = core.xl + (i + 0.5) * bw_;
-        const double cyb = core.yl + (j + 0.5) * bh_;
+        const double cxb = core.xl + (static_cast<double>(i) + 0.5) * bw_;
+        const double cyb = core.yl + (static_cast<double>(j) + 0.5) * bh_;
         wsum += bell((p.x[id] - cxb) / radius_) *
                 bell((p.y[id] - cyb) / radius_y_);
       }
@@ -125,9 +126,9 @@ double DensityPenalty::value_and_grad(const Placement& p, Vec& gx,
       for (long i = i0; i <= i1; ++i) {
         const size_t k =
             static_cast<size_t>(j) * bins_ + static_cast<size_t>(i);
-        if (dfdd[k] == 0.0) continue;
-        const double cxb = core.xl + (i + 0.5) * bw_;
-        const double cyb = core.yl + (j + 0.5) * bh_;
+        if (fp::exactly_zero(dfdd[k])) continue;  // sentinel: bin not over cap
+        const double cxb = core.xl + (static_cast<double>(i) + 0.5) * bw_;
+        const double cyb = core.yl + (static_cast<double>(j) + 0.5) * bh_;
         const double bx = bell((p.x[id] - cxb) / radius_);
         const double by = bell((p.y[id] - cyb) / radius_y_);
         gx[id] += dfdd[k] * scale * by *

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/fpcmp.h"
 #include "wl/hpwl.h"
 
 namespace complx {
@@ -27,7 +28,7 @@ OrientationResult optimize_orientation(Netlist& nl, const Placement& p,
       // A flip only matters when the cell has pins with non-zero x offset.
       bool has_offset = false;
       for (PinId pid : nl.pins_of_cell(id))
-        if (nl.pin(pid).dx != 0.0) {
+        if (!fp::exactly_zero(nl.pin(pid).dx)) {
           has_offset = true;
           break;
         }

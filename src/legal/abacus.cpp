@@ -104,8 +104,13 @@ LegalizeResult AbacusLegalizer::legalize(Placement& p) const {
   std::vector<CellId> macros, std_cells;
   for (CellId id : nl_.movable_cells())
     (nl_.cell(id).is_macro() ? macros : std_cells).push_back(id);
+  // Ties broken by id: std::sort is unstable, so equal keys would otherwise
+  // leave the placement order (and thus the result) implementation-defined.
   std::sort(macros.begin(), macros.end(), [&](CellId a, CellId b) {
-    return nl_.cell(a).area() > nl_.cell(b).area();
+    const double aa = nl_.cell(a).area(), ab = nl_.cell(b).area();
+    if (aa > ab) return true;
+    if (ab > aa) return false;
+    return a < b;
   });
   const Rect& core = nl_.core();
   for (CellId id : macros) {
@@ -180,8 +185,11 @@ LegalizeResult AbacusLegalizer::legalize(Placement& p) const {
   }
 
   // ---- Abacus insertion over x-sorted standard cells ----------------------
-  std::sort(std_cells.begin(), std_cells.end(),
-            [&](CellId a, CellId b) { return p.x[a] < p.x[b]; });
+  std::sort(std_cells.begin(), std_cells.end(), [&](CellId a, CellId b) {
+    if (p.x[a] < p.x[b]) return true;
+    if (p.x[b] < p.x[a]) return false;
+    return a < b;  // deterministic order for coincident cells
+  });
 
   for (CellId id : std_cells) {
     const Cell& c = nl_.cell(id);

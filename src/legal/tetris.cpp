@@ -153,8 +153,13 @@ LegalizeResult TetrisLegalizer::legalize(Placement& p) const {
   for (CellId id : nl_.movable_cells()) {
     (nl_.cell(id).is_macro() ? macros : std_cells).push_back(id);
   }
+  // Ties broken by id: std::sort is unstable, so equal keys would otherwise
+  // leave the placement order (and thus the result) implementation-defined.
   std::sort(macros.begin(), macros.end(), [&](CellId a, CellId b) {
-    return nl_.cell(a).area() > nl_.cell(b).area();
+    const double aa = nl_.cell(a).area(), ab = nl_.cell(b).area();
+    if (aa > ab) return true;
+    if (ab > aa) return false;
+    return a < b;
   });
 
   // Track placed macro rectangles for overlap checks.
@@ -211,8 +216,11 @@ LegalizeResult TetrisLegalizer::legalize(Placement& p) const {
   }
 
   // ---- standard cells: x-sorted greedy fill ------------------------------
-  std::sort(std_cells.begin(), std_cells.end(),
-            [&](CellId a, CellId b) { return p.x[a] < p.x[b]; });
+  std::sort(std_cells.begin(), std_cells.end(), [&](CellId a, CellId b) {
+    if (p.x[a] < p.x[b]) return true;
+    if (p.x[b] < p.x[a]) return false;
+    return a < b;  // deterministic order for coincident cells
+  });
 
   for (CellId id : std_cells) {
     const Cell& c = nl_.cell(id);
@@ -288,8 +296,11 @@ bool TetrisLegalizer::is_legal(const Netlist& nl, const Placement& p,
       rects.push_back(c.bounds());
     }
 
-  std::sort(rects.begin(), rects.end(),
-            [](const Rect& a, const Rect& b) { return a.xl < b.xl; });
+  std::sort(rects.begin(), rects.end(), [](const Rect& a, const Rect& b) {
+    if (a.xl < b.xl) return true;
+    if (b.xl < a.xl) return false;
+    return a.yl < b.yl;  // deterministic sweep order for equal left edges
+  });
   for (size_t i = 0; i < rects.size(); ++i) {
     for (size_t j = i + 1; j < rects.size(); ++j) {
       if (rects[j].xl >= rects[i].xh - tol) break;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/fpcmp.h"
+
 namespace complx {
 
 CgResult solve_pcg(const CsrMatrix& A, const Vec& b, Vec& x,
@@ -18,7 +20,7 @@ CgResult solve_pcg(const CsrMatrix& A, const Vec& b, Vec& x,
     result.breakdown = true;
     return result;
   }
-  if (b_norm == 0.0) {
+  if (fp::exactly_zero(b_norm)) {
     // x = 0 solves the system exactly; report a fully-populated result
     // (0 iterations, zero residual) instead of default-initialized fields.
     x.assign(n, 0.0);

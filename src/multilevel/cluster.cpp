@@ -1,8 +1,8 @@
 #include "multilevel/cluster.h"
 
 #include <algorithm>
-#include <unordered_map>
 
+#include "util/fpcmp.h"
 #include "util/rng.h"
 
 namespace complx {
@@ -23,11 +23,21 @@ CoarseLevel coarsen(const Netlist& fine, const ClusterOptions& opts) {
 
     const double area_cap = opts.max_cluster_rows * fine.row_height() *
                             fine.row_height();
-    std::unordered_map<CellId, double> affinity;
+    // Dense scratch instead of a hash map: per-candidate sums accumulate in
+    // net-traversal order and the winner scan below is order-independent,
+    // so the match (and therefore the whole coarse netlist) cannot depend
+    // on hash iteration order (complx-lint rule D1).
+    std::vector<double> affinity(n, 0.0);
+    std::vector<char> is_candidate(n, 0);
+    std::vector<CellId> touched;
     for (CellId id : order) {
       if (match[id] != std::numeric_limits<CellId>::max()) continue;
       if (fine.cell(id).area() > area_cap) continue;
-      affinity.clear();
+      for (CellId t : touched) {
+        affinity[t] = 0.0;
+        is_candidate[t] = 0;
+      }
+      touched.clear();
       for (NetId e : fine.nets_of_cell(id)) {
         const Net& net = fine.net(e);
         if (net.num_pins < 2 || net.num_pins > opts.max_net_degree) continue;
@@ -40,13 +50,20 @@ CoarseLevel coarsen(const Netlist& fine, const ClusterOptions& opts) {
           if (!oc.movable() || oc.is_macro()) continue;
           if (match[other] != std::numeric_limits<CellId>::max()) continue;
           if (oc.area() + fine.cell(id).area() > 2.0 * area_cap) continue;
+          if (!is_candidate[other]) {
+            is_candidate[other] = 1;
+            touched.push_back(other);
+          }
           affinity[other] += w;
         }
       }
+      // Max affinity, ties to the smallest id — order-independent, so the
+      // traversal order of `touched` does not matter.
       CellId best = std::numeric_limits<CellId>::max();
       double best_w = 0.0;
-      for (const auto& [other, w] : affinity) {
-        if (w > best_w || (w == best_w && other < best)) {
+      for (CellId other : touched) {
+        const double w = affinity[other];
+        if (w > best_w || (fp::exactly_equal(w, best_w) && other < best)) {
           best_w = w;
           best = other;
         }

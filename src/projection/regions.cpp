@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/fpcmp.h"
+
 namespace complx {
 
 namespace {
@@ -24,7 +26,8 @@ size_t snap_to_regions(const Netlist& nl, Placement& p) {
     const Rect box = center_box(nl.regions()[c.region].box, c);
     const double nx = std::clamp(p.x[id], box.xl, box.xh);
     const double ny = std::clamp(p.y[id], box.yl, box.yh);
-    if (nx != p.x[id] || ny != p.y[id]) {
+    // Exact compare on purpose: "did the clamp move this cell at all".
+    if (!fp::exactly_equal(nx, p.x[id]) || !fp::exactly_equal(ny, p.y[id])) {
       p.x[id] = nx;
       p.y[id] = ny;
       ++moved;

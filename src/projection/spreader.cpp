@@ -25,6 +25,21 @@ Rect slice(const Rect& r, bool horizontal, double lo, double hi) {
   return horizontal ? Rect{lo, r.yl, hi, r.yh} : Rect{r.xl, lo, r.xh, hi};
 }
 
+/// Strict weak order on motes along an axis with deterministic tie-breaks.
+/// std::sort is unstable, so sorting on the raw coordinate alone would let
+/// the relative order of coincident motes (common early on, when cells pile
+/// up at the core center) depend on the implementation's pivot choices.
+/// Breaking ties by owner id and then the transverse coordinate pins the
+/// permutation to the input values only.
+bool mote_before(const Mote* a, const Mote* b, bool horizontal) {
+  const double ca = coord(a, horizontal);
+  const double cb = coord(b, horizontal);
+  if (ca < cb) return true;
+  if (cb < ca) return false;
+  if (a->owner != b->owner) return a->owner < b->owner;
+  return coord(a, !horizontal) < coord(b, !horizontal);
+}
+
 }  // namespace
 
 void Spreader::spread(const Rect& region, std::vector<Mote*>& motes) const {
@@ -62,7 +77,7 @@ void Spreader::recurse(const Rect& region, std::vector<Mote*>& motes,
 
   const bool horizontal = region.width() >= region.height();
   std::sort(motes.begin(), motes.end(), [&](const Mote* a, const Mote* b) {
-    return coord(a, horizontal) < coord(b, horizontal);
+    return mote_before(a, b, horizontal);
   });
 
   // Area-median split of the cell list.
@@ -120,7 +135,7 @@ void Spreader::terminal_spread(const Rect& region,
   // subproblem in the δ_i variables). The transverse coordinate is clamped.
   const bool horizontal = region.width() >= region.height();
   std::sort(motes.begin(), motes.end(), [&](const Mote* a, const Mote* b) {
-    return coord(a, horizontal) < coord(b, horizontal);
+    return mote_before(a, b, horizontal);
   });
 
   double total_area = 0.0;

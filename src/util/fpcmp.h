@@ -1,0 +1,75 @@
+// Floating-point comparison helpers — the designated home for every
+// equality test on double in this codebase.
+//
+// Raw `==` / `!=` on floating-point values is banned outside this header
+// (complx-lint rule N1): at a call site it is ambiguous whether the author
+// meant "bitwise the same value" (a determinism contract), "exactly the
+// sentinel zero I stored earlier" (a flag), or "close enough after
+// arithmetic" (a tolerance) — and the wrong reading of that ambiguity is a
+// classic source of flaky convergence checks. These helpers make the intent
+// explicit in the name, so the reader (and the linter) can tell which
+// contract a comparison relies on.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace complx::fp {
+
+/// Exact bitwise-value equality (the determinism contract: identical
+/// arithmetic produced identical values; -0.0 == 0.0, NaN != NaN).
+inline bool exactly_equal(double a, double b) { return a == b; }
+
+/// True iff x is exactly ±0.0 — for sentinel zeros written by this code
+/// (e.g. "this bin was never touched"), not for results of arithmetic.
+inline bool exactly_zero(double x) { return x == 0.0; }
+
+/// Absolute-tolerance zero test for results of arithmetic.
+inline bool near_zero(double x, double abs_tol = 1e-12) {
+  return std::fabs(x) <= abs_tol;
+}
+
+/// Mixed relative/absolute tolerance equality. Infinities of the same sign
+/// compare equal; NaN never does. The relative term uses the larger
+/// magnitude so the predicate is symmetric.
+inline bool approx_equal(double a, double b, double rel_tol = 1e-9,
+                         double abs_tol = 1e-12) {
+  if (exactly_equal(a, b)) return true;  // covers equal infinities
+  if (!std::isfinite(a) || !std::isfinite(b)) return false;
+  const double diff = std::fabs(a - b);
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= abs_tol || diff <= rel_tol * scale;
+}
+
+/// Distance in representable doubles between a and b (0 iff bitwise-equal
+/// up to signed zero). Uses the standard monotone mapping of the IEEE-754
+/// bit pattern onto a signed integer line.
+inline std::int64_t ulp_distance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b))
+    return std::numeric_limits<std::int64_t>::max();
+  // Monotone map of the IEEE-754 bit pattern onto the unsigned line, with
+  // -0.0 and +0.0 coinciding at 2^63. Unsigned throughout: the -inf..+inf
+  // distance would overflow a signed difference.
+  constexpr std::uint64_t kSign = std::uint64_t{1} << 63;
+  auto to_ordered = [](double x) {
+    const auto bits = std::bit_cast<std::uint64_t>(x);
+    return bits & kSign ? kSign - (bits & ~kSign) : kSign + bits;
+  };
+  const std::uint64_t oa = to_ordered(a);
+  const std::uint64_t ob = to_ordered(b);
+  const std::uint64_t d = oa > ob ? oa - ob : ob - oa;
+  constexpr auto kMax =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+  return d > kMax ? std::numeric_limits<std::int64_t>::max()
+                  : static_cast<std::int64_t>(d);
+}
+
+/// Equality within a fixed number of representable doubles — the right tool
+/// when two code paths compute the same quantity with reordered arithmetic.
+inline bool ulp_equal(double a, double b, std::int64_t max_ulps = 4) {
+  return ulp_distance(a, b) <= max_ulps;
+}
+
+}  // namespace complx::fp

@@ -45,8 +45,10 @@ double hpwl(const Netlist& nl, const Placement& p) {
 double weighted_hpwl(const Netlist& nl, const Placement& p) {
   return parallel_sum(nl.num_nets(), [&](size_t begin, size_t end) {
     double s = 0.0;
-    for (size_t e = begin; e < end; ++e)
-      s += nl.net(e).weight * net_hpwl(nl, p, static_cast<NetId>(e));
+    for (size_t e = begin; e < end; ++e) {
+      const NetId id = static_cast<NetId>(e);
+      s += nl.net(id).weight * net_hpwl(nl, p, id);
+    }
     return s;
   });
 }

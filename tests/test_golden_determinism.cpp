@@ -8,6 +8,9 @@
 
 #include "core/placer.h"
 #include "helpers.h"
+#include "legal/abacus.h"
+#include "legal/tetris.h"
+#include "timing/sta.h"
 #include "util/parallel.h"
 
 namespace complx {
@@ -56,6 +59,78 @@ TEST(GoldenDeterminism, StandardCellDesign) {
   ComplxConfig cfg;
   cfg.max_iterations = 30;
   run_and_compare(nl, cfg);
+}
+
+// --- downstream stages -----------------------------------------------------
+// The placer's contract extends through legalization and analysis: the same
+// global placement must legalize to the same rows and score the same slacks
+// regardless of the thread count (and of how often the stage is re-run).
+
+/// One global placement shared by the downstream-stage tests.
+const PlaceResult& shared_gp() {
+  static const PlaceResult r = [] {
+    ThreadGuard guard;
+    set_global_threads(1);
+    ComplxConfig cfg;
+    cfg.threads = 1;
+    cfg.max_iterations = 20;
+    return ComplxPlacer(testing::small_circuit(11, 1200, 1), cfg).place();
+  }();
+  return r;
+}
+
+template <typename Legalizer>
+void expect_legalizer_thread_invariant() {
+  const Netlist nl = testing::small_circuit(11, 1200, 1);
+  const PlaceResult& gp = shared_gp();
+  ThreadGuard guard;
+
+  set_global_threads(1);
+  Placement serial = gp.anchors;
+  const LegalizeResult r1 = Legalizer(nl).legalize(serial);
+
+  set_global_threads(8);
+  Placement parallel = gp.anchors;
+  const LegalizeResult r8 = Legalizer(nl).legalize(parallel);
+
+  EXPECT_EQ(r1.placed, r8.placed);
+  EXPECT_EQ(r1.total_displacement, r8.total_displacement);
+  testing::expect_placements_bitwise_equal(serial, parallel);
+
+  // Re-running the same stage must also be a pure function of its input.
+  set_global_threads(8);
+  Placement again = gp.anchors;
+  Legalizer(nl).legalize(again);
+  testing::expect_placements_bitwise_equal(parallel, again);
+}
+
+TEST(GoldenDeterminism, TetrisLegalizerThreadInvariant) {
+  expect_legalizer_thread_invariant<TetrisLegalizer>();
+}
+
+TEST(GoldenDeterminism, AbacusLegalizerThreadInvariant) {
+  expect_legalizer_thread_invariant<AbacusLegalizer>();
+}
+
+TEST(GoldenDeterminism, StaticTimingThreadInvariant) {
+  const Netlist nl = testing::small_circuit(11, 1200, 1);
+  const PlaceResult& gp = shared_gp();
+  const std::vector<char> regs = choose_registers(nl, 0.1, 3);
+  const TimingGraph graph(nl, regs, TimingOptions{});
+  ThreadGuard guard;
+
+  set_global_threads(1);
+  const TimingReport a = graph.analyze(gp.anchors);
+  set_global_threads(8);
+  const TimingReport b = graph.analyze(gp.anchors);
+
+  EXPECT_EQ(a.worst_slack, b.worst_slack);
+  EXPECT_EQ(a.period, b.period);
+  EXPECT_EQ(a.worst_endpoint, b.worst_endpoint);
+  EXPECT_EQ(a.violations, b.violations);
+  testing::expect_vec_bitwise_equal(a.arrival, b.arrival, "arrival times");
+  testing::expect_vec_bitwise_equal(a.required, b.required, "required times");
+  testing::expect_vec_bitwise_equal(a.slack, b.slack, "slacks");
 }
 
 TEST(GoldenDeterminism, MacroDesignWithRoutability) {

@@ -1,0 +1,247 @@
+// Fixture tests for complx-lint: every rule must fire on a minimal
+// offending snippet, stay quiet on the compliant rewrite, and honour the
+// allow(...) suppression syntax (which itself demands a justification).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace complx::lint {
+namespace {
+
+std::vector<std::string> rules_fired(const std::string& path,
+                                     const std::string& src) {
+  std::vector<std::string> out;
+  for (const Finding& f : lint_source(path, src)) out.push_back(f.rule);
+  return out;
+}
+
+bool fired(const std::string& path, const std::string& src,
+           const std::string& rule) {
+  const auto rules = rules_fired(path, src);
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+// ------------------------------------------------------------------ D1 ----
+
+TEST(LintD1, FiresOnRangeForOverUnorderedMap) {
+  EXPECT_TRUE(fired("src/x.cpp",
+                    "#include <unordered_map>\n"
+                    "double f(const std::unordered_map<int,double>& m) {\n"
+                    "  double s = 0.0;\n"
+                    "  for (const auto& [k, v] : m) s += v;\n"
+                    "  return s;\n"
+                    "}\n",
+                    "D1"));
+}
+
+TEST(LintD1, FiresOnExplicitBeginIterator) {
+  EXPECT_TRUE(fired("src/x.cpp",
+                    "std::unordered_set<int> seen;\n"
+                    "void g() { auto it = seen.begin(); (void)it; }\n",
+                    "D1"));
+}
+
+TEST(LintD1, FiresOnMemberContainerInRangeFor) {
+  EXPECT_TRUE(fired("src/x.cpp",
+                    "struct S { std::unordered_map<int,int> index_; };\n"
+                    "void h(S& s) { for (auto& kv : s.index_) (void)kv; }\n",
+                    "D1"));
+}
+
+TEST(LintD1, QuietOnLookupOnlyUse) {
+  EXPECT_FALSE(fired("src/x.cpp",
+                     "std::unordered_map<std::string,int> idx;\n"
+                     "int find(const std::string& k) {\n"
+                     "  auto it = idx.find(k);\n"
+                     "  return it == idx.end() ? -1 : it->second;\n"
+                     "}\n",
+                     "D1"));
+}
+
+TEST(LintD1, QuietOnOrderedContainers) {
+  EXPECT_FALSE(fired("src/x.cpp",
+                     "std::map<int,int> m;\n"
+                     "void f() { for (auto& kv : m) (void)kv; }\n",
+                     "D1"));
+}
+
+// ------------------------------------------------------------------ D2 ----
+
+TEST(LintD2, FiresOnRandAndSrand) {
+  EXPECT_TRUE(fired("src/x.cpp", "int f() { return std::rand(); }\n", "D2"));
+  EXPECT_TRUE(fired("src/x.cpp", "void g() { srand(42); }\n", "D2"));
+}
+
+TEST(LintD2, FiresOnRandomDeviceOutsideRngHeader) {
+  const std::string src = "std::random_device rd;\n";
+  EXPECT_TRUE(fired("src/x.cpp", src, "D2"));
+  EXPECT_FALSE(fired("src/util/rng.h", src, "D2"));  // the seeded authority
+}
+
+TEST(LintD2, FiresOnWallClockAndThreadId) {
+  EXPECT_TRUE(fired("src/x.cpp", "long t = time(nullptr);\n", "D2"));
+  EXPECT_TRUE(
+      fired("src/x.cpp",
+            "auto id = std::this_thread::get_id();\n", "D2"));
+}
+
+TEST(LintD2, QuietOnMemberNamedTimeAndComments) {
+  EXPECT_FALSE(fired("src/x.cpp", "double s = timer.time();\n", "D2"));
+  EXPECT_FALSE(fired("src/x.cpp", "// never call rand() here\n", "D2"));
+  EXPECT_FALSE(fired("src/x.cpp", "const char* s = \"rand(\";\n", "D2"));
+}
+
+// ------------------------------------------------------------------ N1 ----
+
+TEST(LintN1, FiresOnFloatLiteralComparison) {
+  EXPECT_TRUE(fired("src/x.cpp", "bool b = x == 0.0;\n", "N1"));
+  EXPECT_TRUE(fired("src/x.cpp", "bool b = 1e-9 != y;\n", "N1"));
+}
+
+TEST(LintN1, FiresOnDeclaredDoubleVariable) {
+  EXPECT_TRUE(fired("src/x.cpp",
+                    "bool f(double gap, int k) { return gap == k; }\n",
+                    "N1"));
+}
+
+TEST(LintN1, QuietOnIntegerAndPointerComparison) {
+  EXPECT_FALSE(fired("src/x.cpp", "bool b = n == 0;\n", "N1"));
+  EXPECT_FALSE(fired("src/x.cpp", "bool b = ptr != nullptr;\n", "N1"));
+  EXPECT_FALSE(fired("src/x.cpp", "bool b = it == v.end();\n", "N1"));
+}
+
+TEST(LintN1, QuietInsideComparatorHeader) {
+  EXPECT_FALSE(
+      fired("src/util/fpcmp.h", "bool eq(double a, double b) { return a == b; }\n",
+            "N1"));
+}
+
+// ------------------------------------------------------------------ N2 ----
+
+TEST(LintN2, FiresOnSilentCatchAllInNumericalModule) {
+  const std::string src =
+      "void f() { try { g(); } catch (...) { } }\n";
+  EXPECT_TRUE(fired("src/core/x.cpp", src, "N2"));
+  EXPECT_TRUE(fired("src/linalg/x.cpp", src, "N2"));
+  EXPECT_TRUE(fired("src/qp/x.cpp", src, "N2"));
+}
+
+TEST(LintN2, QuietWhenHandled) {
+  EXPECT_FALSE(fired("src/core/x.cpp",
+                     "void f() { try { g(); } catch (...) {\n"
+                     "  log_error(\"solve failed\"); } }\n",
+                     "N2"));
+  EXPECT_FALSE(fired("src/core/x.cpp",
+                     "void f() { try { g(); } catch (...) {\n"
+                     "  status = Status::Failed; } }\n",
+                     "N2"));
+  EXPECT_FALSE(fired("src/core/x.cpp",
+                     "void f() { try { g(); } catch (...) { throw; } }\n",
+                     "N2"));
+}
+
+TEST(LintN2, QuietOutsideNumericalModules) {
+  EXPECT_FALSE(fired("src/util/x.cpp",
+                     "void f() { try { g(); } catch (...) { } }\n", "N2"));
+}
+
+// ------------------------------------------------------------------ P1 ----
+
+TEST(LintP1, FiresOnMutexAtomicThread) {
+  EXPECT_TRUE(fired("src/x.cpp", "std::mutex m;\n", "P1"));
+  EXPECT_TRUE(fired("src/x.cpp", "std::atomic<int> n{0};\n", "P1"));
+  EXPECT_TRUE(fired("src/x.cpp", "std::thread t(work);\n", "P1"));
+  EXPECT_TRUE(
+      fired("src/x.cpp", "x.load(std::memory_order_acquire);\n", "P1"));
+}
+
+TEST(LintP1, QuietInsideParallelAuthority) {
+  const std::string src = "std::mutex m; std::atomic<int> n{0};\n";
+  EXPECT_FALSE(fired("src/util/parallel.h", src, "P1"));
+  EXPECT_FALSE(fired("src/util/parallel.cpp", src, "P1"));
+}
+
+// --------------------------------------------------------- suppressions ----
+
+TEST(LintSuppress, SameLineAllowWithJustification) {
+  const auto rules = rules_fired(
+      "src/x.cpp",
+      "std::mutex m;  // complx-lint: allow(P1): guards non-numeric cache\n");
+  EXPECT_TRUE(rules.empty());
+}
+
+TEST(LintSuppress, LineAboveAllow) {
+  const auto rules = rules_fired(
+      "src/x.cpp",
+      "// complx-lint: allow(D1): dump order irrelevant, debug-only path\n"
+      "std::unordered_map<int,int> m;\n"
+      "void f() { for (auto& kv : m) (void)kv; }\n");
+  // Suppression covers the declaration line, not the iteration two lines
+  // below — the loop must still be reported.
+  EXPECT_EQ(rules, std::vector<std::string>{"D1"});
+}
+
+TEST(LintSuppress, MultiLineCommentBlockReachesCode) {
+  const auto rules = rules_fired(
+      "src/x.cpp",
+      "// complx-lint: allow(P1): the SIGINT flag must be async-signal-safe\n"
+      "// and a mutex would be undefined behaviour inside the handler.\n"
+      "std::atomic<bool> stop{false};\n");
+  EXPECT_TRUE(rules.empty());
+}
+
+TEST(LintSuppress, OnlyNamedRuleIsSuppressed) {
+  EXPECT_TRUE(fired(
+      "src/x.cpp",
+      "std::mutex m;  // complx-lint: allow(D1): wrong rule id on purpose\n",
+      "P1"));
+}
+
+TEST(LintSuppress, BareAllowIsItselfAFinding) {
+  const auto rules = rules_fired(
+      "src/x.cpp", "std::mutex m;  // complx-lint: allow(P1)\n");
+  EXPECT_EQ(rules, std::vector<std::string>{"SUPP"});
+}
+
+TEST(LintSuppress, MultipleRulesInOneAllow) {
+  const auto rules = rules_fired(
+      "src/x.cpp",
+      "// complx-lint: allow(P1, N1): test double for the scheduler seam\n"
+      "bool f(std::atomic<double>& x, double y) { return x == y; }\n");
+  EXPECT_TRUE(rules.empty());
+}
+
+// ------------------------------------------------------------ reporting ----
+
+TEST(LintReport, FindingsCarryFileLineAndSortedOrder) {
+  const auto findings = lint_source("src/x.cpp",
+                                    "std::mutex a;\n"
+                                    "\n"
+                                    "std::mutex b;\n");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].file, "src/x.cpp");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_EQ(findings[1].line, 3u);
+  EXPECT_EQ(findings[0].rule, "P1");
+  EXPECT_FALSE(findings[0].message.empty());
+}
+
+TEST(LintReport, RuleCatalogCoversAllRules) {
+  std::vector<std::string> ids;
+  for (const auto& r : rule_catalog()) ids.push_back(r.id);
+  for (const char* want : {"D1", "D2", "N1", "N2", "P1", "SUPP"})
+    EXPECT_NE(std::find(ids.begin(), ids.end(), want), ids.end()) << want;
+}
+
+TEST(LintReport, UnreadableFileYieldsIoFinding) {
+  const auto findings = lint_file("/nonexistent_dir_xyz/f.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "IO");
+}
+
+}  // namespace
+}  // namespace complx::lint

@@ -54,8 +54,9 @@ TEST(Nlcg, MonotoneDecrease) {
     g.assign(v.size(), 0.0);
     double s = 0.0;
     for (size_t i = 0; i < v.size(); ++i) {
-      s += (i + 1) * v[i] * v[i];
-      g[i] = 2.0 * (i + 1) * v[i];
+      const double c = static_cast<double>(i + 1);
+      s += c * v[i] * v[i];
+      g[i] = 2.0 * c * v[i];
     }
     return s;
   };

@@ -119,7 +119,8 @@ TEST(ChooseRegisters, FractionRoughlyHonored) {
     ++movable;
     if (regs[id]) ++count;
   }
-  const double frac = static_cast<double>(count) / movable;
+  const double frac =
+      static_cast<double>(count) / static_cast<double>(movable);
   EXPECT_NEAR(frac, 0.25, 0.05);
   // Fixed cells are always boundaries.
   for (CellId id = 0; id < nl.num_cells(); ++id) {

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "util/csv.h"
+#include "util/fpcmp.h"
 #include "util/geom.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -204,6 +207,69 @@ TEST(Csv, RejectsWidthMismatch) {
 TEST(Csv, ThrowsOnBadPath) {
   EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/f.csv", {"a"}),
                std::runtime_error);
+}
+
+// --------------------------------------------------------------- fpcmp ----
+
+TEST(Fpcmp, ExactlyEqualIsBitwiseIntent) {
+  EXPECT_TRUE(fp::exactly_equal(1.5, 1.5));
+  EXPECT_FALSE(fp::exactly_equal(1.5, std::nextafter(1.5, 2.0)));
+  EXPECT_TRUE(fp::exactly_equal(0.0, -0.0));  // IEEE: +0 == -0
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(fp::exactly_equal(nan, nan));
+}
+
+TEST(Fpcmp, ExactlyZeroAndNearZero) {
+  EXPECT_TRUE(fp::exactly_zero(0.0));
+  EXPECT_TRUE(fp::exactly_zero(-0.0));
+  EXPECT_FALSE(fp::exactly_zero(5e-324));  // smallest denormal is not zero
+  EXPECT_TRUE(fp::near_zero(1e-13));
+  EXPECT_FALSE(fp::near_zero(1e-11));
+  EXPECT_TRUE(fp::near_zero(0.5, 1.0));  // custom tolerance
+}
+
+TEST(Fpcmp, ApproxEqualRelativeAndAbsolute) {
+  // Relative regime: large magnitudes.
+  EXPECT_TRUE(fp::approx_equal(1e12, 1e12 * (1.0 + 1e-10)));
+  EXPECT_FALSE(fp::approx_equal(1e12, 1e12 * (1.0 + 1e-6)));
+  // Absolute regime: both tiny.
+  EXPECT_TRUE(fp::approx_equal(1e-13, -1e-13));
+  // Symmetry.
+  EXPECT_EQ(fp::approx_equal(3.0, 3.0000001), fp::approx_equal(3.0000001, 3.0));
+}
+
+TEST(Fpcmp, ApproxEqualSpecials) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(fp::approx_equal(inf, inf));
+  EXPECT_FALSE(fp::approx_equal(inf, -inf));
+  EXPECT_FALSE(fp::approx_equal(inf, 1e300));
+  EXPECT_FALSE(fp::approx_equal(nan, nan));
+  EXPECT_FALSE(fp::approx_equal(nan, 0.0));
+}
+
+TEST(Fpcmp, UlpDistanceCountsRepresentableSteps) {
+  EXPECT_EQ(fp::ulp_distance(1.0, 1.0), 0);
+  const double next = std::nextafter(1.0, 2.0);
+  EXPECT_EQ(fp::ulp_distance(1.0, next), 1);
+  EXPECT_EQ(fp::ulp_distance(next, 1.0), 1);  // symmetric
+  // Across zero: -denormal to +denormal is 2 steps, not astronomical.
+  const double den = 5e-324;
+  EXPECT_EQ(fp::ulp_distance(-den, den), 2);
+  EXPECT_EQ(fp::ulp_distance(0.0, -0.0), 0);
+}
+
+TEST(Fpcmp, UlpEqual) {
+  double x = 1.0;
+  for (int i = 0; i < 4; ++i) x = std::nextafter(x, 2.0);
+  EXPECT_TRUE(fp::ulp_equal(1.0, x));  // 4 ulps, default budget
+  x = std::nextafter(x, 2.0);
+  EXPECT_FALSE(fp::ulp_equal(1.0, x));  // 5 ulps
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(fp::ulp_equal(nan, nan));
+  // The classic failure of naive tolerance: 0.1 + 0.2 vs 0.3.
+  EXPECT_TRUE(fp::ulp_equal(0.1 + 0.2, 0.3));
+  EXPECT_FALSE(fp::exactly_equal(0.1 + 0.2, 0.3));
 }
 
 }  // namespace

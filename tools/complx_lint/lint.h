@@ -1,0 +1,61 @@
+// complx-lint: a project-specific static-analysis pass.
+//
+// The placement engine makes two promises that ordinary tests can only
+// sample, never prove: bitwise thread-count-independent results
+// (docs/PARALLELISM.md) and NaN/Inf-free recovery (docs/ROBUSTNESS.md).
+// Both are one careless edit away from silently breaking — an
+// unordered_map iterated into a floating-point reduction, a std::rand()
+// in a tiebreaker, a raw `==` in a convergence check. complx-lint scans
+// the repository's own sources (a token-level scanner; no compiler
+// needed) and enforces those invariants as named, suppressible rules:
+//
+//   D1  no iteration over unordered associative containers — hash order
+//       is not part of any determinism contract; take a sorted snapshot
+//       or traverse by index instead.
+//   D2  no nondeterminism sources: std::rand/srand/drand48/random_device
+//       (outside util/rng.h, the seeded-RNG authority), time()/clock()
+//       calls, std::this_thread (thread-id-dependent behaviour).
+//   N1  no raw ==/!= on floating-point operands outside util/fpcmp.h,
+//       the designated comparator helper.
+//   N2  catch (...) in src/core, src/linalg, src/qp must log, set a
+//       status, or rethrow — never swallow silently.
+//   P1  no mutexes/atomics/threads outside util/parallel.* — the
+//       deterministic-reduction layer is the single concurrency
+//       authority.
+//
+// Suppression: `// complx-lint: allow(D1): <justification>` on the same
+// line or the line above. The justification is mandatory; a bare
+// allow() is itself reported (rule SUPP).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace complx::lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;  ///< "D1", "D2", "N1", "N2", "P1", "SUPP", "IO"
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The enforced rule set, for --list-rules and the docs.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// Lints one translation unit given its contents. `path` is used both for
+/// reporting and for rule scoping (e.g. util/parallel.* is exempt from P1;
+/// N2 applies only under core/, linalg/ and qp/).
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content);
+
+/// Reads and lints a file from disk. Unreadable files yield an "IO"
+/// finding rather than a crash.
+std::vector<Finding> lint_file(const std::string& path);
+
+}  // namespace complx::lint

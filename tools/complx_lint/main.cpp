@@ -1,0 +1,156 @@
+// complx-lint CLI: scan files/directories and report rule findings.
+//
+//   complx_lint [--json FILE] [--quiet] [--list-rules] PATH...
+//
+// Directories are walked recursively for *.h *.hpp *.cpp *.cc *.cxx.
+// Exit codes: 0 clean, 1 findings, 2 usage error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+using complx::lint::Finding;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc" ||
+         ext == ".cxx";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json FILE] [--quiet] [--list-rules] PATH...\n"
+               "  PATH            file, or directory walked recursively for "
+               "*.h *.hpp *.cpp *.cc *.cxx\n"
+               "  --json FILE     also write findings as JSON (use '-' for "
+               "stdout)\n"
+               "  --quiet         summary line only\n"
+               "  --list-rules    print the rule catalog and exit\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string json_path;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& r : complx::lint::rule_catalog())
+        std::printf("%-5s %s\n", r.id, r.summary);
+      return 0;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      json_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "complx-lint: unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return usage(argv[0]);
+
+  // Collect the file set, sorted so output order never depends on the
+  // directory-entry order the OS happens to return.
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it(root, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) && lintable(it->path()))
+          files.push_back(it->path().generic_string());
+      }
+    } else if (fs::exists(root, ec)) {
+      files.push_back(root);
+    } else {
+      std::fprintf(stderr, "complx-lint: no such path: %s\n", root.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> all;
+  for (const std::string& f : files) {
+    std::vector<Finding> fs_ = complx::lint::lint_file(f);
+    all.insert(all.end(), fs_.begin(), fs_.end());
+  }
+
+  std::map<std::string, size_t> per_rule;
+  for (const Finding& f : all) {
+    ++per_rule[f.rule];
+    if (!quiet)
+      std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                  f.rule.c_str(), f.message.c_str());
+  }
+
+  if (!json_path.empty()) {
+    FILE* out = json_path == "-" ? stdout : std::fopen(json_path.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "complx-lint: cannot write %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    std::fprintf(out, "{\n  \"files_scanned\": %zu,\n  \"findings\": [\n",
+                 files.size());
+    for (size_t i = 0; i < all.size(); ++i) {
+      const Finding& f = all[i];
+      std::fprintf(out,
+                   "    {\"file\": \"%s\", \"line\": %zu, \"rule\": \"%s\", "
+                   "\"message\": \"%s\"}%s\n",
+                   json_escape(f.file).c_str(), f.line,
+                   json_escape(f.rule).c_str(),
+                   json_escape(f.message).c_str(),
+                   i + 1 < all.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    if (out != stdout) std::fclose(out);
+  }
+
+  std::string breakdown;
+  for (const auto& [rule, count] : per_rule)
+    breakdown += " " + rule + "=" + std::to_string(count);
+  std::printf("complx-lint: scanned %zu files, %zu finding%s%s%s\n",
+              files.size(), all.size(), all.size() == 1 ? "" : "s",
+              per_rule.empty() ? "" : " —", breakdown.c_str());
+  return all.empty() ? 0 : 1;
+}
