@@ -17,6 +17,9 @@
 //   --no-dp               skip detailed placement
 //   --orient              run cell-orientation optimization after DP
 //   --trace <file.csv>    dump the per-iteration L/Phi/Pi trace
+//   --stats               print the QP workspace breakdown (assembly vs
+//                         solve wall time, sparsity-pattern hit rate, CG
+//                         iteration totals)
 //   --svg <file.svg>      render the final placement
 //   --seed-quiet          lower log verbosity
 //
@@ -60,7 +63,7 @@ void usage() {
                "usage: complx_place <design.aux> [--out f.pl] "
                "[--target-density g] [--simpl] [--lse] [--max-iters n] "
                "[--time-limit s] [--threads n] [--no-dp] [--orient] "
-               "[--trace f.csv] [--svg f.svg] [--quiet]\n");
+               "[--trace f.csv] [--stats] [--svg f.svg] [--quiet]\n");
 }
 
 // SIGINT raises the cooperative cancel flag; the placer stops at the next
@@ -91,7 +94,7 @@ int main(int argc, char** argv) {
   std::string svg_path;
   double target_density = 0.0;
   bool simpl = false, lse = false, run_dp = true, quiet = false;
-  bool orient = false;
+  bool orient = false, stats = false;
   int max_iters = 0;
   int threads = 0;
   double time_limit = 0.0;
@@ -115,6 +118,7 @@ int main(int argc, char** argv) {
     else if (arg == "--no-dp") run_dp = false;
     else if (arg == "--orient") orient = true;
     else if (arg == "--trace") trace_path = next();
+    else if (arg == "--stats") stats = true;
     else if (arg == "--svg") svg_path = next();
     else if (arg == "--quiet") quiet = true;
     else if (arg[0] == '-') {
@@ -164,6 +168,24 @@ int main(int argc, char** argv) {
                 "%d recoveries, %zu health faults\n",
                 gp.solver.solves, gp.solver.nonconverged,
                 gp.solver.breakdowns, gp.recovered, gp.health.faults);
+    if (stats) {
+      const SolverStats& s = gp.solver;
+      const size_t assemblies = s.pattern_hits + s.pattern_misses;
+      std::printf("qp workspace: assembly %.3fs, solve %.3fs, "
+                  "pattern hits %zu/%zu (%.1f%% hit rate)\n",
+                  s.assembly_s, s.solve_s, s.pattern_hits, assemblies,
+                  assemblies == 0
+                      ? 0.0
+                      : 100.0 * static_cast<double>(s.pattern_hits) /
+                            static_cast<double>(assemblies));
+      std::printf("cg: %zu iterations total (%.1f per solve), "
+                  "worst residual %.3g\n",
+                  s.total_cg_iterations,
+                  s.solves == 0 ? 0.0
+                                : static_cast<double>(s.total_cg_iterations) /
+                                      static_cast<double>(s.solves),
+                  s.worst_residual);
+    }
     if (gp.stop != StopReason::Converged)
       std::fprintf(stderr,
                    "warning: stopped early (%s); using best-so-far "

@@ -1,15 +1,20 @@
 #include "bookshelf/writer.h"
 
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
 namespace complx {
 
 namespace {
+// Every section writer goes through here so no stream can fall back to the
+// default 6-digit precision: max_digits10 (17 for IEEE-754 binary64)
+// guarantees the decimal text parses back to the bitwise-identical double
+// (round-trip-tested in test_bookshelf).
 std::ofstream open_or_throw(const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot write " + path);
-  out.precision(17);  // lossless double round-trip
+  out.precision(std::numeric_limits<double>::max_digits10);
   return out;
 }
 }  // namespace

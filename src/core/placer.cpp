@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "nlcg/nlcg.h"
@@ -171,6 +172,18 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
   QpOptions qp_opts = cfg_.qp;
   bool inject_breakdown = false;  // armed per-iteration by the fault hooks
 
+  // Iteration-persistent QP workspace: triplet/CSR buffers with sparsity-
+  // pattern reuse, PCG scratch, spring lists. Bitwise-neutral (the golden
+  // determinism suite compares it against fresh assembly); qp.reuse_workspace
+  // turns it off for ablation.
+  QpWorkspace qp_ws;
+  auto fold_workspace_stats = [&] {
+    result.solver.pattern_hits = qp_ws.stats.pattern_hits;
+    result.solver.pattern_misses = qp_ws.stats.pattern_misses;
+    result.solver.assembly_s = qp_ws.stats.assembly_s;
+    result.solver.solve_s = qp_ws.stats.solve_s;
+  };
+
   // Primal minimizer: linearized-quadratic B2B by default, log-sum-exp via
   // nonlinear CG when configured (Section S1 instantiation). Returns true
   // when the linear solver reported a breakdown (QP path only).
@@ -187,8 +200,9 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
     }
     QpOptions opts = qp_opts;
     opts.cg.inject_breakdown = inject_breakdown;
-    const QpIterationResult qr =
-        solve_qp_iteration(nl_, vars, p, anchors, opts);
+    const QpIterationResult qr = solve_qp_iteration(
+        nl_, vars, p, anchors, opts,
+        qp_opts.reuse_workspace ? &qp_ws : nullptr);
     result.solver.add(qr.cg_x);
     result.solver.add(qr.cg_y);
     if (!qr.fully_converged())
@@ -281,6 +295,7 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
       result.final_lambda = schedule.lambda();
       result.final_overflow = result.trace.back().overflow_ratio;
       result.health = monitor.stats();
+      fold_workspace_stats();
       result.runtime_s = timer.seconds();
       return result;
     }
@@ -504,6 +519,7 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
   result.iterations = std::min(k, cfg_.max_iterations);
   result.stop = stop;
   result.health = monitor.stats();
+  fold_workspace_stats();
   result.runtime_s = timer.seconds();
   return result;
 }

@@ -18,6 +18,11 @@ struct IterationStats {
   double overflow_ratio = 0.0;  ///< density overflow of the iterate
   double gap = 0.0;             ///< (Φ_upper − Φ_lower) / Φ_upper
   size_t grid_bins = 0;
+  /// Cumulative wall time at the end of this iteration. This is the only
+  /// wall-clock field in the trace; the per-phase assembly/solve split of
+  /// the QP workspace is run-cumulative and lives on SolverStats (surfaced
+  /// via `complx_place --stats`), not per trace row, so the CSV keeps its
+  /// strip-the-last-column comparison convention.
   double elapsed_s = 0.0;
   /// Rollback-and-backoff recoveries performed between the previous recorded
   /// iteration and this one (0 on healthy steps — faulted steps themselves

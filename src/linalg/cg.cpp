@@ -9,6 +9,12 @@ namespace complx {
 
 CgResult solve_pcg(const CsrMatrix& A, const Vec& b, Vec& x,
                    const CgOptions& opts) {
+  CgWorkspace ws;
+  return solve_pcg(A, b, x, opts, ws);
+}
+
+CgResult solve_pcg(const CsrMatrix& A, const Vec& b, Vec& x,
+                   const CgOptions& opts, CgWorkspace& ws) {
   const size_t n = A.dim();
   if (b.size() != n || x.size() != n)
     throw std::invalid_argument("CG dimension mismatch");
@@ -35,10 +41,20 @@ CgResult solve_pcg(const CsrMatrix& A, const Vec& b, Vec& x,
 
   // Jacobi preconditioner: M^{-1} = 1/diag(A). Zero diagonals (isolated,
   // unanchored variables) fall back to identity scaling.
-  Vec inv_diag = A.diagonal();
+  Vec& inv_diag = ws.inv_diag;
+  A.diagonal_into(inv_diag);
   for (double& d : inv_diag) d = (d + shift > 0.0) ? 1.0 / (d + shift) : 1.0;
 
-  Vec r(n), z(n), p(n), Ap(n);
+  // Workspace vectors: resize is a no-op once warm, and every element is
+  // written before it is read, so stale contents never leak through.
+  Vec& r = ws.r;
+  Vec& z = ws.z;
+  Vec& p = ws.p;
+  Vec& Ap = ws.Ap;
+  r.resize(n);
+  z.resize(n);
+  p.resize(n);
+  Ap.resize(n);
   A.multiply(x, Ap);
   if (shift > 0.0) axpy(shift, x, Ap);
   for (size_t i = 0; i < n; ++i) r[i] = b[i] - Ap[i];

@@ -35,8 +35,23 @@ struct CgResult {
   bool breakdown = false;
 };
 
+/// Persistent scratch for solve_pcg. The residual/direction vectors and
+/// the Jacobi diagonal are plain members reused across calls: once warm
+/// (sized by a first solve of the same dimension), a steady-state solve
+/// performs zero heap allocations — asserted by the allocation-counting
+/// test in test_linalg.
+struct CgWorkspace {
+  Vec r, z, p, Ap, inv_diag;
+};
+
 /// Solves A x = b in place (x is the initial guess on entry, solution on
-/// exit) with Jacobi (diagonal) preconditioning.
+/// exit) with Jacobi (diagonal) preconditioning. Scratch vectors live in
+/// `ws` and are resized only when the dimension changes.
+CgResult solve_pcg(const CsrMatrix& A, const Vec& b, Vec& x,
+                   const CgOptions& opts, CgWorkspace& ws);
+
+/// Convenience overload with a throwaway workspace (allocates scratch per
+/// call); bitwise identical to the workspace form.
 CgResult solve_pcg(const CsrMatrix& A, const Vec& b, Vec& x,
                    const CgOptions& opts = {});
 

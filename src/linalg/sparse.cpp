@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
+#include <limits>
 #include <stdexcept>
 
 #include "util/parallel.h"
@@ -10,57 +10,136 @@
 namespace complx {
 
 CsrMatrix CsrMatrix::from_triplets(const TripletList& t) {
+  CsrMatrix m;
+  CsrAssembler::build(t, m, nullptr, nullptr, nullptr);
+  return m;
+}
+
+void CsrAssembler::build(const TripletList& t, CsrMatrix& m,
+                         std::vector<size_t>* raw_ptr_out,
+                         std::vector<size_t>* add_src_out,
+                         std::vector<size_t>* add_dst_out) {
   const size_t n = t.dim();
   const auto& rows = t.rows();
   const auto& cols = t.cols();
   const auto& vals = t.vals();
+  const size_t nnz_raw = rows.size();
 
-  CsrMatrix m;
-  m.row_ptr_.assign(n + 1, 0);
+  std::vector<size_t> local_raw_ptr, local_slots;
+  std::vector<size_t>& raw_ptr = raw_ptr_out ? *raw_ptr_out : local_raw_ptr;
+  // Sorted slot order doubles as the revalue schedule's source indices:
+  // slots[raw_ptr[i]..raw_ptr[i+1]) are row i's triplet indices.
+  std::vector<size_t>& slots = add_src_out ? *add_src_out : local_slots;
 
   // Counting pass.
+  raw_ptr.assign(n + 1, 0);
   for (size_t r : rows) {
     if (r >= n) throw std::out_of_range("triplet row out of range");
-    ++m.row_ptr_[r + 1];
+    ++raw_ptr[r + 1];
   }
-  for (size_t i = 0; i < n; ++i) m.row_ptr_[i + 1] += m.row_ptr_[i];
+  for (size_t i = 0; i < n; ++i) raw_ptr[i + 1] += raw_ptr[i];
 
-  // Scatter pass (unsorted within rows, duplicates still present).
-  std::vector<size_t> cursor(m.row_ptr_.begin(), m.row_ptr_.end() - 1);
-  std::vector<size_t> col_raw(rows.size());
-  std::vector<double> val_raw(rows.size());
-  for (size_t k = 0; k < rows.size(); ++k) {
+  // Scatter pass: row i's triplet indices, in arrival order.
+  std::vector<size_t> cursor(raw_ptr.begin(), raw_ptr.end() - 1);
+  slots.resize(nnz_raw);
+  for (size_t k = 0; k < nnz_raw; ++k) {
     if (cols[k] >= n) throw std::out_of_range("triplet col out of range");
-    const size_t slot = cursor[rows[k]]++;
-    col_raw[slot] = cols[k];
-    val_raw[slot] = vals[k];
+    slots[cursor[rows[k]]++] = k;
   }
 
-  // Per-row sort + duplicate merge.
-  m.col_.reserve(col_raw.size());
-  m.val_.reserve(val_raw.size());
-  std::vector<size_t> merged_ptr(n + 1, 0);
-  std::vector<size_t> order;
-  for (size_t i = 0; i < n; ++i) {
-    const size_t begin = m.row_ptr_[i], end = m.row_ptr_[i + 1];
-    order.resize(end - begin);
-    std::iota(order.begin(), order.end(), begin);
-    std::sort(order.begin(), order.end(),
-              [&](size_t a, size_t b) { return col_raw[a] < col_raw[b]; });
-    size_t row_count = 0;
-    for (size_t k : order) {
-      if (row_count > 0 && m.col_.back() == col_raw[k]) {
-        m.val_.back() += val_raw[k];
-      } else {
-        m.col_.push_back(col_raw[k]);
-        m.val_.push_back(val_raw[k]);
-        ++row_count;
+  // Pass A (row-parallel): stable-sort each row's slots by column — ties
+  // keep arrival order, which pins the duplicate-accumulation order — and
+  // count the merged entries.
+  std::vector<size_t> merged(n, 0);
+  parallel_for(n, [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const auto begin = slots.begin() + static_cast<ptrdiff_t>(raw_ptr[i]);
+      const auto end = slots.begin() + static_cast<ptrdiff_t>(raw_ptr[i + 1]);
+      std::stable_sort(begin, end,
+                       [&](size_t a, size_t b) { return cols[a] < cols[b]; });
+      size_t count = 0;
+      size_t prev = n;  // every valid column is < n
+      for (auto it = begin; it != end; ++it) {
+        if (cols[*it] != prev) {
+          prev = cols[*it];
+          ++count;
+        }
+      }
+      merged[i] = count;
+    }
+  });
+
+  m.row_ptr_.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) m.row_ptr_[i + 1] = m.row_ptr_[i] + merged[i];
+  m.col_.resize(m.row_ptr_[n]);
+  m.val_.resize(m.row_ptr_[n]);
+  if (add_dst_out) add_dst_out->resize(nnz_raw);
+
+  // Pass B (row-parallel): write merged columns, accumulate values in
+  // sorted-slot order (first contribution per entry is an assignment), and
+  // optionally record where each addition landed.
+  parallel_for(n, [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      size_t out = m.row_ptr_[i];
+      size_t prev = n;
+      bool first = true;
+      for (size_t s = raw_ptr[i]; s < raw_ptr[i + 1]; ++s) {
+        const size_t k = slots[s];
+        const size_t c = cols[k];
+        if (first || c != prev) {
+          if (!first) ++out;
+          m.col_[out] = c;
+          m.val_[out] = vals[k];
+          first = false;
+          prev = c;
+        } else {
+          m.val_[out] += vals[k];
+        }
+        if (add_dst_out) (*add_dst_out)[s] = out;
       }
     }
-    merged_ptr[i + 1] = merged_ptr[i] + row_count;
+  });
+}
+
+bool CsrAssembler::assemble(const TripletList& t) {
+  if (valid_ && t.dim() == n_ && t.rows() == rows_ && t.cols() == cols_) {
+    ++hits_;
+    revalue(t);
+    return true;
   }
-  m.row_ptr_ = std::move(merged_ptr);
-  return m;
+  ++misses_;
+  valid_ = false;  // a throwing build must not leave a half-valid cache
+  build(t, m_, &raw_ptr_, &add_src_, &add_dst_);
+  n_ = t.dim();
+  rows_ = t.rows();
+  cols_ = t.cols();
+  valid_ = true;
+  return false;
+}
+
+void CsrAssembler::revalue(const TripletList& t) {
+  const auto& vals = t.vals();
+  parallel_for(n_, [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      size_t prev = std::numeric_limits<size_t>::max();
+      for (size_t s = raw_ptr_[i]; s < raw_ptr_[i + 1]; ++s) {
+        const size_t dst = add_dst_[s];
+        const double v = vals[add_src_[s]];
+        if (dst != prev) {
+          m_.val_[dst] = v;  // replay: first contribution is an assignment
+          prev = dst;
+        } else {
+          m_.val_[dst] += v;
+        }
+      }
+    }
+  });
+}
+
+void CsrAssembler::invalidate() {
+  valid_ = false;
+  rows_.clear();
+  cols_.clear();
 }
 
 void CsrMatrix::multiply(const Vec& x, Vec& y) const {
@@ -80,12 +159,17 @@ void CsrMatrix::multiply(const Vec& x, Vec& y) const {
 }
 
 Vec CsrMatrix::diagonal() const {
+  Vec d;
+  diagonal_into(d);
+  return d;
+}
+
+void CsrMatrix::diagonal_into(Vec& d) const {
   const size_t n = dim();
-  Vec d(n, 0.0);
+  d.assign(n, 0.0);
   for (size_t i = 0; i < n; ++i)
     for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
       if (col_[k] == i) d[i] = val_[k];
-  return d;
 }
 
 double CsrMatrix::at(size_t i, size_t j) const {

@@ -86,6 +86,10 @@ class CsrMatrix {
   /// Returns the diagonal of A (for Jacobi preconditioning).
   Vec diagonal() const;
 
+  /// Writes the diagonal into `d` (resized to dim()). Buffer-reusing form
+  /// of diagonal() — no allocation when d already has the capacity.
+  void diagonal_into(Vec& d) const;
+
   /// Max |A[i][j] - A[j][i]| over sampled entries — exact symmetry check
   /// used by tests (O(nnz log) via lookups).
   double symmetry_error() const;
@@ -98,9 +102,71 @@ class CsrMatrix {
   double at(size_t i, size_t j) const;
 
  private:
+  friend class CsrAssembler;
+
   std::vector<size_t> row_ptr_;
   std::vector<size_t> col_;
   std::vector<double> val_;
+};
+
+/// Iteration-persistent CSR assembly with sparsity-pattern reuse.
+///
+/// The placer's primal step converts a freshly stamped TripletList to CSR
+/// every iteration. Between B2B relinearizations the bounding-pin topology
+/// is frequently unchanged: the triplet (row, col) sequence is then
+/// identical and only the values differ (spring weights, anchor diagonal —
+/// the λ update never changes the pattern). This assembler caches the
+/// merged structure of the last full build together with its accumulation
+/// schedule; when the incoming pattern matches, the counting/sort/merge
+/// passes are skipped and val_ is revalued in place by replaying the *same
+/// additions in the same order* as a fresh build — cached and uncached
+/// paths are bitwise identical.
+///
+/// Both the full build and the revalue pass are row-parallel via
+/// util/parallel (each row's output is owned by exactly one chunk), so the
+/// result is also bitwise independent of the thread count.
+class CsrAssembler {
+ public:
+  /// Assembles `t` into the internally owned matrix, reusing the cached
+  /// sparsity pattern when `t` matches the previous call. Returns true on
+  /// a pattern hit (in-place revalue), false on a full rebuild.
+  bool assemble(const TripletList& t);
+
+  /// The assembled matrix; valid until the next assemble()/invalidate().
+  const CsrMatrix& matrix() const { return m_; }
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+  /// Drops the cached pattern: the next assemble() is a full rebuild
+  /// (buffers keep their capacity). Counters are preserved.
+  void invalidate();
+
+ private:
+  friend class CsrMatrix;  // from_triplets reuses build() without a cache
+
+  /// One-shot CSR build (count → scatter → per-row stable sort + merge).
+  /// When the schedule pointers are non-null, also records the
+  /// triplet→CSR accumulation schedule used by revalue(): the j-th
+  /// addition of row i (j in [raw_ptr[i], raw_ptr[i+1])) reads triplet
+  /// add_src[j] and lands in val_[add_dst[j]], first-of-slot additions
+  /// being assignments.
+  static void build(const TripletList& t, CsrMatrix& m,
+                    std::vector<size_t>* raw_ptr,
+                    std::vector<size_t>* add_src,
+                    std::vector<size_t>* add_dst);
+
+  void revalue(const TripletList& t);
+
+  CsrMatrix m_;
+  bool valid_ = false;
+  size_t n_ = 0;
+  std::vector<size_t> rows_, cols_;  ///< cached triplet pattern
+  std::vector<size_t> raw_ptr_;      ///< additions per row (size n_+1)
+  std::vector<size_t> add_src_;      ///< triplet index per addition
+  std::vector<size_t> add_dst_;      ///< val_ index per addition
+  size_t hits_ = 0;
+  size_t misses_ = 0;
 };
 
 }  // namespace complx

@@ -1,6 +1,7 @@
 #include "multilevel/cluster.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/fpcmp.h"
 #include "util/rng.h"

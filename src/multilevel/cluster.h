@@ -8,6 +8,7 @@
 // never merged — they map 1:1 to the coarse level.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "netlist/netlist.h"

@@ -16,14 +16,20 @@ SystemBuilder::SystemBuilder(const Netlist& nl, const VarMap& vars, Axis axis,
     : nl_(nl),
       vars_(vars),
       axis_(axis),
-      point_(linearization_point),
+      point_(&linearization_point),
       trip_(vars.num_vars()),
       rhs_(vars.num_vars(), 0.0) {}
 
+void SystemBuilder::reset(const Placement& linearization_point) {
+  point_ = &linearization_point;
+  trip_.clear();  // vector::clear keeps capacity
+  rhs_.assign(vars_.num_vars(), 0.0);
+}
+
 double SystemBuilder::pin_coord(PinId k) const {
   const Pin& pin = nl_.pin(k);
-  return axis_ == Axis::X ? point_.x[pin.cell] + pin.dx
-                          : point_.y[pin.cell] + pin.dy;
+  return axis_ == Axis::X ? point_->x[pin.cell] + pin.dx
+                          : point_->y[pin.cell] + pin.dy;
 }
 
 double SystemBuilder::pin_offset(PinId k) const {
@@ -82,6 +88,23 @@ CgResult SystemBuilder::solve(Placement& p, const CgOptions& opts) const {
   const CgResult res = solve_pcg(A, rhs_, x, opts);
   for (size_t v = 0; v < vars_.num_vars(); ++v)
     coords[vars_.cell_of_var[v]] = x[v];
+  return res;
+}
+
+CgResult SystemBuilder::solve(Placement& p, const CgOptions& opts,
+                              SolveWorkspace& ws) const {
+  // Precondition: assemble(ws) ran after the last stamping call — the
+  // split exists so the caller can time assembly and solve separately.
+  const CsrMatrix& A = ws.assembler.matrix();
+  Vec& coords = axis_ == Axis::X ? p.x : p.y;
+
+  ws.x.resize(vars_.num_vars());
+  for (size_t v = 0; v < vars_.num_vars(); ++v)
+    ws.x[v] = coords[vars_.cell_of_var[v]];
+
+  const CgResult res = solve_pcg(A, rhs_, ws.x, opts, ws.cg);
+  for (size_t v = 0; v < vars_.num_vars(); ++v)
+    coords[vars_.cell_of_var[v]] = ws.x[v];
   return res;
 }
 

@@ -33,12 +33,27 @@ struct VarMap {
   size_t num_vars() const { return cell_of_var.size(); }
 };
 
+/// Per-axis persistent numeric state for the workspace solve path: the CSR
+/// assembler (pattern cache), the PCG scratch vectors, and the movable-
+/// coordinate gather buffer. Owned by QpWorkspace and reused every
+/// iteration; only the sparsity pattern is cached — all values are restamped
+/// each call.
+struct SolveWorkspace {
+  CsrAssembler assembler;
+  CgWorkspace cg;
+  Vec x;  ///< warm-start / solution buffer (movable variables)
+};
+
 /// Builds A·x = rhs for one axis. Springs reference pins; anchors reference
 /// cells directly (pseudonets attach at the cell center).
 class SystemBuilder {
  public:
   SystemBuilder(const Netlist& nl, const VarMap& vars, Axis axis,
                 const Placement& linearization_point);
+
+  /// Rewinds to an empty system at a new linearization point, keeping the
+  /// capacity of the triplet and RHS buffers (allocation-free once warm).
+  void reset(const Placement& linearization_point);
 
   void add_pin_springs(const std::vector<PinSpring>& springs);
   void add_star_springs(const std::vector<StarSpring>& springs);
@@ -48,6 +63,13 @@ class SystemBuilder {
   /// Finalizes the matrix and solves; the solution is scattered back into
   /// the axis coordinates of `p` for movable cells.
   CgResult solve(Placement& p, const CgOptions& opts = {}) const;
+
+  /// Workspace path, split so callers can time assembly and solve
+  /// separately: assemble() finalizes the CSR matrix through the pattern
+  /// cache (true = cached pattern reused), solve() then runs PCG out of the
+  /// workspace buffers. Bitwise identical to the one-shot solve() above.
+  bool assemble(SolveWorkspace& ws) const { return ws.assembler.assemble(trip_); }
+  CgResult solve(Placement& p, const CgOptions& opts, SolveWorkspace& ws) const;
 
   /// Exposed for tests: the assembled matrix and RHS.
   CsrMatrix build_matrix() const { return CsrMatrix::from_triplets(trip_); }
@@ -60,7 +82,7 @@ class SystemBuilder {
   const Netlist& nl_;
   const VarMap& vars_;
   Axis axis_;
-  const Placement& point_;
+  const Placement* point_;  ///< current linearization point (rebindable)
   TripletList trip_;
   Vec rhs_;
 };

@@ -20,6 +20,12 @@ size_t chunk_count(size_t n, size_t chunk) {
 
 bool ThreadPool::in_parallel_region() { return tl_in_parallel_region; }
 
+ThreadPool::RegionScope::RegionScope() : prev_(tl_in_parallel_region) {
+  tl_in_parallel_region = true;
+}
+
+ThreadPool::RegionScope::~RegionScope() { tl_in_parallel_region = prev_; }
+
 ThreadPool::ThreadPool(size_t num_threads)
     : threads_(std::max<size_t>(1, num_threads)) {
   workers_.reserve(threads_ - 1);
@@ -180,23 +186,20 @@ Partition partition_range(size_t n, size_t min_chunk, size_t max_parts) {
   return part;
 }
 
-void parallel_for(size_t n, const std::function<void(size_t, size_t)>& body,
-                  size_t chunk) {
-  if (n == 0) return;
-  ThreadPool& pool = global_pool();
-  if (chunk == 0) {
-    // Execution-only choice (index-owned writes): ~4 blocks per thread for
-    // load balance, with a floor that keeps per-chunk overhead negligible.
-    chunk = std::max<size_t>(256, n / (4 * pool.num_threads()) + 1);
-  }
-  pool.parallel_for(n, chunk, body);
+namespace detail {
+
+size_t default_chunk(size_t n) {
+  return std::max<size_t>(256, n / (4 * global_threads()) + 1);
 }
 
-double parallel_sum(size_t n,
-                    const std::function<double(size_t, size_t)>& chunk_sum) {
-  if (n == 0) return 0.0;
+void pool_for(size_t n, size_t chunk,
+              const std::function<void(size_t, size_t)>& body) {
+  global_pool().parallel_for(n, chunk, body);
+}
+
+double pool_sum(size_t n,
+                const std::function<double(size_t, size_t)>& chunk_sum) {
   const size_t parts = chunk_count(n, kReduceChunk);
-  if (parts == 1) return chunk_sum(0, n);
   std::vector<double> partials(parts, 0.0);
   global_pool().parallel_for(n, kReduceChunk,
                              [&](size_t begin, size_t end) {
@@ -207,6 +210,8 @@ double parallel_sum(size_t n,
   for (double v : partials) s += v;  // fixed order: chunk 0, 1, 2, ...
   return s;
 }
+
+}  // namespace detail
 
 void parallel_invoke(const std::function<void()>& a,
                      const std::function<void()>& b) {

@@ -60,6 +60,21 @@ class ThreadPool {
   /// (worker chunk or caller participation). Used to reject nesting.
   static bool in_parallel_region();
 
+  /// RAII marker that flags the current thread as "inside a parallel
+  /// region" for its lifetime. The header-inline serial fast paths below
+  /// use it so nested parallel calls issued from their bodies keep running
+  /// inline, exactly as they would under run_inline.
+  class RegionScope {
+   public:
+    RegionScope();
+    ~RegionScope();
+    RegionScope(const RegionScope&) = delete;
+    RegionScope& operator=(const RegionScope&) = delete;
+
+   private:
+    bool prev_;
+  };
+
  private:
   struct Job {
     const std::function<void(size_t, size_t)>* body = nullptr;
@@ -120,18 +135,64 @@ struct Partition {
 };
 Partition partition_range(size_t n, size_t min_chunk, size_t max_parts);
 
+namespace detail {
+
+/// Chunk size used when the caller passed 0: ~4 blocks per thread for load
+/// balance, floored so per-chunk overhead stays negligible. Execution-only
+/// choice — callers' writes must be index-owned, never order-dependent.
+size_t default_chunk(size_t n);
+
+/// Type-erased multi-thread backends behind the template front-ends below.
+/// Only reached when the work actually fans out to pool workers; the
+/// single-thread / nested / single-chunk cases run inline in the templates
+/// without constructing a std::function (and therefore without
+/// allocating — solve_pcg's steady state relies on this).
+void pool_for(size_t n, size_t chunk,
+              const std::function<void(size_t, size_t)>& body);
+double pool_sum(size_t n,
+                const std::function<double(size_t, size_t)>& chunk_sum);
+
+}  // namespace detail
+
 /// parallel_for over [0, n) on the global pool; body(begin, end) must only
 /// write locations owned by its indices. `chunk` 0 picks a size aimed at
 /// ~4 blocks per thread (execution-only choice — safe because the body's
 /// writes are index-owned, not order-dependent).
-void parallel_for(size_t n, const std::function<void(size_t, size_t)>& body,
-                  size_t chunk = 0);
+template <typename Body>
+void parallel_for(size_t n, const Body& body, size_t chunk = 0) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = detail::default_chunk(n);
+  if (global_threads() == 1 || ThreadPool::in_parallel_region() ||
+      n <= chunk) {
+    // Same chunk boundaries as the pool path, visited in order (mirrors
+    // ThreadPool::run_inline), with no type erasure and no allocation.
+    ThreadPool::RegionScope region;
+    for (size_t begin = 0; begin < n; begin += chunk)
+      body(begin, begin + chunk < n ? begin + chunk : n);
+    return;
+  }
+  detail::pool_for(n, chunk, body);
+}
 
 /// Deterministic sum: chunk_sum(begin, end) is evaluated per kReduceChunk
 /// block and the partials are added in block order. Bitwise independent of
 /// the thread count; equal to the serial loop whenever n <= kReduceChunk.
-double parallel_sum(size_t n,
-                    const std::function<double(size_t, size_t)>& chunk_sum);
+template <typename ChunkSum>
+double parallel_sum(size_t n, const ChunkSum& chunk_sum) {
+  if (n == 0) return 0.0;
+  if (n <= kReduceChunk) return chunk_sum(0, n);
+  if (global_threads() == 1 || ThreadPool::in_parallel_region()) {
+    // Partials accumulated in chunk order — the same addition sequence the
+    // pool path produces, without the partials buffer.
+    ThreadPool::RegionScope region;
+    double s = 0.0;
+    for (size_t begin = 0; begin < n; begin += kReduceChunk)
+      s += chunk_sum(begin,
+                     begin + kReduceChunk < n ? begin + kReduceChunk : n);
+    return s;
+  }
+  return detail::pool_sum(n, chunk_sum);
+}
 
 /// Runs two independent tasks concurrently (e.g. the two placement axes).
 void parallel_invoke(const std::function<void()>& a,

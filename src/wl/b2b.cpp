@@ -53,14 +53,21 @@ void build_b2b_range(const Netlist& nl, const Placement& p, Axis axis,
 
 std::vector<PinSpring> build_b2b(const Netlist& nl, const Placement& p,
                                  Axis axis, const B2bOptions& opts) {
+  std::vector<PinSpring> springs;
+  build_b2b(nl, p, axis, opts, springs);
+  return springs;
+}
+
+void build_b2b(const Netlist& nl, const Placement& p, Axis axis,
+               const B2bOptions& opts, std::vector<PinSpring>& springs) {
   const size_t num_nets = nl.num_nets();
   const Partition part = partition_range(num_nets, 512, 64);
 
-  std::vector<PinSpring> springs;
+  springs.clear();
   if (part.parts <= 1) {
     springs.reserve(2 * nl.num_pins());
     build_b2b_range(nl, p, axis, opts, 0, num_nets, springs);
-    return springs;
+    return;
   }
 
   // Per-block spring buffers built in parallel, concatenated in block
@@ -81,7 +88,6 @@ std::vector<PinSpring> build_b2b(const Netlist& nl, const Placement& p,
   springs.reserve(total);
   for (const auto& blk : blocks)
     springs.insert(springs.end(), blk.begin(), blk.end());
-  return springs;
 }
 
 }  // namespace complx

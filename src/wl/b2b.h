@@ -39,4 +39,10 @@ struct B2bOptions {
 std::vector<PinSpring> build_b2b(const Netlist& nl, const Placement& p,
                                  Axis axis, const B2bOptions& opts);
 
+/// Buffer-reusing variant: clears and refills `out` (capacity survives, so
+/// the QP workspace builds each iteration's spring list allocation-free
+/// once warm). Same spring sequence as the value-returning form.
+void build_b2b(const Netlist& nl, const Placement& p, Axis axis,
+               const B2bOptions& opts, std::vector<PinSpring>& out);
+
 }  // namespace complx

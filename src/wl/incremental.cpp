@@ -1,6 +1,8 @@
 #include "wl/incremental.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "wl/hpwl.h"
 
@@ -15,12 +17,24 @@ double IncrementalHpwl::compute(NetId e) const {
   return nl_.net(e).weight * net_hpwl(nl_, p_, e);
 }
 
+void IncrementalHpwl::accumulate(double delta) {
+  // Neumaier's variant of Kahan summation: the branch picks whichever
+  // operand is large enough for its low-order bits to have been lost.
+  const double t = total_ + delta;
+  if (std::abs(total_) >= std::abs(delta))
+    comp_ += (total_ - t) + delta;
+  else
+    comp_ += (delta - t) + total_;
+  total_ = t;
+}
+
 void IncrementalHpwl::rebuild() {
   cost_.resize(nl_.num_nets());
   total_ = 0.0;
+  comp_ = 0.0;
   for (NetId e = 0; e < nl_.num_nets(); ++e) {
     cost_[e] = compute(e);
-    total_ += cost_[e];
+    accumulate(cost_[e]);
   }
 }
 
@@ -65,17 +79,17 @@ double IncrementalHpwl::fresh_incident_cost(CellId a, CellId b) const {
 
 void IncrementalHpwl::refresh(CellId a) {
   for (NetId e : nl_.nets_of_cell(a)) {
-    total_ -= cost_[e];
+    accumulate(-cost_[e]);
     cost_[e] = compute(e);
-    total_ += cost_[e];
+    accumulate(cost_[e]);
   }
 }
 
 void IncrementalHpwl::refresh(CellId a, CellId b) {
   for_distinct_nets(a, b, [&](NetId e) {
-    total_ -= cost_[e];
+    accumulate(-cost_[e]);
     cost_[e] = compute(e);
-    total_ += cost_[e];
+    accumulate(cost_[e]);
   });
 }
 

@@ -24,8 +24,13 @@ class IncrementalHpwl {
   /// placement; callers mutate it and call refresh()/fresh_* accordingly.
   IncrementalHpwl(const Netlist& nl, const Placement& p);
 
-  /// Total weighted HPWL (sum of cached net costs) — O(1).
-  double total() const { return total_; }
+  /// Total weighted HPWL (sum of cached net costs) — O(1). Maintained with
+  /// compensated (Neumaier) accumulation: refresh() adjusts the total by a
+  /// subtract/add delta per net, and over the millions of committed moves
+  /// of a detailed-placement run a naive running sum drifts measurably from
+  /// Σ cost_. The compensation term keeps the drift at rounding level
+  /// independent of the move count (regression-tested in test_incremental).
+  double total() const { return total_ + comp_; }
 
   /// Cached cost of one net.
   double net_cost(NetId e) const { return cost_[e]; }
@@ -49,6 +54,8 @@ class IncrementalHpwl {
 
  private:
   double compute(NetId e) const;
+  /// Neumaier-compensated total_ += delta (comp_ carries the rounding).
+  void accumulate(double delta);
   template <typename Fn>
   void for_distinct_nets(CellId a, CellId b, Fn&& fn) const;
 
@@ -56,6 +63,7 @@ class IncrementalHpwl {
   const Placement& p_;
   std::vector<double> cost_;
   double total_ = 0.0;
+  double comp_ = 0.0;  ///< compensation term of the running total
   mutable std::vector<NetId> scratch_;
 };
 

@@ -16,6 +16,14 @@ std::vector<PinSpring> build_clique(const Netlist& nl, const Placement& p,
                                     Axis axis, const B2bOptions& opts,
                                     uint32_t clique_max_degree) {
   std::vector<PinSpring> springs;
+  build_clique(nl, p, axis, opts, springs, clique_max_degree);
+  return springs;
+}
+
+void build_clique(const Netlist& nl, const Placement& p, Axis axis,
+                  const B2bOptions& opts, std::vector<PinSpring>& springs,
+                  uint32_t clique_max_degree) {
+  springs.clear();
   for (NetId e = 0; e < nl.num_nets(); ++e) {
     const Net& net = nl.net(e);
     const uint32_t deg = net.num_pins;
@@ -53,12 +61,18 @@ std::vector<PinSpring> build_clique(const Netlist& nl, const Placement& p,
       }
     }
   }
-  return springs;
 }
 
 std::vector<StarSpring> build_star(const Netlist& nl, const Placement& p,
                                    Axis axis, const B2bOptions& opts) {
   std::vector<StarSpring> springs;
+  build_star(nl, p, axis, opts, springs);
+  return springs;
+}
+
+void build_star(const Netlist& nl, const Placement& p, Axis axis,
+                const B2bOptions& opts, std::vector<StarSpring>& springs) {
+  springs.clear();
   for (NetId e = 0; e < nl.num_nets(); ++e) {
     const Net& net = nl.net(e);
     const uint32_t deg = net.num_pins;
@@ -79,7 +93,6 @@ std::vector<StarSpring> build_star(const Netlist& nl, const Placement& p,
       springs.push_back({k, centroid, w / sep});
     }
   }
-  return springs;
 }
 
 }  // namespace complx

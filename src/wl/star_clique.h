@@ -18,6 +18,11 @@ std::vector<PinSpring> build_clique(const Netlist& nl, const Placement& p,
                                     Axis axis, const B2bOptions& opts,
                                     uint32_t clique_max_degree = 16);
 
+/// Buffer-reusing variant (clears and refills `out`; capacity survives).
+void build_clique(const Netlist& nl, const Placement& p, Axis axis,
+                  const B2bOptions& opts, std::vector<PinSpring>& out,
+                  uint32_t clique_max_degree = 16);
+
 /// Star: one auxiliary node per net located at the net's pin centroid;
 /// every pin connects to it. The auxiliary nodes are *not* solver variables
 /// in this formulation — the star center is re-fixed at the centroid of the
@@ -31,5 +36,9 @@ struct StarSpring {
 
 std::vector<StarSpring> build_star(const Netlist& nl, const Placement& p,
                                    Axis axis, const B2bOptions& opts);
+
+/// Buffer-reusing variant (clears and refills `out`; capacity survives).
+void build_star(const Netlist& nl, const Placement& p, Axis axis,
+                const B2bOptions& opts, std::vector<StarSpring>& out);
 
 }  // namespace complx

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -56,6 +58,78 @@ TEST_F(BookshelfRoundTrip, PreservesTopologyAndGeometry) {
   // HPWL identical => pins and offsets survived.
   EXPECT_NEAR(stored_hpwl(original), stored_hpwl(nl),
               1e-6 * stored_hpwl(original));
+}
+
+// Bit pattern of a double: EXPECT_EQ on these is a true bitwise claim
+// (distinguishes -0.0 from +0.0, unlike operator== on the values).
+uint64_t bits(double v) { return std::bit_cast<uint64_t>(v); }
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// The writer emits every section at max_digits10, so the decimal text must
+// parse back to the bitwise-identical double. Dimensions, pin offsets and
+// row geometry are copied verbatim and must survive a single write->read;
+// .pl coordinates pass through the center <-> lower-left transform, whose
+// rounding cycle is idempotent, so generations 2 and 3 must be
+// byte-for-byte identical.
+TEST_F(BookshelfRoundTrip, WriteReadWriteIsBitwiseLossless) {
+  Netlist original = testing::small_circuit(17, 350, /*movable_macros=*/2);
+  // Poison the coordinates with values that have no short decimal form so
+  // the test exercises the full-precision path, not round numbers.
+  Placement poisoned = original.snapshot();
+  for (CellId i : original.movable_cells()) {
+    poisoned.x[i] += 1.0 / 3.0 + 1e-7 * static_cast<double>(i);
+    poisoned.y[i] += 1.0 / 7.0;
+  }
+  original.apply(poisoned);
+
+  write_bookshelf(original, dir(), "g1");
+  const BookshelfDesign d1 = read_bookshelf(dir() + "/g1.aux");
+  const Netlist& nl1 = d1.netlist;
+
+  // Dimensions and offsets: bitwise after one round trip (cell and pin
+  // order are preserved by both writer and reader).
+  ASSERT_EQ(nl1.num_cells(), original.num_cells());
+  ASSERT_EQ(nl1.num_pins(), original.num_pins());
+  for (CellId i = 0; i < original.num_cells(); ++i) {
+    const Cell& a = original.cell(i);
+    const Cell& b = nl1.cell(i);
+    ASSERT_EQ(a.name, b.name);
+    EXPECT_EQ(bits(a.width), bits(b.width)) << a.name;
+    EXPECT_EQ(bits(a.height), bits(b.height)) << a.name;
+  }
+  for (PinId k = 0; k < original.num_pins(); ++k) {
+    EXPECT_EQ(bits(original.pin(k).dx), bits(nl1.pin(k).dx)) << "pin " << k;
+    EXPECT_EQ(bits(original.pin(k).dy), bits(nl1.pin(k).dy)) << "pin " << k;
+  }
+  ASSERT_EQ(nl1.rows().size(), original.rows().size());
+  for (size_t r = 0; r < original.rows().size(); ++r) {
+    EXPECT_EQ(bits(original.rows()[r].y), bits(nl1.rows()[r].y));
+    EXPECT_EQ(bits(original.rows()[r].height), bits(nl1.rows()[r].height));
+    EXPECT_EQ(bits(original.rows()[r].site_width),
+              bits(nl1.rows()[r].site_width));
+    EXPECT_EQ(bits(original.rows()[r].xl), bits(nl1.rows()[r].xl));
+  }
+
+  // Transform-free sections stabilize immediately: generation 2 files are
+  // byte-identical to generation 1.
+  write_bookshelf(nl1, dir(), "g2");
+  for (const char* ext : {".nodes", ".nets", ".wts", ".scl"})
+    EXPECT_EQ(slurp(dir() + "/g1" + ext), slurp(dir() + "/g2" + ext)) << ext;
+
+  // .pl coordinates: generation 2 -> 3 is the fixed point.
+  const BookshelfDesign d2 = read_bookshelf(dir() + "/g2.aux");
+  write_bookshelf(d2.netlist, dir(), "g3");
+  EXPECT_EQ(slurp(dir() + "/g2.pl"), slurp(dir() + "/g3.pl"));
+  const BookshelfDesign d3 = read_bookshelf(dir() + "/g3.aux");
+  for (CellId i = 0; i < d2.netlist.num_cells(); ++i) {
+    EXPECT_EQ(bits(d2.netlist.cell(i).x), bits(d3.netlist.cell(i).x)) << i;
+    EXPECT_EQ(bits(d2.netlist.cell(i).y), bits(d3.netlist.cell(i).y)) << i;
+  }
 }
 
 TEST_F(BookshelfRoundTrip, OrientationFlagRoundTrips) {

@@ -133,6 +133,51 @@ TEST(GoldenDeterminism, StaticTimingThreadInvariant) {
   testing::expect_vec_bitwise_equal(a.slack, b.slack, "slacks");
 }
 
+// --- QP workspace ----------------------------------------------------------
+// Full-run proof of the pattern-cache contract: a placement computed with
+// the iteration-persistent QP workspace (cached CSR revalue, reused PCG
+// scratch) is bitwise identical to one computed with fresh assembly every
+// iteration, at any thread count. Topology changes between iterations are
+// exercised naturally — every relinearization that moves a bounding pin is
+// a forced cache invalidation, and the run must sail through it.
+TEST(GoldenDeterminism, QpWorkspaceCacheBitwiseInvariant) {
+  const Netlist nl = testing::small_circuit(17, 1500);
+  ComplxConfig base;
+  base.max_iterations = 25;
+  ThreadGuard guard;
+
+  struct Variant {
+    bool reuse;
+    int threads;
+  };
+  const Variant variants[] = {{true, 1}, {true, 8}, {false, 1}, {false, 8}};
+  std::vector<PlaceResult> results;
+  for (const Variant& v : variants) {
+    ComplxConfig cfg = base;
+    cfg.qp.reuse_workspace = v.reuse;
+    cfg.threads = v.threads;
+    results.push_back(ComplxPlacer(nl, cfg).place());
+  }
+
+  for (size_t k = 1; k < results.size(); ++k) {
+    EXPECT_EQ(results[0].iterations, results[k].iterations) << "variant " << k;
+    EXPECT_EQ(results[0].final_lambda, results[k].final_lambda)
+        << "variant " << k;
+    testing::expect_placements_bitwise_equal(results[0].lower_bound,
+                                             results[k].lower_bound);
+    testing::expect_placements_bitwise_equal(results[0].anchors,
+                                             results[k].anchors);
+    expect_traces_identical(results[0].trace, results[k].trace);
+  }
+
+  // The flag actually routes: workspace runs exercised the pattern cache,
+  // fresh-assembly runs never touched it.
+  EXPECT_GT(results[0].solver.pattern_hits + results[0].solver.pattern_misses,
+            0u);
+  EXPECT_EQ(results[2].solver.pattern_hits, 0u);
+  EXPECT_EQ(results[2].solver.pattern_misses, 0u);
+}
+
 TEST(GoldenDeterminism, MacroDesignWithRoutability) {
   // Movable macros exercise the shredder/density rect path; routability
   // exercises the parallel RUDY build feeding inflation back into P_C.

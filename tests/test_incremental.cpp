@@ -45,6 +45,38 @@ TEST(IncrementalHpwl, FreshSeesUncommittedMutation) {
   EXPECT_NEAR(eval.fresh_incident_cost(id), cached, 1e-9);
 }
 
+// Drift regression for the compensated (Neumaier) running total. Each
+// refresh() adjusts total() by a subtract/add pair per incident net, so an
+// uncompensated += sum retains absolute rounding error at the scale of the
+// LARGEST totals the run swings through. Phase 1 alternates ~10k committed
+// moves between a 1e5x-inflated bounding box and the core; phase 2 walks
+// every cell back inside the core one committed move at a time. The final
+// total is ~1e5x smaller than the peaks, so the retained error shows up
+// magnified: a naive running sum lands ~6e-11 relative on this exact
+// sequence (600x the tolerance below), while the compensated total must
+// stay at rounding level of the final value, independent of the history.
+TEST(IncrementalHpwl, LongRunDriftStaysAtRoundingLevel) {
+  Netlist nl = complx::testing::small_circuit(185, 700);
+  Placement p = nl.snapshot();
+  IncrementalHpwl eval(nl, p);
+  Rng rng(17);
+  const auto& movable = nl.movable_cells();
+  for (size_t k = 0; k < 10000; ++k) {
+    const CellId id = movable[rng.uniform_index(movable.size())];
+    const double scale = (k % 2 == 0) ? 1e5 : 1.0;
+    p.x[id] = scale * rng.uniform(nl.core().xl, nl.core().xh);
+    p.y[id] = scale * rng.uniform(nl.core().yl, nl.core().yh);
+    eval.refresh(id);
+  }
+  for (CellId id : movable) {
+    p.x[id] = rng.uniform(nl.core().xl, nl.core().xh);
+    p.y[id] = rng.uniform(nl.core().yl, nl.core().yh);
+    eval.refresh(id);
+  }
+  const double exact = weighted_hpwl(nl, p);
+  EXPECT_NEAR(eval.total(), exact, 1e-13 * exact);
+}
+
 TEST(IncrementalHpwl, PairIncidentDeduplicatesSharedNets) {
   // Two cells on one shared net: the pair cost must count it once.
   Netlist nl;

@@ -1,10 +1,49 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
 
 #include "linalg/cg.h"
 #include "linalg/sparse.h"
+#include "util/parallel.h"
 #include "util/rng.h"
+
+// Global operator new/delete replacement for the steady-state
+// allocation-freedom test below. The counter only ticks while armed, so the
+// rest of the binary (gtest bookkeeping, test setup) is unaffected. Must
+// live at global scope — allocation functions cannot be namespace members.
+namespace alloc_counter {
+std::atomic<bool> armed{false};
+std::atomic<size_t> news{0};
+
+size_t drain() {
+  armed.store(false, std::memory_order_relaxed);
+  return news.exchange(0, std::memory_order_relaxed);
+}
+void arm() { armed.store(true, std::memory_order_relaxed); }
+}  // namespace alloc_counter
+
+// GCC pairs the malloc inside the replaced operator new with deletes at
+// call sites and (wrongly) reports a mismatch; every allocation in this
+// binary goes through these replacements, so malloc/free always pair up.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t sz) {
+  if (alloc_counter::armed.load(std::memory_order_relaxed))
+    alloc_counter::news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) { return ::operator new(sz); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace complx {
 namespace {
@@ -305,6 +344,166 @@ INSTANTIATE_TEST_SUITE_P(Sizes, CgRandomSpd,
                                            RandomSpdCase{200, 3},
                                            RandomSpdCase{500, 4},
                                            RandomSpdCase{1000, 5}));
+
+// --------------------------------------------------- pattern-cached CSR ----
+
+uint64_t dbits(double v) { return std::bit_cast<uint64_t>(v); }
+
+void expect_bitwise_equal(const CsrMatrix& a, const CsrMatrix& b) {
+  ASSERT_EQ(a.row_ptr(), b.row_ptr());
+  ASSERT_EQ(a.col(), b.col());
+  ASSERT_EQ(a.val().size(), b.val().size());
+  for (size_t i = 0; i < a.val().size(); ++i)
+    ASSERT_EQ(dbits(a.val()[i]), dbits(b.val()[i])) << "val[" << i << "]";
+}
+
+/// Random SPD system; the same seed always produces the same sparsity
+/// pattern, while `weight_scale` varies only the values — exactly the
+/// anchors-and-weights-changed, topology-unchanged shape of the placer's
+/// per-iteration systems.
+TripletList random_system(size_t n, uint64_t seed,
+                          double weight_scale = 1.0) {
+  Rng rng(seed);
+  TripletList t(n);
+  for (size_t i = 0; i + 1 < n; ++i)
+    t.add_spring(i, i + 1, weight_scale * rng.uniform(0.5, 2.0));
+  for (size_t k = 0; k < 3 * n; ++k) {
+    const size_t i = rng.uniform_index(n), j = rng.uniform_index(n);
+    if (i != j) t.add_spring(i, j, weight_scale * rng.uniform(0.1, 1.0));
+  }
+  for (size_t i = 0; i < n; ++i)
+    t.add_diag(i, weight_scale * rng.uniform(0.01, 0.5));
+  return t;
+}
+
+TEST(CsrAssembler, CachedRevalueIsBitwiseIdenticalToFreshBuild) {
+  CsrAssembler a;
+  const TripletList t1 = random_system(300, 21, 1.0);
+  EXPECT_FALSE(a.assemble(t1));  // first call: full build
+  EXPECT_EQ(a.misses(), 1u);
+  EXPECT_EQ(a.hits(), 0u);
+  expect_bitwise_equal(a.matrix(), CsrMatrix::from_triplets(t1));
+
+  // Same pattern, different values: must hit and revalue in place to the
+  // exact bits a fresh build would produce.
+  const TripletList t2 = random_system(300, 21, 1.7);
+  EXPECT_TRUE(a.assemble(t2));
+  EXPECT_EQ(a.hits(), 1u);
+  EXPECT_EQ(a.misses(), 1u);
+  expect_bitwise_equal(a.matrix(), CsrMatrix::from_triplets(t2));
+}
+
+TEST(CsrAssembler, TopologyChangeForcesRebuild) {
+  CsrAssembler a;
+  a.assemble(random_system(100, 22));
+  TripletList changed = random_system(100, 22);
+  changed.add_spring(0, 99, 1.0);  // one new edge: different pattern
+  EXPECT_FALSE(a.assemble(changed));
+  EXPECT_EQ(a.misses(), 2u);
+  EXPECT_EQ(a.hits(), 0u);
+  expect_bitwise_equal(a.matrix(), CsrMatrix::from_triplets(changed));
+  // The changed pattern is now the cached one.
+  EXPECT_TRUE(a.assemble(changed));
+}
+
+TEST(CsrAssembler, InvalidateDropsPatternButKeepsCounters) {
+  CsrAssembler a;
+  const TripletList t = random_system(80, 23);
+  a.assemble(t);
+  ASSERT_TRUE(a.assemble(t));
+  a.invalidate();
+  EXPECT_FALSE(a.assemble(t));  // identical input, but the cache is gone
+  EXPECT_EQ(a.hits(), 1u);
+  EXPECT_EQ(a.misses(), 2u);
+  expect_bitwise_equal(a.matrix(), CsrMatrix::from_triplets(t));
+}
+
+TEST(CsrAssembler, SignedZeroSurvivesRevalue) {
+  // The first contribution to each CSR slot must be an assignment, not a
+  // += onto a zeroed buffer: zero-and-accumulate would turn a -0.0 triplet
+  // into +0.0 on the cached path only, breaking bitwise equality.
+  TripletList t(2);
+  t.add_diag(0, -0.0);
+  t.add_diag(1, 1.0);
+  CsrAssembler a;
+  a.assemble(t);
+  ASSERT_TRUE(a.assemble(t));
+  expect_bitwise_equal(a.matrix(), CsrMatrix::from_triplets(t));
+  EXPECT_EQ(dbits(a.matrix().at(0, 0)), dbits(-0.0));
+}
+
+TEST(CsrAssembler, ResultIndependentOfThreadCount) {
+  const size_t prev = global_threads();
+  const TripletList t = random_system(400, 24);
+  set_global_threads(1);
+  CsrAssembler serial;
+  serial.assemble(t);
+  serial.assemble(t);  // build, then revalue — both paths serial
+  const CsrMatrix reference = serial.matrix();
+  set_global_threads(8);
+  CsrAssembler threaded;
+  threaded.assemble(t);
+  threaded.assemble(t);
+  expect_bitwise_equal(threaded.matrix(), reference);
+  set_global_threads(prev);
+}
+
+// ---------------------------------------------------------- CG workspace ----
+
+TEST(CgWorkspace, MatchesPlainOverloadBitwise) {
+  const size_t n = 500;
+  const CsrMatrix A = CsrMatrix::from_triplets(random_system(n, 25));
+  Rng rng(26);
+  Vec b(n);
+  for (size_t i = 0; i < n; ++i) b[i] = rng.uniform(-1.0, 1.0);
+  CgOptions opts;
+  opts.rel_tolerance = 1e-10;
+
+  Vec x_plain(n, 0.0);
+  const CgResult plain = solve_pcg(A, b, x_plain, opts);
+  CgWorkspace ws;
+  Vec x_ws(n, 0.0);
+  const CgResult with_ws = solve_pcg(A, b, x_ws, opts, ws);
+  EXPECT_EQ(plain.iterations, with_ws.iterations);
+  EXPECT_EQ(plain.converged, with_ws.converged);
+  EXPECT_EQ(dbits(plain.residual_norm), dbits(with_ws.residual_norm));
+  for (size_t i = 0; i < n; ++i)
+    ASSERT_EQ(dbits(x_plain[i]), dbits(x_ws[i])) << "x[" << i << "]";
+
+  // Leftover state in a reused workspace must not leak into the result.
+  Vec x_again(n, 0.0);
+  solve_pcg(A, b, x_again, opts, ws);
+  for (size_t i = 0; i < n; ++i)
+    ASSERT_EQ(dbits(x_again[i]), dbits(x_ws[i])) << "x[" << i << "]";
+}
+
+TEST(CgWorkspace, SteadyStateSolveIsAllocationFree) {
+  // n > kReduceChunk so the chunked reduction path itself (not its small-n
+  // early return) is on trial; single-threaded so the templated serial
+  // fast paths of parallel_for/parallel_sum are the ones exercised.
+  const size_t prev = global_threads();
+  set_global_threads(1);
+  const size_t n = kReduceChunk + 1901;
+  TripletList t(n);
+  for (size_t i = 0; i + 1 < n; ++i) t.add_spring(i, i + 1, 1.0);
+  for (size_t i = 0; i < n; ++i) t.add_diag(i, 0.5);
+  const CsrMatrix A = CsrMatrix::from_triplets(t);
+  const Vec b(n, 1.0);
+  CgOptions opts;
+  opts.rel_tolerance = 1e-30;  // never met: runs exactly max_iterations
+  opts.max_iterations = 25;
+
+  CgWorkspace ws;
+  Vec x(n, 0.0);
+  solve_pcg(A, b, x, opts, ws);  // warm-up: sizes every workspace buffer
+  x.assign(n, 0.0);
+  alloc_counter::arm();
+  solve_pcg(A, b, x, opts, ws);
+  const size_t allocations = alloc_counter::drain();
+  EXPECT_EQ(allocations, 0u)
+      << "steady-state solve_pcg must not touch the heap";
+  set_global_threads(prev);
+}
 
 }  // namespace
 }  // namespace complx

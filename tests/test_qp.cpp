@@ -1,11 +1,24 @@
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+
 #include "helpers.h"
 #include "qp/solver.h"
 #include "wl/hpwl.h"
 
 namespace complx {
 namespace {
+
+uint64_t dbits(double v) { return std::bit_cast<uint64_t>(v); }
+
+void expect_bitwise_equal(const Netlist& nl, const Placement& a,
+                          const Placement& b) {
+  for (CellId id : nl.movable_cells()) {
+    ASSERT_EQ(dbits(a.x[id]), dbits(b.x[id])) << "x of cell " << id;
+    ASSERT_EQ(dbits(a.y[id]), dbits(b.y[id])) << "y of cell " << id;
+  }
+}
 
 TEST(VarMap, MapsOnlyMovables) {
   Netlist nl = complx::testing::two_cell_chain();
@@ -166,6 +179,126 @@ TEST(SolveQpIteration, AnchorsHoldPlacementInPlace) {
     max_move = std::max(max_move, std::abs(p.x[id] - before.x[id]) +
                                       std::abs(p.y[id] - before.y[id]));
   EXPECT_LT(max_move, 0.5);
+}
+
+// ------------------------------------------------------------ workspace ----
+
+TEST(QpWorkspace, SamePointSecondIterationHitsPattern) {
+  Netlist nl = complx::testing::small_circuit(56, 400);
+  const VarMap vars(nl);
+  const Placement start = nl.snapshot();
+  QpOptions opts;
+  QpWorkspace ws;
+
+  Placement p = start;
+  solve_qp_iteration(nl, vars, p, nullptr, opts, &ws);
+  EXPECT_EQ(ws.stats.pattern_misses, 2u);  // first build, one per axis
+  EXPECT_EQ(ws.stats.pattern_hits, 0u);
+  const Placement first = p;
+
+  // Relinearizing at the same point reproduces the same B2B topology, so
+  // both axes must revalue the cached pattern — and land on the same bits.
+  p = start;
+  solve_qp_iteration(nl, vars, p, nullptr, opts, &ws);
+  EXPECT_EQ(ws.stats.pattern_hits, 2u);
+  EXPECT_EQ(ws.stats.pattern_misses, 2u);
+  EXPECT_EQ(ws.stats.iterations, 2u);
+  expect_bitwise_equal(nl, p, first);
+}
+
+TEST(QpWorkspace, AnchorWeightChangeStillHits) {
+  // The λ update rescales anchor weights but never adds or removes
+  // pseudonets: diagonal + RHS only, so the sparsity pattern must survive.
+  Netlist nl = complx::testing::small_circuit(57, 350);
+  const VarMap vars(nl);
+  const Placement start = nl.snapshot();
+  AnchorSet anchors(nl.num_cells());
+  for (CellId id : nl.movable_cells()) {
+    anchors.target_x[id] = start.x[id];
+    anchors.target_y[id] = start.y[id];
+    anchors.weight_x[id] = 1.0;
+    anchors.weight_y[id] = 1.0;
+  }
+  QpOptions opts;
+  QpWorkspace ws;
+
+  Placement p = start;
+  solve_qp_iteration(nl, vars, p, &anchors, opts, &ws);
+  ASSERT_EQ(ws.stats.pattern_misses, 2u);
+
+  for (CellId id : nl.movable_cells()) {
+    anchors.weight_x[id] *= 3.0;
+    anchors.weight_y[id] *= 3.0;
+  }
+  p = start;
+  solve_qp_iteration(nl, vars, p, &anchors, opts, &ws);
+  EXPECT_EQ(ws.stats.pattern_hits, 2u);
+  EXPECT_EQ(ws.stats.pattern_misses, 2u);
+
+  // The cached-path result equals the workspace-free path on the exact
+  // same system, bit for bit.
+  Placement fresh = start;
+  solve_qp_iteration(nl, vars, fresh, &anchors, opts, nullptr);
+  expect_bitwise_equal(nl, p, fresh);
+}
+
+TEST(QpWorkspace, TopologyChangeMissesAndStaysCorrect) {
+  Netlist nl = complx::testing::small_circuit(58, 300);
+  const VarMap vars(nl);
+  QpOptions opts;
+  QpWorkspace ws;
+
+  Placement p = nl.snapshot();
+  solve_qp_iteration(nl, vars, p, nullptr, opts, &ws);
+  ASSERT_EQ(ws.stats.pattern_misses, 2u);
+
+  // The previous solve moved essentially every cell, so relinearizing at
+  // the new iterate picks different bounding pins: the pattern comparison
+  // must reject the cache, and the rebuild must match a fresh solve.
+  Placement fresh = p;
+  solve_qp_iteration(nl, vars, p, nullptr, opts, &ws);
+  EXPECT_EQ(ws.stats.pattern_misses, 4u);
+  EXPECT_EQ(ws.stats.pattern_hits, 0u);
+  solve_qp_iteration(nl, vars, fresh, nullptr, opts, nullptr);
+  expect_bitwise_equal(nl, p, fresh);
+}
+
+TEST(QpWorkspace, InvalidatePatternForcesRebuild) {
+  Netlist nl = complx::testing::small_circuit(59, 250);
+  const VarMap vars(nl);
+  const Placement start = nl.snapshot();
+  QpOptions opts;
+  QpWorkspace ws;
+
+  Placement p = start;
+  solve_qp_iteration(nl, vars, p, nullptr, opts, &ws);
+  const Placement first = p;
+  p = start;
+  ws.invalidate_pattern();  // would have hit without this
+  solve_qp_iteration(nl, vars, p, nullptr, opts, &ws);
+  EXPECT_EQ(ws.stats.pattern_misses, 4u);
+  EXPECT_EQ(ws.stats.pattern_hits, 0u);
+  expect_bitwise_equal(nl, p, first);
+}
+
+TEST(QpWorkspace, MultiIterationTrajectoryMatchesFreshBitwise) {
+  // Let the iterate evolve naturally for several iterations (hits and
+  // misses as they come): the workspace path must track the fresh path
+  // bit for bit the whole way.
+  Netlist nl = complx::testing::small_circuit(60, 500);
+  const VarMap vars(nl);
+  QpOptions opts;
+  opts.b2b.min_separation = 1.5 * nl.row_height();
+  QpWorkspace ws;
+  Placement cached = nl.snapshot();
+  Placement fresh = cached;
+  for (int i = 0; i < 5; ++i) {
+    solve_qp_iteration(nl, vars, cached, nullptr, opts, &ws);
+    solve_qp_iteration(nl, vars, fresh, nullptr, opts, nullptr);
+    expect_bitwise_equal(nl, cached, fresh);
+  }
+  EXPECT_EQ(ws.stats.iterations, 5u);
+  EXPECT_EQ(ws.stats.pattern_hits + ws.stats.pattern_misses, 10u);
 }
 
 }  // namespace
