@@ -185,6 +185,10 @@ int main(int argc, char** argv) {
                                 : static_cast<double>(s.total_cg_iterations) /
                                       static_cast<double>(s.solves),
                   s.worst_residual);
+      std::printf("projection: %zu calls, grid build %.3fs, region find "
+                  "%.3fs, spread %.3fs, readback %.3fs\n",
+                  s.projections, s.proj_grid_build_s, s.proj_region_find_s,
+                  s.proj_spread_s, s.proj_readback_s);
     }
     if (gp.stop != StopReason::Converged)
       std::fprintf(stderr,

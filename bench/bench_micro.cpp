@@ -4,6 +4,8 @@
 // near-linear-runtime claim at the kernel level.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "core/placer.h"
 #include "density/grid.h"
 #include "gen/generator.h"
@@ -187,6 +189,123 @@ void BM_Projection(benchmark::State& state) {
 }
 BENCHMARK(BM_Projection)->Arg(2000)->Arg(8000)->Arg(32000)
     ->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------------------------------
+// Projection fast-path benchmarks: prefix-summed density queries, the cached
+// fixed-cell capacity field, and the monotone terminal-spread sweep. These
+// back the docs/BENCHMARKS.md projection table.
+// --------------------------------------------------------------------------
+
+std::vector<Rect> density_query_rects(const Rect& core, size_t n) {
+  Rng rng(7);
+  std::vector<Rect> rects;
+  rects.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    const double x0 = rng.uniform(core.xl, core.xh);
+    const double x1 = rng.uniform(core.xl, core.xh);
+    const double y0 = rng.uniform(core.yl, core.yh);
+    const double y1 = rng.uniform(core.yl, core.yh);
+    rects.push_back({std::min(x0, x1), std::min(y0, y1), std::max(x0, x1),
+                     std::max(y0, y1)});
+  }
+  return rects;
+}
+
+void run_free_area_bench(benchmark::State& state, bool prefix) {
+  const Netlist nl = make_circuit(8000);
+  DensityOptions dopts;
+  dopts.use_prefix_sums = prefix;
+  const size_t bins = static_cast<size_t>(state.range(0));
+  DensityGrid grid(nl, bins, bins, dopts);
+  grid.build(nl.snapshot());
+  const std::vector<Rect> rects = density_query_rects(nl.core(), 256);
+  size_t k = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(grid.free_area_in(rects[k++ % rects.size()]));
+}
+
+/// Historical per-bin accumulation: O(bins covered) per query.
+void BM_FreeAreaInLoop(benchmark::State& state) {
+  run_free_area_bench(state, false);
+}
+BENCHMARK(BM_FreeAreaInLoop)->Arg(16)->Arg(64)->Arg(256);
+
+/// Summed-area-table query: O(1) per query regardless of resolution.
+void BM_FreeAreaInPrefix(benchmark::State& state) {
+  run_free_area_bench(state, true);
+}
+BENCHMARK(BM_FreeAreaInPrefix)->Arg(16)->Arg(64)->Arg(256);
+
+void run_project_bench(benchmark::State& state, bool cached) {
+  const Netlist nl = make_circuit(static_cast<size_t>(state.range(0)));
+  Placement p = nl.snapshot();
+  const Point c = nl.core().center();
+  for (CellId id : nl.movable_cells()) {
+    p.x[id] = c.x;
+    p.y[id] = c.y;
+  }
+  LookAheadLegalizer lal(nl, {});
+  if (cached) lal.project(p);  // prime the capacity cache
+  for (auto _ : state) {
+    if (!cached) lal.invalidate_grid_cache();
+    benchmark::DoNotOptimize(lal.project(p));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(nl.num_movable()));
+}
+
+/// Every call rebuilds the fixed-cell blockage scan (pre-cache behaviour).
+void BM_ProjectCold(benchmark::State& state) {
+  run_project_bench(state, false);
+}
+BENCHMARK(BM_ProjectCold)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Steady-state driver regime: same grid resolution as the previous call,
+/// so only the movable deposit runs.
+void BM_ProjectCachedCapacity(benchmark::State& state) {
+  run_project_bench(state, true);
+}
+BENCHMARK(BM_ProjectCachedCapacity)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TerminalSpreadSweep(benchmark::State& state) {
+  // The terminal 1-D spread over n motes: one monotone sweep over the
+  // region's capacity profile (was: a fresh 40-step free_area_in bisection
+  // per mote). Fresh mote copies each iteration — spreading mutates them.
+  const Netlist nl = make_circuit(2000);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Rect core = nl.core();
+  const Point c = core.center();
+  Rng rng(11);
+  std::vector<Mote> motes(n);
+  for (size_t k = 0; k < n; ++k) {
+    motes[k].x = c.x + rng.uniform(-0.1, 0.1) * core.width();
+    motes[k].y = c.y + rng.uniform(-0.1, 0.1) * core.height();
+    motes[k].width = nl.average_movable_width();
+    motes[k].height = nl.row_height();
+    motes[k].owner = static_cast<CellId>(k);
+  }
+  DensityGrid grid(nl, 64, 64);
+  std::vector<Rect> rects;
+  rects.reserve(n);
+  for (const Mote& m : motes) rects.push_back(m.bounds());
+  grid.build_from_rects(rects);
+  SpreaderOptions opts;
+  opts.terminal_motes = static_cast<int>(n) + 1;  // force the terminal path
+  Spreader spreader(grid, opts);
+  for (auto _ : state) {
+    std::vector<Mote> work = motes;
+    std::vector<Mote*> ptrs;
+    ptrs.reserve(n);
+    for (Mote& m : work) ptrs.push_back(&m);
+    spreader.spread(core, ptrs);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_TerminalSpreadSweep)->Arg(512)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_IncrementalVsNaiveMoveEval(benchmark::State& state) {
   // Cost of evaluating one candidate move: cached "before" + fresh "after"

@@ -5,6 +5,13 @@
 #   2. a release (RelWithDebInfo) tree — proves the bitwise guarantees hold
 #      under the optimization level users actually run.
 #
+# The label includes the projection-path regressions in
+# test_golden_determinism: concurrent per-region spreading must be bitwise
+# thread-invariant, and the boundary-mote ownership fix (exclusive
+# first-region-wins assignment) is what makes the per-region mote lists
+# disjoint — under TSan, a reintroduced double-enrollment would surface as
+# a data race between two regions spreading the same mote.
+#
 # Usage: scripts/check_determinism.sh [build-root]
 # Exit code 0 iff both trees pass `ctest -L determinism`.
 set -euo pipefail

@@ -80,6 +80,17 @@ struct SolverStats {
   double assembly_s = 0.0;  ///< net model + stamping + CSR assembly
   double solve_s = 0.0;     ///< PCG wall time
 
+  // Feasibility-projection phase split, accumulated over every project()
+  // call (ProjectionTimers folded in by the driver). grid-build covers mote
+  // materialization plus the movable density deposit — the fixed blockage
+  // field is cached inside LookAheadLegalizer and only rebuilt when the
+  // grid resolution changes.
+  size_t projections = 0;
+  double proj_grid_build_s = 0.0;
+  double proj_region_find_s = 0.0;
+  double proj_spread_s = 0.0;
+  double proj_readback_s = 0.0;
+
   void add(const CgResult& r) {
     ++solves;
     if (!r.converged) ++nonconverged;

@@ -183,6 +183,13 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
     result.solver.assembly_s = qp_ws.stats.assembly_s;
     result.solver.solve_s = qp_ws.stats.solve_s;
   };
+  auto fold_projection_stats = [&](const ProjectionTimers& t) {
+    ++result.solver.projections;
+    result.solver.proj_grid_build_s += t.grid_build_s;
+    result.solver.proj_region_find_s += t.region_find_s;
+    result.solver.proj_spread_s += t.spread_s;
+    result.solver.proj_readback_s += t.readback_s;
+  };
 
   // Primal minimizer: linearized-quadratic B2B by default, log-sum-exp via
   // nonlinear CG when configured (Section S1 instantiation). Returns true
@@ -225,6 +232,7 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
   lal.set_grid(static_cast<size_t>(bins), static_cast<size_t>(bins));
 
   ProjectionResult proj = lal.project(p);
+  fold_projection_stats(proj.timers);
   if (post_projection_) {
     post_projection_(proj.anchors);
     proj.displacement_l1 = movable_l1(nl_, p, proj.anchors);
@@ -417,6 +425,7 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
     }
 
     proj = lal.project(p);
+    fold_projection_stats(proj.timers);
     if (post_projection_) {
       post_projection_(proj.anchors);
       proj.displacement_l1 = movable_l1(nl_, p, proj.anchors);

@@ -7,6 +7,14 @@
 //
 // Fixed cells pre-consume bin capacity; movable area is deposited by exact
 // rectangle overlap each time build() is called.
+//
+// Area queries (free_area_in / usage_in / the bin-span sums) run in O(1)
+// against summed-area tables maintained over both fields — the bin-grid
+// analogue of the fast density transforms in the FFT-based placement
+// literature. The tables are rebuilt once per build()/build_from_rects()
+// in bin order (deterministic at any thread count); the historical per-bin
+// loops remain available behind DensityOptions::use_prefix_sums for
+// equivalence testing and ablation.
 #pragma once
 
 #include <cstddef>
@@ -18,11 +26,19 @@
 
 namespace complx {
 
+struct DensityOptions {
+  /// O(1) summed-area-table queries (default). Off = the historical per-bin
+  /// loops; both paths agree to ~1e-9 relative to the grid's total area
+  /// (the tables change floating-point summation order, nothing else).
+  bool use_prefix_sums = true;
+};
+
 class DensityGrid {
  public:
   /// `bins_x` by `bins_y` grid over nl.core(). Fixed-cell blockage is
   /// computed once here.
-  DensityGrid(const Netlist& nl, size_t bins_x, size_t bins_y);
+  DensityGrid(const Netlist& nl, size_t bins_x, size_t bins_y,
+              const DensityOptions& opts = {});
 
   /// Deposits movable-cell area for placement `p` (cells treated as
   /// rectangles centered at (p.x, p.y)). Clears previous movable usage.
@@ -50,7 +66,9 @@ class DensityGrid {
   /// Whether utilization exceeds γ anywhere (with small tolerance).
   bool feasible(double gamma, double tol = 1e-9) const;
 
-  /// Bin column/row of a point (clamped into range).
+  /// Bin column/row of a point (clamped into range; non-finite coordinates
+  /// clamp to bin 0 rather than invoking undefined float→int behavior —
+  /// core/health screens them out upstream, this is the last line).
   size_t bin_x_of(double x) const;
   size_t bin_y_of(double y) const;
 
@@ -63,10 +81,18 @@ class DensityGrid {
   /// uniform-within-bin assumption).
   double usage_in(const Rect& r) const;
 
+  /// Σ capacity over the inclusive bin span [i0, i1] × [j0, j1] — O(1) via
+  /// the summed-area table (used by the region finder's grow/merge loops).
+  double capacity_sum(size_t i0, size_t j0, size_t i1, size_t j1) const;
+  /// Σ usage over the inclusive bin span [i0, i1] × [j0, j1].
+  double usage_sum(size_t i0, size_t j0, size_t i1, size_t j1) const;
+
+  const DensityOptions& options() const { return opts_; }
   const Netlist& netlist() const { return nl_; }
 
  private:
   size_t idx(size_t i, size_t j) const { return j * bx_ + i; }
+  size_t sat_idx(size_t i, size_t j) const { return j * (bx_ + 1) + i; }
   void deposit(const Rect& r, std::vector<double>& field);
   /// Deposits items [0, n) into `field` via per-block partial grids merged
   /// in block order — deterministic at any thread count (see
@@ -74,13 +100,29 @@ class DensityGrid {
   void parallel_deposit(
       size_t n, const std::function<void(size_t, std::vector<double>&)>& dep,
       std::vector<double>& field);
+  /// Rebuilds `sat` as the summed-area table of `field`: sat(i, j) = Σ of
+  /// field over bins ii < i, jj < j. Serial bin-order recurrence — the same
+  /// bytes at any thread count.
+  void rebuild_sat(const std::vector<double>& field,
+                   std::vector<double>& sat) const;
+  /// Inclusive bin-span sum out of a summed-area table.
+  double sat_span(const std::vector<double>& sat, size_t i0, size_t j0,
+                  size_t i1, size_t j1) const;
+  /// ∫ field over r with the uniform-within-bin assumption; O(1) via `sat`.
+  double integrate_sat(const std::vector<double>& field,
+                       const std::vector<double>& sat, const Rect& r) const;
+  /// Same integral via the historical per-bin loop (use_prefix_sums off).
+  double integrate_loop(const std::vector<double>& field, const Rect& r) const;
 
   const Netlist& nl_;
   size_t bx_, by_;
   double bw_, bh_;
   Rect core_;
+  DensityOptions opts_;
   std::vector<double> cap_;  ///< free area per bin (total − fixed blockage)
   std::vector<double> use_;  ///< movable area per bin
+  std::vector<double> cap_sat_;  ///< (bx+1)·(by+1) prefix sums over cap_
+  std::vector<double> use_sat_;  ///< (bx+1)·(by+1) prefix sums over use_
 };
 
 }  // namespace complx

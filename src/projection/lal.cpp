@@ -7,8 +7,30 @@
 #include "projection/region_finder.h"
 #include "projection/regions.h"
 #include "util/log.h"
+#include "util/parallel.h"
+#include "util/timer.h"
 
 namespace complx {
+
+std::vector<size_t> assign_motes_to_regions(const std::vector<Rect>& regions,
+                                            const std::vector<Mote>& motes) {
+  std::vector<size_t> owner(motes.size(), kNoSpreadRegion);
+  if (regions.empty()) return owner;
+  // Index-owned writes: mote k's owner depends only on (k, regions), so the
+  // result is identical at any thread count.
+  parallel_for(motes.size(), [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      const Point c{motes[k].x, motes[k].y};
+      for (size_t r = 0; r < regions.size(); ++r) {
+        if (regions[r].contains(c)) {
+          owner[k] = r;
+          break;  // first region in deterministic order wins
+        }
+      }
+    }
+  });
+  return owner;
+}
 
 LookAheadLegalizer::LookAheadLegalizer(const Netlist& nl,
                                        const ProjectionOptions& opts)
@@ -37,16 +59,37 @@ size_t LookAheadLegalizer::auto_bins(const Netlist& nl) {
 void LookAheadLegalizer::set_grid(size_t bins_x, size_t bins_y) {
   opts_.bins_x = std::max<size_t>(1, bins_x);
   opts_.bins_y = std::max<size_t>(1, bins_y);
+  // Keep the cached capacity field whenever the resolution is unchanged:
+  // the driver calls set_grid every iteration and repeats the finest size
+  // once refinement saturates, which is exactly the steady state the cache
+  // exists for.
+  if (grid_ && (grid_->bins_x() != opts_.bins_x ||
+                grid_->bins_y() != opts_.bins_y))
+    grid_.reset();
 }
 
 void LookAheadLegalizer::set_inflation(Vec area_factors) {
   if (!area_factors.empty() && area_factors.size() != nl_.num_cells())
     throw std::invalid_argument("inflation vector size mismatch");
   inflation_ = std::move(area_factors);
+  grid_.reset();
+}
+
+void LookAheadLegalizer::invalidate_grid_cache() { grid_.reset(); }
+
+DensityGrid& LookAheadLegalizer::ensure_grid() const {
+  if (!grid_ || grid_->bins_x() != opts_.bins_x ||
+      grid_->bins_y() != opts_.bins_y)
+    grid_ = std::make_unique<DensityGrid>(nl_, opts_.bins_x, opts_.bins_y,
+                                          opts_.density);
+  return *grid_;
 }
 
 ProjectionResult LookAheadLegalizer::project(const Placement& p,
                                              bool export_shreds) const {
+  ProjectionResult result;
+  Timer phase;
+
   // 1. Materialize motes: one per standard cell, a lattice per macro.
   std::vector<Mote> motes;
   motes.reserve(nl_.num_movable());
@@ -84,8 +127,9 @@ ProjectionResult LookAheadLegalizer::project(const Placement& p,
     }
   }
 
-  // 2. Density field over motes.
-  DensityGrid grid(nl_, opts_.bins_x, opts_.bins_y);
+  // 2. Density field over motes. The capacity half (fixed-cell blockage) is
+  //    cached across calls; only the movable deposit runs here.
+  DensityGrid& grid = ensure_grid();
   {
     std::vector<Rect> rects;
     rects.reserve(motes.size());
@@ -94,20 +138,35 @@ ProjectionResult LookAheadLegalizer::project(const Placement& p,
   }
 
   const double input_overflow = grid.total_overflow(opts_.gamma);
+  result.timers.grid_build_s = phase.seconds();
+  phase.reset();
 
-  // 3. Spreading regions and per-region spreading.
+  // 3. Spreading regions, exclusive mote ownership, per-region spreading.
   const std::vector<Rect> regions = find_spreading_regions(grid, opts_.gamma);
+  const std::vector<size_t> owner = assign_motes_to_regions(regions, motes);
+  std::vector<std::vector<Mote*>> per_region(regions.size());
+  for (size_t k = 0; k < motes.size(); ++k)
+    if (owner[k] != kNoSpreadRegion) per_region[owner[k]].push_back(&motes[k]);
+  result.timers.region_find_s = phase.seconds();
+  phase.reset();
+
+  // Regions own disjoint mote lists and each is spread independently, so
+  // chunk=1 lets the pool process whole regions concurrently; the writes
+  // land in disjoint motes and each region's spread is serial internally,
+  // so the result is bitwise identical at any thread count.
   Spreader spreader(grid, opts_.spreader);
-  for (const Rect& r : regions) {
-    std::vector<Mote*> inside;
-    for (Mote& m : motes)
-      if (r.contains(Point{m.x, m.y})) inside.push_back(&m);
-    spreader.spread(r, inside);
-  }
+  parallel_for(
+      regions.size(),
+      [&](size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r)
+          spreader.spread(regions[r], per_region[r]);
+      },
+      /*chunk=*/1);
+  result.timers.spread_s = phase.seconds();
+  phase.reset();
 
   // 4. Read anchors back: standard cells directly, macros by interpolating
   //    the mean shred displacement.
-  ProjectionResult result;
   result.num_regions = regions.size();
   result.input_overflow_ratio =
       input_overflow / std::max(nl_.movable_area(), 1e-12);
@@ -169,6 +228,7 @@ ProjectionResult LookAheadLegalizer::project(const Placement& p,
       }
     }
   }
+  result.timers.readback_s = phase.seconds();
   return result;
 }
 

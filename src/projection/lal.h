@@ -8,6 +8,7 @@
 // L1 displacement it reports is the penalty value Π(x, y) of Formula 3.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -26,11 +27,35 @@ struct ProjectionOptions {
   size_t bins_y = 0;
   SpreaderOptions spreader;  ///< gamma is overwritten from this struct
   ShredderOptions shredder;  ///< gamma is overwritten from this struct
+  DensityOptions density;    ///< grid query mode (prefix sums on/off)
   bool enforce_regions = true;
   /// Alignment groups enforced by the projection (after density spreading
   /// and region snapping).
   std::vector<AlignmentGroup> alignments;
 };
+
+/// Wall-clock split of one project() call. The placer accumulates these
+/// into SolverStats; `complx_place --stats` prints the totals.
+struct ProjectionTimers {
+  double grid_build_s = 0.0;    ///< mote materialization + density deposit
+  double region_find_s = 0.0;   ///< region search + mote→region ownership
+  double spread_s = 0.0;        ///< per-region spreading
+  double readback_s = 0.0;      ///< anchors, region/alignment snap, Π
+};
+
+/// Sentinel owner index for motes outside every spreading region.
+inline constexpr size_t kNoSpreadRegion = static_cast<size_t>(-1);
+
+/// Exclusive, deterministic region ownership: for every mote, the index of
+/// the FIRST region (in the given order) containing its center, or
+/// kNoSpreadRegion. Rect::contains is inclusive on both edges, so a mote sitting
+/// exactly on a shared region boundary is claimed by the earlier region
+/// only — each mote is spread at most once and the per-region mote lists
+/// are disjoint, the precondition for spreading regions in parallel.
+/// (The historical code pushed such a mote into BOTH regions' lists: the
+/// second spread consumed coordinates the first had already rewritten.)
+std::vector<size_t> assign_motes_to_regions(const std::vector<Rect>& regions,
+                                            const std::vector<Mote>& motes);
 
 struct ProjectionResult {
   Placement anchors;        ///< the C-feasible(-ish) projection P_C(x, y)
@@ -43,6 +68,7 @@ struct ProjectionResult {
   /// used by the Figure 2 reproduction.
   std::vector<Mote> shreds;
   std::vector<Point> shred_origins;
+  ProjectionTimers timers;  ///< phase split of this call
 };
 
 class LookAheadLegalizer {
@@ -70,10 +96,25 @@ class LookAheadLegalizer {
 
   const ProjectionOptions& options() const { return opts_; }
 
+  /// Drops the cached capacity field so the next project() rebuilds the
+  /// fixed-cell blockage scan from scratch (benchmark/test hook; callers
+  /// normally rely on set_grid/set_inflation invalidation).
+  void invalidate_grid_cache();
+
  private:
+  /// The DensityGrid whose capacity field (fixed-cell blockage) matches the
+  /// current (bins_x, bins_y). Constructing a DensityGrid rescans every
+  /// fixed cell, so project() keeps one instance alive across calls and
+  /// only re-deposits the movable field; set_grid drops it when the
+  /// resolution actually changes (the driver calls set_grid every iteration
+  /// and repeats the finest size once refinement saturates — those calls
+  /// must hit the cache) and set_inflation drops it unconditionally.
+  DensityGrid& ensure_grid() const;
+
   const Netlist& nl_;
   ProjectionOptions opts_;
   Vec inflation_;  ///< empty = no inflation
+  mutable std::unique_ptr<DensityGrid> grid_;  ///< cached capacity field
 };
 
 }  // namespace complx

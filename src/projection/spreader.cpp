@@ -40,30 +40,70 @@ bool mote_before(const Mote* a, const Mote* b, bool horizontal) {
   return coord(a, !horizontal) < coord(b, !horizontal);
 }
 
+/// Cumulative γ-capacity along one axis of a region. Free area is uniform
+/// within a bin, so the cumulative profile is piecewise linear with knots at
+/// the bin boundaries; building it costs one O(1) free_area_in query per bin
+/// column crossed, and inverting it is linear interpolation. This replaces
+/// the historical 40-step capacity_cut bisection (which evaluated a full
+/// free_area_in per step) with one exact solve per query — and an increasing
+/// sequence of targets can share a monotone hint so a whole terminal-spread
+/// sweep costs O(columns) total.
+class CapacityProfile {
+ public:
+  CapacityProfile(const DensityGrid& g, const Rect& region, bool horizontal,
+                  double gamma) {
+    const double lo = lo_edge(region, horizontal);
+    const double hi = hi_edge(region, horizontal);
+    knots_.push_back(lo);
+    cum_.push_back(0.0);
+    if (!(hi > lo)) return;
+    const size_t b0 = horizontal ? g.bin_x_of(lo) : g.bin_y_of(lo);
+    const size_t b1 =
+        horizontal ? g.bin_x_of(hi - 1e-12) : g.bin_y_of(hi - 1e-12);
+    for (size_t b = b0; b <= b1; ++b) {
+      const Rect cell = horizontal ? g.bin_rect(b, 0) : g.bin_rect(0, b);
+      const double edge = std::min(hi, horizontal ? cell.xh : cell.yh);
+      if (edge <= knots_.back()) continue;
+      cum_.push_back(cum_.back() +
+                     gamma * g.free_area_in(
+                                 slice(region, horizontal, knots_.back(), edge)));
+      knots_.push_back(edge);
+    }
+    if (knots_.back() < hi) {  // region reaches past the core: zero capacity
+      knots_.push_back(hi);
+      cum_.push_back(cum_.back());
+    }
+  }
+
+  double total() const { return cum_.back(); }
+
+  /// Smallest t with cum(t) >= target — the same infimum the bisection
+  /// converged to, including on zero-capacity plateaus. `hint` (optional)
+  /// must come from a previous call with a target no larger than this one;
+  /// it persists the segment pointer across a nondecreasing target sweep.
+  double invert(double target, size_t* hint = nullptr) const {
+    if (knots_.size() < 2) return knots_.front();
+    if (!(target > 0.0)) return knots_.front();
+    size_t k = hint != nullptr ? *hint : 0;
+    while (k + 2 < cum_.size() && cum_[k + 1] < target) ++k;
+    if (hint != nullptr) *hint = k;
+    const double seg = cum_[k + 1] - cum_[k];
+    if (!(seg > 0.0)) return knots_[k];
+    const double t =
+        knots_[k] + (target - cum_[k]) / seg * (knots_[k + 1] - knots_[k]);
+    return std::clamp(t, knots_[k], knots_[k + 1]);
+  }
+
+ private:
+  std::vector<double> knots_;  ///< bin-boundary coordinates clipped to region
+  std::vector<double> cum_;    ///< cumulative γ-capacity up to each knot
+};
+
 }  // namespace
 
 void Spreader::spread(const Rect& region, std::vector<Mote*>& motes) const {
   if (motes.empty() || region.empty()) return;
   recurse(region, motes, 0);
-}
-
-double Spreader::capacity_cut(const Rect& region, bool horizontal,
-                              double target_capacity) const {
-  // Binary search on the monotone cumulative free-area profile. 40 steps
-  // bring the interval below any bin dimension.
-  double lo = lo_edge(region, horizontal);
-  double hi = hi_edge(region, horizontal);
-  const double full_lo = lo;
-  for (int it = 0; it < 40; ++it) {
-    const double mid = (lo + hi) / 2.0;
-    const double cap =
-        opts_.gamma * grid_.free_area_in(slice(region, horizontal, full_lo, mid));
-    if (cap < target_capacity)
-      lo = mid;
-    else
-      hi = mid;
-  }
-  return (lo + hi) / 2.0;
 }
 
 void Spreader::recurse(const Rect& region, std::vector<Mote*>& motes,
@@ -91,10 +131,11 @@ void Spreader::recurse(const Rect& region, std::vector<Mote*>& motes,
   const double area1 = acc;
 
   // Capacity-proportional cut line.
-  const double region_cap = opts_.gamma * grid_.free_area_in(region);
+  const CapacityProfile profile(grid_, region, horizontal, opts_.gamma);
+  const double region_cap = profile.total();
   double cut;
   if (region_cap > 1e-12 && total_area > 0.0) {
-    cut = capacity_cut(region, horizontal, region_cap * (area1 / total_area));
+    cut = profile.invert(region_cap * (area1 / total_area));
   } else {
     cut = (lo_edge(region, horizontal) + hi_edge(region, horizontal)) / 2.0;
   }
@@ -140,7 +181,8 @@ void Spreader::terminal_spread(const Rect& region,
 
   double total_area = 0.0;
   for (const Mote* m : motes) total_area += m->area();
-  const double region_cap = opts_.gamma * grid_.free_area_in(region);
+  const CapacityProfile profile(grid_, region, horizontal, opts_.gamma);
+  const double region_cap = profile.total();
 
   const double lo = lo_edge(region, horizontal);
   const double hi = hi_edge(region, horizontal);
@@ -154,12 +196,15 @@ void Spreader::terminal_spread(const Rect& region,
     return;
   }
 
+  // Single monotone sweep: cumulative-area midpoints increase in sorted
+  // order, so one persistent hint walks the profile left to right.
+  size_t hint = 0;
   double acc = 0.0;
   for (Mote* m : motes) {
     const double midpoint = acc + m->area() / 2.0;
     acc += m->area();
     const double target_cap = region_cap * (midpoint / total_area);
-    const double pos = capacity_cut(region, horizontal, target_cap);
+    const double pos = profile.invert(target_cap, &hint);
     set_coord(m, horizontal, std::clamp(pos, lo, hi));
     // Clamp transverse coordinate into the region.
     if (horizontal)

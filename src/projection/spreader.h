@@ -37,10 +37,6 @@ class Spreader {
   void recurse(const Rect& region, std::vector<Mote*>& motes,
                int depth) const;
   void terminal_spread(const Rect& region, std::vector<Mote*>& motes) const;
-  /// Inverse of the cumulative capacity profile along `axis` inside region:
-  /// the coordinate t where γ·free_area([lo, t]) = target.
-  double capacity_cut(const Rect& region, bool horizontal,
-                      double target_capacity) const;
 
   const DensityGrid& grid_;
   SpreaderOptions opts_;

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "density/grid.h"
 #include "density/metric.h"
 #include "helpers.h"
+#include "util/rng.h"
 
 namespace complx {
 namespace {
@@ -175,6 +178,119 @@ TEST(Metric, RespectsExplicitBins) {
   const DensityMetric fine = evaluate_scaled_hpwl(nl, nl.snapshot(), 64, 64);
   // Finer grids can only expose more (or equal) overflow.
   EXPECT_GE(fine.overflow_percent + 1e-9, coarse.overflow_percent);
+}
+
+
+// ---------------------------------------------------------------------------
+// Summed-area-table query path (DensityOptions::use_prefix_sums, default on)
+// ---------------------------------------------------------------------------
+
+/// The SAT and loop paths compute the same sum with a different FP
+/// association, so the meaningful tolerance is absolute, scaled by the
+/// grand total of the field (cancellation in the 4-corner query is bounded
+/// by eps times the table's largest entry).
+TEST(DensityGridPrefix, MatchesLoopOnRandomRects) {
+  const Netlist nl = complx::testing::small_circuit(23, 3000, 1);
+  const Placement p = nl.snapshot();
+  DensityOptions loop_opts;
+  loop_opts.use_prefix_sums = false;
+  DensityGrid fast(nl, 33, 47);  // non-square on purpose
+  DensityGrid slow(nl, 33, 47, loop_opts);
+  ASSERT_TRUE(fast.options().use_prefix_sums);
+  ASSERT_FALSE(slow.options().use_prefix_sums);
+  fast.build(p);
+  slow.build(p);
+
+  const Rect core = nl.core();
+  const double cap_scale = std::max(1.0, slow.free_area_in(core));
+  const double use_scale = std::max(1.0, slow.usage_in(core));
+  Rng rng(99);
+  for (int t = 0; t < 500; ++t) {
+    const double margin = 0.05 * core.width();
+    double xa = rng.uniform(core.xl - margin, core.xh + margin);
+    double xb = rng.uniform(core.xl - margin, core.xh + margin);
+    double ya = rng.uniform(core.yl - margin, core.yh + margin);
+    double yb = rng.uniform(core.yl - margin, core.yh + margin);
+    const Rect r{std::min(xa, xb), std::min(ya, yb), std::max(xa, xb),
+                 std::max(ya, yb)};
+    EXPECT_NEAR(fast.free_area_in(r), slow.free_area_in(r), 1e-9 * cap_scale)
+        << "rect " << t;
+    EXPECT_NEAR(fast.usage_in(r), slow.usage_in(r), 1e-9 * use_scale)
+        << "rect " << t;
+  }
+}
+
+TEST(DensityGridPrefix, SpanSumsMatchPerBinLoops) {
+  const Netlist nl = complx::testing::small_circuit(24, 2000, 1);
+  const Placement p = nl.snapshot();
+  DensityOptions loop_opts;
+  loop_opts.use_prefix_sums = false;
+  DensityGrid fast(nl, 20, 20);
+  DensityGrid slow(nl, 20, 20, loop_opts);
+  fast.build(p);
+  slow.build(p);
+  const double cap_scale =
+      std::max(1.0, slow.capacity_sum(0, 0, 19, 19));
+  const double use_scale = std::max(1.0, slow.usage_sum(0, 0, 19, 19));
+  Rng rng(7);
+  for (int t = 0; t < 300; ++t) {
+    size_t i0 = static_cast<size_t>(rng.uniform_index(20));
+    size_t i1 = static_cast<size_t>(rng.uniform_index(20));
+    size_t j0 = static_cast<size_t>(rng.uniform_index(20));
+    size_t j1 = static_cast<size_t>(rng.uniform_index(20));
+    if (i1 < i0) std::swap(i0, i1);
+    if (j1 < j0) std::swap(j0, j1);
+    EXPECT_NEAR(fast.capacity_sum(i0, j0, i1, j1),
+                slow.capacity_sum(i0, j0, i1, j1), 1e-9 * cap_scale);
+    EXPECT_NEAR(fast.usage_sum(i0, j0, i1, j1),
+                slow.usage_sum(i0, j0, i1, j1), 1e-9 * use_scale);
+  }
+}
+
+TEST(DensityGridPrefix, ExactOnRepresentableFractions) {
+  // Round-number fixture: bin edges, capacities, and the query's fractional
+  // bin coverages are all exact in binary, so the SAT path must agree with
+  // the loop to the last bit.
+  Netlist nl = one_cell_core();
+  Placement p = nl.snapshot();
+  p.x[0] = 10.0;
+  p.y[0] = 10.0;
+  DensityOptions loop_opts;
+  loop_opts.use_prefix_sums = false;
+  DensityGrid fast(nl, 10, 10);
+  DensityGrid slow(nl, 10, 10, loop_opts);
+  fast.build(p);
+  slow.build(p);
+  const Rect queries[] = {{0, 0, 50, 50},
+                          {0, 0, 45, 45},
+                          {5, 5, 12.5, 17.5},
+                          {-10, -10, 200, 200},
+                          {7.5, 12.5, 7.5, 30}};
+  for (const Rect& r : queries) {
+    EXPECT_DOUBLE_EQ(fast.free_area_in(r), slow.free_area_in(r));
+    EXPECT_DOUBLE_EQ(fast.usage_in(r), slow.usage_in(r));
+  }
+}
+
+TEST(DensityGrid, NonFiniteCoordinateClampsToValidBin) {
+  // bin_x_of/bin_y_of used to floor-then-cast, which is undefined behavior
+  // on NaN/inf input (caught by ubsan); the guard clamps instead.
+  Netlist nl = one_cell_core();
+  DensityGrid g(nl, 10, 10);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(g.bin_x_of(nan), 0u);
+  EXPECT_EQ(g.bin_y_of(nan), 0u);
+  EXPECT_EQ(g.bin_x_of(-inf), 0u);
+  EXPECT_EQ(g.bin_y_of(-inf), 0u);
+  EXPECT_EQ(g.bin_x_of(inf), 9u);
+  EXPECT_EQ(g.bin_y_of(inf), 9u);
+  // Finite inputs behave exactly as before.
+  EXPECT_EQ(g.bin_x_of(-5.0), 0u);
+  EXPECT_EQ(g.bin_x_of(0.0), 0u);
+  EXPECT_EQ(g.bin_x_of(55.0), 5u);
+  EXPECT_EQ(g.bin_x_of(100.0), 9u);
+  EXPECT_EQ(g.bin_x_of(1e12), 9u);
 }
 
 }  // namespace

@@ -6,12 +6,18 @@
 // placement quality.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/placer.h"
+#include "density/grid.h"
 #include "helpers.h"
 #include "legal/abacus.h"
 #include "legal/tetris.h"
+#include "projection/lal.h"
+#include "projection/spreader.h"
 #include "timing/sta.h"
 #include "util/parallel.h"
+#include "util/rng.h"
 
 namespace complx {
 namespace {
@@ -176,6 +182,164 @@ TEST(GoldenDeterminism, QpWorkspaceCacheBitwiseInvariant) {
             0u);
   EXPECT_EQ(results[2].solver.pattern_hits, 0u);
   EXPECT_EQ(results[2].solver.pattern_misses, 0u);
+}
+
+// --- projection path -------------------------------------------------------
+// The feasibility projection spreads whole regions concurrently (chunk=1
+// parallel_for over disjoint per-region mote lists). The result must be
+// bitwise identical at any thread count.
+TEST(GoldenDeterminism, ProjectionThreadCountBitwiseInvariant) {
+  const Netlist nl = testing::small_circuit(19, 1500, /*movable_macros=*/1);
+  Placement p = nl.snapshot();
+  const Point c = nl.core().center();
+  for (CellId id : nl.movable_cells()) {
+    p.x[id] = c.x;
+    p.y[id] = c.y;
+  }
+  ThreadGuard guard;
+  std::vector<ProjectionResult> results;
+  for (const int threads : {1, 2, 8}) {
+    set_global_threads(static_cast<size_t>(threads));
+    LookAheadLegalizer lal(nl, {});
+    results.push_back(lal.project(p));
+  }
+  for (size_t k = 1; k < results.size(); ++k) {
+    EXPECT_EQ(results[0].num_regions, results[k].num_regions) << "run " << k;
+    EXPECT_EQ(results[0].displacement_l1, results[k].displacement_l1)
+        << "run " << k;
+    EXPECT_EQ(results[0].input_overflow_ratio,
+              results[k].input_overflow_ratio)
+        << "run " << k;
+    testing::expect_placements_bitwise_equal(results[0].anchors,
+                                             results[k].anchors);
+  }
+}
+
+// Regression for the double-spread bug: a mote whose center sits exactly on
+// the boundary shared by two regions satisfies the inclusive Rect::contains
+// for both. The historical gather loop enrolled it in BOTH per-region lists,
+// so the second region's spread consumed coordinates the first had already
+// rewritten (and made concurrent region spreading a data race). The fix —
+// exclusive first-region-wins ownership — must spread each mote exactly
+// once, bitwise identically at any thread count.
+TEST(GoldenDeterminism, BoundaryMotesSpreadExactlyOnce) {
+  Netlist nl;
+  Cell d;
+  d.name = "dummy";
+  d.width = 1;
+  d.height = 1;
+  nl.add_cell(d);
+  nl.set_core({0, 0, 100, 100});
+  nl.finalize();
+
+  // Regions meeting at x=50 (a 10x10-grid bin edge, exactly representable).
+  const std::vector<Rect> regions = {{0, 0, 50, 100}, {50, 0, 100, 100}};
+  const auto make_motes = [] {
+    std::vector<Mote> motes;
+    Rng rng(97);
+    for (size_t k = 0; k < 60; ++k) {
+      Mote m;
+      m.x = (k % 2 == 0) ? rng.uniform(40.0, 49.5) : rng.uniform(50.5, 60.0);
+      m.y = rng.uniform(5.0, 95.0);
+      m.width = 4.0;
+      m.height = 4.0;
+      m.owner = static_cast<CellId>(k);
+      motes.push_back(m);
+    }
+    for (const double y : {20.0, 50.0, 80.0}) {
+      Mote m;
+      m.x = 50.0;  // exactly on the shared boundary
+      m.y = y;
+      m.width = 4.0;
+      m.height = 4.0;
+      m.owner = static_cast<CellId>(motes.size());
+      motes.push_back(m);
+    }
+    return motes;
+  };
+
+  const auto build_grid = [&](const std::vector<Mote>& motes) {
+    DensityGrid g(nl, 10, 10);
+    std::vector<Rect> rects;
+    for (const Mote& m : motes) rects.push_back(m.bounds());
+    g.build_from_rects(rects);
+    return g;
+  };
+
+  // 1. Demonstrate the old behaviour: the inclusive gather double-enrolls
+  //    every boundary mote, and the second spread moves it AGAIN after the
+  //    first already placed it.
+  {
+    std::vector<Mote> motes = make_motes();
+    const DensityGrid grid = build_grid(motes);
+    std::vector<std::vector<Mote*>> gathered(regions.size());
+    for (Mote& m : motes)
+      for (size_t r = 0; r < regions.size(); ++r)
+        if (regions[r].contains(Point{m.x, m.y})) gathered[r].push_back(&m);
+    size_t double_enrolled = 0;
+    for (const Mote& m : motes) {
+      size_t hits = 0;
+      for (const auto& list : gathered)
+        hits += static_cast<size_t>(
+            std::count(list.begin(), list.end(), &m));
+      if (hits == 2) ++double_enrolled;
+    }
+    ASSERT_EQ(double_enrolled, 3u) << "fixture lost its boundary motes";
+
+    Spreader spreader(grid, SpreaderOptions{});
+    Mote* const boundary = gathered[0].back();  // one of the x=50 motes
+    ASSERT_EQ(boundary->x, 50.0);
+    spreader.spread(regions[0], gathered[0]);
+    const Point after_first{boundary->x, boundary->y};
+    spreader.spread(regions[1], gathered[1]);
+    EXPECT_TRUE(boundary->x != after_first.x || boundary->y != after_first.y)
+        << "double-enrolled mote was expected to be spread twice";
+  }
+
+  // 2. The fixed path: exclusive ownership, disjoint lists, and bitwise
+  //    thread invariance of the concurrent per-region spread.
+  std::vector<std::vector<Mote>> spread_results;
+  for (const int threads : {1, 2, 8}) {
+    ThreadGuard guard;
+    set_global_threads(static_cast<size_t>(threads));
+    std::vector<Mote> motes = make_motes();
+    const DensityGrid grid = build_grid(motes);
+    const std::vector<size_t> owner = assign_motes_to_regions(regions, motes);
+    std::vector<std::vector<Mote*>> per_region(regions.size());
+    size_t owned = 0;
+    for (size_t k = 0; k < motes.size(); ++k) {
+      ASSERT_NE(owner[k], kNoSpreadRegion) << "mote " << k;
+      per_region[owner[k]].push_back(&motes[k]);
+      ++owned;
+    }
+    EXPECT_EQ(per_region[0].size() + per_region[1].size(), owned)
+        << "per-region lists must partition the motes";
+    for (size_t k = 0; k < motes.size(); ++k) {
+      if (motes[k].x == 50.0) {
+        EXPECT_EQ(owner[k], 0u) << "boundary mote " << k
+                                << " must go to the first region";
+      }
+    }
+
+    Spreader spreader(grid, SpreaderOptions{});
+    parallel_for(
+        regions.size(),
+        [&](size_t begin, size_t end) {
+          for (size_t r = begin; r < end; ++r)
+            spreader.spread(regions[r], per_region[r]);
+        },
+        /*chunk=*/1);
+    spread_results.push_back(std::move(motes));
+  }
+  for (size_t run = 1; run < spread_results.size(); ++run) {
+    ASSERT_EQ(spread_results[0].size(), spread_results[run].size());
+    for (size_t k = 0; k < spread_results[0].size(); ++k) {
+      EXPECT_EQ(spread_results[0][k].x, spread_results[run][k].x)
+          << "run " << run << " mote " << k;
+      EXPECT_EQ(spread_results[0][k].y, spread_results[run][k].y)
+          << "run " << run << " mote " << k;
+    }
+  }
 }
 
 TEST(GoldenDeterminism, MacroDesignWithRoutability) {

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "density/grid.h"
+#include "util/rng.h"
 #include "helpers.h"
 #include "projection/lal.h"
 
@@ -156,6 +160,124 @@ TEST(Lal, AutoBinsScalesWithDesign) {
   Netlist big = complx::testing::small_circuit(70, 6000);
   EXPECT_GE(LookAheadLegalizer::auto_bins(big),
             LookAheadLegalizer::auto_bins(small));
+}
+
+TEST(Lal, AssignMotesFirstRegionWins) {
+  // Two regions sharing the edge x=50 plus one detached region. Motes that
+  // sit exactly on the shared edge satisfy Rect::contains (inclusive on
+  // both edges) for BOTH regions — the historical gather loop therefore
+  // enrolled them twice. The exclusive assignment must hand each to the
+  // first containing region and only that one.
+  const std::vector<Rect> regions = {
+      {0, 0, 50, 100}, {50, 0, 100, 100}, {120, 0, 150, 30}};
+  std::vector<Mote> motes(6);
+  auto at = [&](size_t k, double x, double y) {
+    motes[k].x = x;
+    motes[k].y = y;
+    motes[k].width = 4.0;
+    motes[k].height = 4.0;
+    motes[k].owner = static_cast<CellId>(k);
+  };
+  at(0, 25.0, 50.0);   // interior of region 0
+  at(1, 75.0, 50.0);   // interior of region 1
+  at(2, 50.0, 30.0);   // exactly on the shared edge
+  at(3, 50.0, 70.0);   // exactly on the shared edge
+  at(4, 50.0, 100.0);  // shared corner of regions 0 and 1
+  at(5, 200.0, 200.0); // outside every region
+
+  // Precondition of the old bug: the inclusive gather sees the boundary
+  // motes in two regions at once.
+  for (const size_t k : {size_t{2}, size_t{3}, size_t{4}}) {
+    size_t hits = 0;
+    for (const Rect& r : regions)
+      if (r.contains(Point{motes[k].x, motes[k].y})) ++hits;
+    EXPECT_EQ(hits, 2u) << "mote " << k;
+  }
+
+  const std::vector<size_t> owner = assign_motes_to_regions(regions, motes);
+  ASSERT_EQ(owner.size(), motes.size());
+  EXPECT_EQ(owner[0], 0u);
+  EXPECT_EQ(owner[1], 1u);
+  EXPECT_EQ(owner[2], 0u);  // first region in order wins
+  EXPECT_EQ(owner[3], 0u);
+  EXPECT_EQ(owner[4], 0u);
+  EXPECT_EQ(owner[5], kNoSpreadRegion);
+}
+
+TEST(Lal, PrefixSumQueriesMatchLegacyLoopThroughProjection) {
+  // The summed-area-table query path and the legacy per-bin loop are the
+  // same sum re-associated (equivalence to 1e-9 is asserted per query in
+  // test_density). Through a full projection the decision points (grow
+  // direction ratios, partition cuts) must then agree too — PROVIDED no
+  // decision is an exact tie in real arithmetic, because a tie has no
+  // canonical winner once the summation order changes. A flat capacity
+  // field makes opposing grow candidates exact ties, so this fixture
+  // scatters irregular fixed blocks over the whole core: every strip sum
+  // becomes a distinct, non-representable value and every comparison is
+  // decided by a margin far above the 1e-9 re-association noise.
+  Netlist nl;
+  Rng rng(71);
+  for (int b = 0; b < 120; ++b) {
+    Cell blk;
+    blk.name = "blk" + std::to_string(b);
+    blk.width = rng.uniform(1.3, 4.7);
+    blk.height = rng.uniform(1.3, 4.7);
+    blk.x = rng.uniform(0.0, 200.0 - blk.width);
+    blk.y = rng.uniform(0.0, 200.0 - blk.height);
+    blk.kind = CellKind::Fixed;
+    nl.add_cell(blk);
+  }
+  for (int k = 0; k < 600; ++k) {
+    Cell c;
+    c.name = "c" + std::to_string(k);
+    c.width = 2.0;
+    c.height = 2.0;
+    nl.add_cell(c);
+  }
+  nl.set_core({0, 0, 200, 200});
+  nl.finalize();
+
+  Placement p = nl.snapshot();
+  for (CellId id : nl.movable_cells()) {
+    p.x[id] = 74.0;  // off-center pile
+    p.y[id] = 122.0;
+  }
+  ProjectionOptions fast;
+  fast.bins_x = fast.bins_y = 16;
+  fast.density.use_prefix_sums = true;
+  ProjectionOptions slow = fast;
+  slow.density.use_prefix_sums = false;
+  const ProjectionResult a = LookAheadLegalizer(nl, fast).project(p);
+  const ProjectionResult b = LookAheadLegalizer(nl, slow).project(p);
+  // total_overflow uses the per-bin fields directly in both modes.
+  EXPECT_EQ(a.input_overflow_ratio, b.input_overflow_ratio);
+  EXPECT_EQ(a.num_regions, b.num_regions);
+  for (CellId id : nl.movable_cells()) {
+    EXPECT_NEAR(a.anchors.x[id], b.anchors.x[id], 1e-6) << "cell " << id;
+    EXPECT_NEAR(a.anchors.y[id], b.anchors.y[id], 1e-6) << "cell " << id;
+  }
+  EXPECT_NEAR(a.displacement_l1, b.displacement_l1,
+              1e-6 * std::max(1.0, b.displacement_l1));
+}
+
+TEST(Lal, CapacityCacheIsTransparent) {
+  // Warm projections (cached fixed-cell capacity field), a same-size
+  // set_grid (must keep the cache), and a forced cold rebuild all have to
+  // produce bitwise-identical results.
+  Netlist nl = complx::testing::small_circuit(72, 1000, 1);
+  const Placement p = piled(nl);
+  LookAheadLegalizer lal(nl, {});
+  const ProjectionResult cold = lal.project(p);   // builds the cache
+  const ProjectionResult warm = lal.project(p);   // reuses it
+  lal.set_grid(lal.bins_x(), lal.bins_y());       // same size: cache kept
+  const ProjectionResult warm2 = lal.project(p);
+  lal.invalidate_grid_cache();
+  const ProjectionResult cold2 = lal.project(p);  // rebuilt from scratch
+  for (const ProjectionResult* r : {&warm, &warm2, &cold2}) {
+    EXPECT_EQ(cold.num_regions, r->num_regions);
+    EXPECT_EQ(cold.displacement_l1, r->displacement_l1);
+    complx::testing::expect_placements_bitwise_equal(cold.anchors, r->anchors);
+  }
 }
 
 }  // namespace

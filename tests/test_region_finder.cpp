@@ -2,6 +2,7 @@
 
 #include "density/grid.h"
 #include "projection/region_finder.h"
+#include "util/rng.h"
 
 namespace complx {
 namespace {
@@ -110,6 +111,42 @@ TEST(RegionFinder, GammaTightensDetection) {
   g.build_from_rects(rects);
   EXPECT_TRUE(find_spreading_regions(g, 0.7).empty());
   EXPECT_FALSE(find_spreading_regions(g, 0.5).empty());
+}
+
+
+TEST(RegionFinder, IncrementalMergeMatchesFullRescanStress) {
+  // Many hotspots of random severity on a 32x32 grid, dense enough that
+  // expanded spans collide and chain-merge. The incremental merge policy
+  // claims a bitwise-identical result to the historical restart-from-
+  // scratch scan; assert exact equality of the final region lists.
+  Netlist nl = empty_core(320.0);
+  DensityGrid g(nl, 32, 32);
+  Rng rng(4242);
+  std::vector<Rect> rects;
+  for (int h = 0; h < 60; ++h) {
+    const double x = 10.0 * static_cast<double>(rng.uniform_index(32));
+    const double y = 10.0 * static_cast<double>(rng.uniform_index(32));
+    const int copies = 2 + static_cast<int>(rng.uniform_index(8));
+    for (int c = 0; c < copies; ++c) rects.push_back({x, y, x + 10, y + 10});
+  }
+  g.build_from_rects(rects);
+  for (const double gamma : {0.6, 0.8, 1.0}) {
+    const auto fast = find_spreading_regions(g, gamma);
+    const auto ref =
+        find_spreading_regions(g, gamma, RegionMergePolicy::kFullRescan);
+    ASSERT_EQ(fast.size(), ref.size()) << "gamma " << gamma;
+    // Tight gammas legitimately merge everything into one span; the loose
+    // one must keep several regions or the fixture exercises nothing.
+    if (gamma == 1.0) {
+      ASSERT_GE(ref.size(), 2u) << "fixture too weak to exercise merging";
+    }
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(fast[i].xl, ref[i].xl);
+      EXPECT_EQ(fast[i].yl, ref[i].yl);
+      EXPECT_EQ(fast[i].xh, ref[i].xh);
+      EXPECT_EQ(fast[i].yh, ref[i].yh);
+    }
+  }
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <utility>
 
 #include "density/grid.h"
 #include "helpers.h"
@@ -202,6 +203,93 @@ TEST_F(SpreaderTest, RespectsBlockedCapacity) {
   double left = 0.0, right = 0.0;
   for (const Mote& m : motes) (m.x < 50 ? left : right) += m.area();
   EXPECT_GT(right, 3.0 * left);
+}
+
+
+TEST(SpreaderSweep, TerminalSweepMatchesBisectionReference) {
+  // The monotone profile sweep replaced a 40-step bisection per mote; both
+  // compute the infimum coordinate where cumulative gamma-capacity reaches
+  // the mote's cumulative-area midpoint. Rebuild the old bisection here and
+  // compare, on a capacity profile with a zero plateau in the middle (a
+  // full-height fixed block) to exercise the infimum convention.
+  Netlist nl;
+  Cell blk;
+  blk.name = "blk";
+  blk.width = 30;
+  blk.height = 100;
+  blk.x = 30;  // covers x in [30, 60], all y
+  blk.y = 0;
+  blk.kind = CellKind::Fixed;
+  nl.add_cell(blk);
+  Cell c;
+  c.name = "dummy";
+  c.width = 1;
+  c.height = 1;
+  nl.add_cell(c);
+  nl.set_core({0, 0, 100, 100});
+  nl.finalize();
+
+  std::vector<Mote> motes(20);
+  Rng rng(31);
+  for (size_t i = 0; i < motes.size(); ++i) {
+    motes[i].x = rng.uniform(2.0, 98.0);
+    motes[i].y = rng.uniform(10.0, 90.0);
+    motes[i].width = 4.0;
+    motes[i].height = 4.0;
+    motes[i].owner = static_cast<CellId>(i);
+  }
+  DensityGrid grid(nl, 10, 10);
+  std::vector<Rect> rects;
+  for (const Mote& m : motes) rects.push_back(m.bounds());
+  grid.build_from_rects(rects);
+
+  const Rect region{0, 0, 100, 100};
+  const double gamma = 1.0;
+
+  // Reference targets from the pre-spread state, in the sort order the
+  // spreader uses along the horizontal axis (x, then owner, then y).
+  std::vector<const Mote*> order;
+  for (const Mote& m : motes) order.push_back(&m);
+  std::sort(order.begin(), order.end(), [](const Mote* a, const Mote* b) {
+    if (a->x != b->x) return a->x < b->x;
+    if (a->owner != b->owner) return a->owner < b->owner;
+    return a->y < b->y;
+  });
+  double total_area = 0.0;
+  for (const Mote& m : motes) total_area += m.area();
+  const double region_cap = gamma * grid.free_area_in(region);
+  std::vector<std::pair<const Mote*, double>> expected;
+  double acc = 0.0;
+  for (const Mote* m : order) {
+    const double target = region_cap * ((acc + m->area() / 2.0) / total_area);
+    acc += m->area();
+    double lo = region.xl, hi = region.xh;
+    for (int it = 0; it < 40; ++it) {  // the historical capacity_cut
+      const double mid = (lo + hi) / 2.0;
+      const double cap =
+          gamma * grid.free_area_in({region.xl, region.yl, mid, region.yh});
+      if (cap < target)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    expected.push_back({m, (lo + hi) / 2.0});
+  }
+
+  SpreaderOptions opts;
+  opts.gamma = gamma;
+  opts.terminal_motes = 64;  // force the terminal 1-D sweep directly
+  Spreader spreader(grid, opts);
+  std::vector<Mote*> ptrs;
+  for (Mote& m : motes) ptrs.push_back(&m);
+  spreader.spread(region, ptrs);
+
+  for (const auto& [m, pos] : expected) {
+    EXPECT_NEAR(m->x, pos, 1e-6) << "mote owner " << m->owner;
+    // No mote may land inside the zero-capacity plateau's interior.
+    EXPECT_FALSE(m->x > 30.0 + 1e-6 && m->x < 60.0 - 1e-6)
+        << "mote at " << m->x << " sits on the blocked plateau";
+  }
 }
 
 }  // namespace
