@@ -1,0 +1,124 @@
+// complx_fleet — run the known-optimum (PEKO) benchmark fleet and emit the
+// per-design suboptimality records as machine-readable JSON.
+//
+//   complx_fleet --preset smoke --out run.json [options]
+//
+// Options:
+//   --preset gate|smoke   design list (gate: 20 tiny designs for the ctest
+//                         gate; smoke: 36 designs across size/density/macro
+//                         axes — the BENCH_quality.json trajectory entry)
+//   --out <file.json>     where to write the run (default: fleet_run.json)
+//   --label <name>        run label recorded in the JSON (default: preset)
+//   --seed <s>            base seed for the design list (default: 1)
+//   --max-iters <n>       global-placement iteration cap (default: 60);
+//                         lowering this is the canonical "deliberately
+//                         degraded candidate" for gate self-tests
+//   --threads <n>         worker threads (default: 1 — deterministic anyway,
+//                         but 1 keeps CI containers honest)
+//   --no-dp               skip detailed placement
+//   --no-timing           record wall_s = 0 (bitwise-deterministic output)
+//   --quiet               per-design progress off
+//
+// The paired quality gate consumes two of these runs:
+//   complx_fleet --preset gate --out baseline.json
+//   complx_fleet --preset gate --out cand.json [--max-iters ...]
+//   python3 scripts/quality_gate.py compare --baseline baseline.json
+//       --candidate cand.json
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gen/fleet.h"
+#include "util/log.h"
+#include "util/parallel.h"
+
+using namespace complx;
+
+namespace {
+void usage() {
+  std::fprintf(stderr,
+               "usage: complx_fleet [--preset gate|smoke] [--out f.json] "
+               "[--label name] [--seed s] [--max-iters n] [--threads n] "
+               "[--no-dp] [--no-timing] [--quiet]\n");
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string preset_name = "smoke";
+  std::string out_path = "fleet_run.json";
+  std::string label;
+  uint64_t base_seed = 1;
+  FleetRunOptions opts;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--preset") preset_name = next();
+    else if (arg == "--out") out_path = next();
+    else if (arg == "--label") label = next();
+    else if (arg == "--seed") base_seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--max-iters") opts.max_iterations = std::atoi(next());
+    else if (arg == "--threads")
+      opts.threads = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--no-dp") opts.detailed = false;
+    else if (arg == "--no-timing") opts.record_timing = false;
+    else if (arg == "--quiet") quiet = true;
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+  FleetPreset preset;
+  if (preset_name == "gate") preset = FleetPreset::Gate;
+  else if (preset_name == "smoke") preset = FleetPreset::Smoke;
+  else {
+    std::fprintf(stderr, "unknown preset: %s\n", preset_name.c_str());
+    usage();
+    return 1;
+  }
+  if (opts.max_iterations < 1) {
+    std::fprintf(stderr, "--max-iters must be >= 1\n");
+    return 1;
+  }
+  if (label.empty()) label = preset_name;
+  set_log_level(LogLevel::Warn);
+  set_global_threads(opts.threads);
+
+  try {
+    const std::vector<PekoParams> designs = fleet_designs(preset, base_seed);
+    std::vector<FleetRecord> records;
+    records.reserve(designs.size());
+    for (size_t k = 0; k < designs.size(); ++k) {
+      records.push_back(run_fleet_design(designs[k], opts));
+      const FleetRecord& r = records.back();
+      if (!quiet)
+        std::printf("[%2zu/%zu] %-28s ratio %.4f  overflow %5.2f%%  "
+                    "%s  %.2fs\n",
+                    k + 1, designs.size(), r.name.c_str(), r.ratio,
+                    r.overflow_percent, r.legal ? "legal" : "ILLEGAL",
+                    r.wall_s);
+    }
+    write_fleet_run_json(out_path, label, preset_name, opts, records);
+    const FleetSummary s = summarize_fleet(records);
+    std::printf("%zu designs: geomean ratio %.4f, max %.4f, "
+                "mean overflow %.2f%%, %zu illegal, %.1fs -> %s\n",
+                s.designs, s.geomean_ratio, s.max_ratio,
+                s.mean_overflow_percent, s.illegal, s.total_wall_s,
+                out_path.c_str());
+    // Illegal results mean the ratio lost its >= 1 certificate; callers
+    // (CI, the gate) must be able to trust every record.
+    return s.illegal == 0 ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

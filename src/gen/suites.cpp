@@ -1,7 +1,11 @@
 #include "gen/suites.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace complx {
 
@@ -91,9 +95,19 @@ std::vector<SuiteEntry> ispd2006_suite(size_t scale_divisor) {
 
 size_t bench_scale_from_env(size_t fallback) {
   const char* env = std::getenv("COMPLX_BENCH_SCALE");
-  if (!env) return fallback;
-  const long v = std::strtol(env, nullptr, 10);
-  return v > 0 ? static_cast<size_t>(v) : fallback;
+  if (!env || *env == '\0') return fallback;
+  // A set-but-broken value must fail loudly: silently running the fallback
+  // scale makes a benchmark report claim a size it never measured.
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  while (end && std::isspace(static_cast<unsigned char>(*end))) ++end;
+  if (errno != 0 || end == env || *end != '\0' || v <= 0)
+    throw std::runtime_error(
+        std::string("COMPLX_BENCH_SCALE must be a positive integer "
+                    "(the suite size divisor); got \"") +
+        env + "\"");
+  return static_cast<size_t>(v);
 }
 
 }  // namespace complx

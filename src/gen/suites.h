@@ -28,7 +28,9 @@ std::vector<SuiteEntry> ispd2005_suite(size_t scale_divisor = 40);
 std::vector<SuiteEntry> ispd2006_suite(size_t scale_divisor = 40);
 
 /// Reads COMPLX_BENCH_SCALE from the environment (default `fallback`).
-/// Smaller divisor = larger, slower benchmarks.
+/// Smaller divisor = larger, slower benchmarks. A set-but-invalid value
+/// (zero, negative, or non-numeric) throws std::runtime_error instead of
+/// silently falling back.
 size_t bench_scale_from_env(size_t fallback = 40);
 
 }  // namespace complx

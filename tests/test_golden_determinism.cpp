@@ -10,6 +10,7 @@
 
 #include "core/placer.h"
 #include "density/grid.h"
+#include "gen/fleet.h"
 #include "helpers.h"
 #include "legal/abacus.h"
 #include "legal/tetris.h"
@@ -339,6 +340,53 @@ TEST(GoldenDeterminism, BoundaryMotesSpreadExactlyOnce) {
       EXPECT_EQ(spread_results[0][k].y, spread_results[run][k].y)
           << "run " << run << " mote " << k;
     }
+  }
+}
+
+// --- known-optimum fleet ---------------------------------------------------
+// The quality gate (scripts/quality_gate.py) treats paired ratio differences
+// as noise-free: a no-op change must produce exact ties. That only holds if
+// a fleet record — generation, placement, legalization, detailed placement,
+// scoring — is bitwise identical at any thread count. wall_s is excluded by
+// contract via record_timing=false (the one nondeterministic field).
+TEST(GoldenDeterminism, FleetRecordThreadInvariant) {
+  PekoParams params;
+  params.name = "fleet_det";
+  params.num_cells = 256;
+  params.utilization = 0.7;
+  params.num_fixed_macros = 2;
+  params.seed = 31;
+  ThreadGuard guard;
+
+  std::vector<FleetRecord> records;
+  for (const size_t threads : {1u, 2u, 8u}) {
+    FleetRunOptions opts;
+    opts.max_iterations = 20;
+    opts.threads = threads;
+    opts.record_timing = false;
+    set_global_threads(threads);
+    records.push_back(run_fleet_design(params, opts));
+  }
+  const FleetRecord& a = records[0];
+  EXPECT_TRUE(a.legal);
+  EXPECT_GE(a.ratio, 1.0);
+  for (size_t k = 1; k < records.size(); ++k) {
+    const FleetRecord& b = records[k];
+    EXPECT_EQ(a.name, b.name) << "run " << k;
+    EXPECT_EQ(a.seed, b.seed) << "run " << k;
+    EXPECT_EQ(a.cells, b.cells) << "run " << k;
+    EXPECT_EQ(a.movable, b.movable) << "run " << k;
+    EXPECT_EQ(a.nets, b.nets) << "run " << k;
+    EXPECT_EQ(a.macros, b.macros) << "run " << k;
+    EXPECT_EQ(a.utilization, b.utilization) << "run " << k;
+    EXPECT_EQ(a.optimum_hpwl, b.optimum_hpwl) << "run " << k;
+    EXPECT_EQ(a.hpwl, b.hpwl) << "run " << k;
+    EXPECT_EQ(a.ratio, b.ratio) << "run " << k;
+    EXPECT_EQ(a.overflow_percent, b.overflow_percent) << "run " << k;
+    EXPECT_EQ(a.legal, b.legal) << "run " << k;
+    EXPECT_EQ(a.iterations, b.iterations) << "run " << k;
+    EXPECT_EQ(a.wall_s, 0.0);
+    EXPECT_EQ(b.wall_s, 0.0) << "run " << k;
   }
 }
 
