@@ -12,6 +12,7 @@
 #include "bookshelf/writer.h"
 #include "gen/suites.h"
 #include "util/log.h"
+#include "util/parse_num.h"
 
 using namespace complx;
 
@@ -33,33 +34,49 @@ int main(int argc, char** argv) {
   std::string suite;
   size_t scale = 60;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s: missing value\n", arg.c_str());
+          usage();
+          std::exit(1);
+        }
+        return argv[++i];
+      };
+      if (arg == "--cells")
+        params.num_cells =
+            static_cast<size_t>(parse_uint64(arg, next(), 1, 100000000));
+      else if (arg == "--seed") params.seed = parse_uint64(arg, next());
+      else if (arg == "--pads")
+        params.num_pads =
+            static_cast<size_t>(parse_uint64(arg, next(), 0, 1000000));
+      else if (arg == "--macros")
+        params.num_movable_macros =
+            static_cast<size_t>(parse_uint64(arg, next(), 0, 1000000));
+      else if (arg == "--fixed-macros")
+        params.num_fixed_macros =
+            static_cast<size_t>(parse_uint64(arg, next(), 0, 1000000));
+      else if (arg == "--utilization")
+        params.utilization = parse_double(arg, next(), 1e-6, 1.0);
+      else if (arg == "--density")
+        params.target_density = parse_double(arg, next(), 1e-6, 1.0);
+      else if (arg == "--name") params.name = next();
+      else if (arg == "--out") out_dir = next();
+      else if (arg == "--suite") suite = next();
+      else if (arg == "--scale")
+        scale = static_cast<size_t>(parse_uint64(arg, next(), 1, 1000000));
+      else {
+        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
         usage();
-        std::exit(1);
+        return 1;
       }
-      return argv[++i];
-    };
-    if (arg == "--cells") params.num_cells = std::strtoul(next(), nullptr, 10);
-    else if (arg == "--seed") params.seed = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--pads") params.num_pads = std::strtoul(next(), nullptr, 10);
-    else if (arg == "--macros")
-      params.num_movable_macros = std::strtoul(next(), nullptr, 10);
-    else if (arg == "--fixed-macros")
-      params.num_fixed_macros = std::strtoul(next(), nullptr, 10);
-    else if (arg == "--utilization") params.utilization = std::atof(next());
-    else if (arg == "--density") params.target_density = std::atof(next());
-    else if (arg == "--name") params.name = next();
-    else if (arg == "--out") out_dir = next();
-    else if (arg == "--suite") suite = next();
-    else if (arg == "--scale") scale = std::strtoul(next(), nullptr, 10);
-    else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      usage();
-      return 1;
     }
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    usage();
+    return 1;
   }
   if (out_dir.empty()) {
     usage();

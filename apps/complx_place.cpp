@@ -22,6 +22,12 @@
 //                         iteration totals)
 //   --svg <file.svg>      render the final placement
 //   --seed-quiet          lower log verbosity
+//   --snapshot <file>     experience store (io/experience.h): a crash-safe
+//                         binary snapshot of converged placements keyed by
+//                         netlist hash
+//   --warm-start          probe the store; on an exact or topology hit the
+//                         solver resumes from the stored placement
+//   --save-experience     record this run's converged placement back
 //
 // Exit-code contract (see README "Failure modes & exit codes"):
 //   0    success — including time-limited runs that returned the best-so-far
@@ -31,6 +37,9 @@
 //        legalization failure
 //   3    numerical divergence: the watchdog exhausted its recovery retries;
 //        the best-so-far placement is still written before exiting
+//   4    degraded experience store: the placement SUCCEEDED and was written,
+//        but the snapshot store was corrupt on load (quarantined to
+//        <file>.corrupt, run proceeded cold) or could not be saved
 //   130  interrupted (SIGINT); the best-so-far placement is written first
 // complx-lint: allow(P1): the SIGINT flag must be async-signal-safe; a plain
 // bool or anything mutex-based would be UB inside a signal handler.
@@ -38,11 +47,14 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "bookshelf/reader.h"
 #include "bookshelf/writer.h"
 #include "core/placer.h"
+#include "io/experience.h"
+#include "util/parse_num.h"
 #include "core/trace.h"
 #include "density/metric.h"
 #include "dp/detailed.h"
@@ -63,7 +75,8 @@ void usage() {
                "usage: complx_place <design.aux> [--out f.pl] "
                "[--target-density g] [--simpl] [--lse] [--max-iters n] "
                "[--time-limit s] [--threads n] [--no-dp] [--orient] "
-               "[--trace f.csv] [--stats] [--svg f.svg] [--quiet]\n");
+               "[--trace f.csv] [--stats] [--svg f.svg] [--quiet] "
+               "[--snapshot store.snap [--warm-start] [--save-experience]]\n");
 }
 
 // SIGINT raises the cooperative cancel flag; the placer stops at the next
@@ -92,52 +105,70 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string trace_path;
   std::string svg_path;
+  std::string snapshot_path;
   double target_density = 0.0;
   bool simpl = false, lse = false, run_dp = true, quiet = false;
   bool orient = false, stats = false;
+  bool warm_start = false, save_experience = false;
   int max_iters = 0;
   int threads = 0;
   double time_limit = 0.0;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s: missing value\n", arg.c_str());
+          usage();
+          std::exit(1);
+        }
+        return argv[++i];
+      };
+      if (arg == "--out") out_path = next();
+      else if (arg == "--target-density")
+        target_density = parse_double(arg, next(), 1e-6, 1.0);
+      else if (arg == "--simpl") simpl = true;
+      else if (arg == "--lse") lse = true;
+      else if (arg == "--max-iters")
+        max_iters = static_cast<int>(parse_int64(arg, next(), 1, 1000000));
+      else if (arg == "--time-limit")
+        time_limit = parse_double(arg, next(), 0.0);
+      else if (arg == "--threads")
+        threads = static_cast<int>(parse_int64(arg, next(), 0, 65536));
+      else if (arg == "--no-dp") run_dp = false;
+      else if (arg == "--orient") orient = true;
+      else if (arg == "--trace") trace_path = next();
+      else if (arg == "--stats") stats = true;
+      else if (arg == "--svg") svg_path = next();
+      else if (arg == "--quiet") quiet = true;
+      else if (arg == "--snapshot") snapshot_path = next();
+      else if (arg == "--warm-start") warm_start = true;
+      else if (arg == "--save-experience") save_experience = true;
+      else if (arg[0] == '-') {
+        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
         usage();
-        std::exit(1);
+        return 1;
+      } else {
+        aux_path = arg;
       }
-      return argv[++i];
-    };
-    if (arg == "--out") out_path = next();
-    else if (arg == "--target-density") target_density = std::atof(next());
-    else if (arg == "--simpl") simpl = true;
-    else if (arg == "--lse") lse = true;
-    else if (arg == "--max-iters") max_iters = std::atoi(next());
-    else if (arg == "--time-limit") time_limit = std::atof(next());
-    else if (arg == "--threads") threads = std::atoi(next());
-    else if (arg == "--no-dp") run_dp = false;
-    else if (arg == "--orient") orient = true;
-    else if (arg == "--trace") trace_path = next();
-    else if (arg == "--stats") stats = true;
-    else if (arg == "--svg") svg_path = next();
-    else if (arg == "--quiet") quiet = true;
-    else if (arg[0] == '-') {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      usage();
-      return 1;
-    } else {
-      aux_path = arg;
     }
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    usage();
+    return 1;
   }
   if (aux_path.empty()) {
     usage();
     return 1;
   }
-  set_log_level(quiet ? LogLevel::Warn : LogLevel::Info);
-  if (threads < 0) {
-    std::fprintf(stderr, "--threads must be >= 0\n");
+  if ((warm_start || save_experience) && snapshot_path.empty()) {
+    std::fprintf(stderr,
+                 "--warm-start/--save-experience require --snapshot\n");
+    usage();
     return 1;
   }
+  set_log_level(quiet ? LogLevel::Warn : LogLevel::Info);
   set_global_threads(static_cast<size_t>(threads));
 
   try {
@@ -157,8 +188,28 @@ int main(int argc, char** argv) {
     cfg.cancel = &g_interrupted;
     std::signal(SIGINT, handle_sigint);
 
+    // Experience store: corruption on load is NOT fatal — open() quarantines
+    // the damaged file and degrades to a cold start; main() reports it as
+    // exit code 4 after the placement has been produced and written.
+    std::unique_ptr<ExperienceStore> experience;
+    if (!snapshot_path.empty()) {
+      ExperienceStore::Options eo;
+      eo.path = snapshot_path;
+      experience = std::make_unique<ExperienceStore>(eo);
+      const SnapshotError load_err = experience->open();
+      if (load_err != SnapshotError::None)
+        std::fprintf(stderr,
+                     "warning: experience store %s is corrupt (%s); "
+                     "continuing with a cold start\n",
+                     snapshot_path.c_str(), to_string(load_err));
+      if (warm_start) cfg.experience = experience.get();
+    }
+
     ComplxPlacer placer(nl, cfg);
     const PlaceResult gp = placer.place();
+    if (gp.warm_started)
+      std::printf("warm start: resumed from experience store %s\n",
+                  snapshot_path.c_str());
     std::printf("global placement: %d iterations (%s), lambda %.3f, "
                 "overflow %.1f%%, HPWL(lb/ub) %.4g / %.4g\n",
                 gp.iterations, to_string(gp.stop), gp.final_lambda,
@@ -190,7 +241,11 @@ int main(int argc, char** argv) {
                   s.projections, s.proj_grid_build_s, s.proj_region_find_s,
                   s.proj_spread_s, s.proj_readback_s);
     }
-    if (gp.stop != StopReason::Converged)
+    if (gp.stop == StopReason::Plateau)
+      std::printf("warm start: plateaued at resumed quality; keeping "
+                  "best-so-far checkpoint from iteration %d\n",
+                  gp.best_iteration);
+    else if (gp.stop != StopReason::Converged)
       std::fprintf(stderr,
                    "warning: stopped early (%s); using best-so-far "
                    "checkpoint from iteration %d\n",
@@ -239,10 +294,31 @@ int main(int argc, char** argv) {
       write_placement_svg(nl, p, svg_path);
       std::printf("svg written to %s\n", svg_path.c_str());
     }
+    // Record the best usable global placement (the anchors a warm start
+    // resumes from) — converged, plateaued, or iteration-capped with its
+    // best-so-far checkpoint. A save failure marks the store degraded,
+    // never aborts.
+    if (experience && save_experience && !gp.failed &&
+        (gp.stop == StopReason::Converged ||
+         gp.stop == StopReason::Plateau ||
+         gp.stop == StopReason::MaxIterations)) {
+      if (experience->record(nl, gp.anchors, weighted_hpwl(nl, gp.anchors),
+                             gp.iterations))
+        std::printf("experience saved to %s (%zu record(s))\n",
+                    snapshot_path.c_str(), experience->size());
+    }
+
     // Exit-code contract: the best-so-far placement has been written by the
-    // time these non-zero codes are returned.
+    // time these non-zero codes are returned. Degraded store (4) ranks
+    // below divergence (3) and interruption (130) — those already imply the
+    // run itself went wrong.
     if (gp.failed) return 3;
     if (gp.stop == StopReason::Cancelled) return 130;
+    if (experience && experience->degraded()) {
+      std::fprintf(stderr, "warning: experience store degraded: %s\n",
+                   experience->degraded_reason().c_str());
+      return 4;
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -33,6 +33,13 @@ Subcommands:
   check    --trajectory BENCH_quality.json [--min-designs 20]
            validate the committed trajectory (schema, >= N designs in the
            latest run, every ratio >= 1 and legal)
+  warm     --cold cold.json --warm warm.json [--min-speedup 1.5]
+           gate a warm-started rerun against the cold run that seeded its
+           experience store: every paired design must actually warm-start,
+           the summed solver iterations must drop by >= the speedup factor,
+           and quality (the paired SPRT above, cold as baseline) must not
+           REJECT — resuming from your own converged placement must save
+           work without costing wirelength. Exit codes match `compare`.
 
 Used by `ctest -L quality` and the quality-gate CI job; the math is unit
 tested by scripts/test_quality_gate.py. Schema notes: docs/BENCHMARKS.md.
@@ -168,6 +175,82 @@ def cmd_compare(args):
     return 0
 
 
+def warm_gate(cold, warm, min_speedup=1.5, alpha=ALPHA, beta=BETA, p1=P1,
+              eps=EPS):
+    """Warm-vs-cold gate for a fleet rerun on exact-repeat designs.
+
+    Three conditions, all required for ACCEPT:
+      1. every paired design in the warm run reports warm_started (an exact
+         repeat that misses the store means the hash or the store broke);
+      2. total solver iterations dropped by >= min_speedup;
+      3. the paired quality SPRT (cold as baseline) does not REJECT.
+    Returns a result dict shaped like compare_runs with extra warm fields.
+    """
+    pairs = pair_records(cold, warm)
+    cold_started_warm = [b["name"] for b, _ in pairs
+                         if b.get("warm_started", False)]
+    missed = [c["name"] for _, c in pairs if not c.get("warm_started", False)]
+    cold_iters = sum(b["iterations"] for b, _ in pairs)
+    warm_iters = sum(c["iterations"] for _, c in pairs)
+    speedup = (float(cold_iters) / float(warm_iters)
+               if warm_iters > 0 else math.inf)
+
+    quality = compare_runs(cold, warm, alpha, beta, p1, eps)
+    problems = []
+    if cold_started_warm:
+        problems.append(
+            f"cold run has warm-started designs ({cold_started_warm[:4]}) — "
+            "it is not a cold baseline")
+    if missed:
+        problems.append(
+            f"{len(missed)} design(s) did not warm-start ({missed[:4]}): "
+            "exact repeats must hit the experience store")
+    if speedup < min_speedup:
+        problems.append(
+            f"iteration speedup {speedup:.2f}x < required {min_speedup:g}x "
+            f"({cold_iters} cold vs {warm_iters} warm)")
+    if quality["decision"] == REJECT:
+        problems.append(f"quality gate rejected: {quality['reason']}")
+
+    if problems:
+        decision, reason = REJECT, "; ".join(problems)
+    elif quality["decision"] == INCONCLUSIVE:
+        decision = INCONCLUSIVE
+        reason = (f"speedup {speedup:.2f}x ok, but quality is inconclusive: "
+                  f"{quality['reason']}")
+    else:
+        decision = ACCEPT
+        reason = (f"all {len(pairs)} designs warm-started; iterations "
+                  f"{cold_iters} -> {warm_iters} ({speedup:.2f}x >= "
+                  f"{min_speedup:g}x); quality: {quality['reason']}")
+    return {
+        "decision": decision,
+        "reason": reason,
+        "pairs": len(pairs),
+        "missed_warm_starts": missed,
+        "iterations": {"cold": cold_iters, "warm": warm_iters},
+        "speedup": speedup,
+        "min_speedup": min_speedup,
+        "quality": quality,
+    }
+
+
+def cmd_warm(args):
+    cold = load_run(args.cold)
+    warm = load_run(args.warm)
+    result = warm_gate(cold, warm, args.min_speedup, args.alpha, args.beta,
+                       args.p1, args.eps)
+    print(json.dumps(result, indent=2))
+    verdict = result["decision"]
+    print(f"warm-start gate: {verdict.upper()} — {result['reason']}",
+          file=sys.stderr)
+    if verdict == REJECT:
+        return 1
+    if verdict == INCONCLUSIVE:
+        return 2
+    return 0
+
+
 def cmd_append(args):
     run = load_run(args.run)
     run["date"] = args.date or datetime.date.today().isoformat()
@@ -245,6 +328,17 @@ def main(argv=None):
     p.add_argument("--p1", type=float, default=P1)
     p.add_argument("--eps", type=float, default=EPS)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("warm",
+                       help="gate a warm-started rerun against its cold run")
+    p.add_argument("--cold", required=True)
+    p.add_argument("--warm", required=True)
+    p.add_argument("--min-speedup", type=float, default=1.5)
+    p.add_argument("--alpha", type=float, default=ALPHA)
+    p.add_argument("--beta", type=float, default=BETA)
+    p.add_argument("--p1", type=float, default=P1)
+    p.add_argument("--eps", type=float, default=EPS)
+    p.set_defaults(func=cmd_warm)
 
     p = sub.add_parser("append", help="append a run to the trajectory file")
     p.add_argument("--run", required=True)

@@ -22,7 +22,8 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import quality_gate as qg
 
 
-def make_run(ratios, label="run", legal=None, names=None):
+def make_run(ratios, label="run", legal=None, names=None, iterations=None,
+             warm_started=False):
     """A minimal schema-1 fleet run with the given suboptimality ratios."""
     designs = []
     for k, r in enumerate(ratios):
@@ -35,6 +36,8 @@ def make_run(ratios, label="run", legal=None, names=None):
             "ratio": r,
             "overflow_percent": 0.0,
             "legal": legal[k] if legal else True,
+            "iterations": iterations[k] if iterations else 12,
+            "warm_started": warm_started,
             "wall_s": 0.0,
         })
     geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
@@ -178,6 +181,53 @@ class CompareRunsTest(unittest.TestCase):
             qg.compare_runs(base, cand)
 
 
+class WarmGateTest(unittest.TestCase):
+    def cold_run(self, n=10, iters=12):
+        return make_run([1.5] * n, label="cold", iterations=[iters] * n)
+
+    def warm_run(self, n=10, iters=4, ratios=None, warm_started=True):
+        return make_run(ratios or [1.5] * n, label="warm",
+                        iterations=[iters] * n, warm_started=warm_started)
+
+    def test_good_warm_rerun_accepts(self):
+        result = qg.warm_gate(self.cold_run(), self.warm_run())
+        self.assertEqual(result["decision"], qg.ACCEPT)
+        self.assertAlmostEqual(result["speedup"], 3.0)
+        self.assertEqual(result["missed_warm_starts"], [])
+
+    def test_insufficient_speedup_rejects(self):
+        result = qg.warm_gate(self.cold_run(iters=12),
+                              self.warm_run(iters=10))
+        self.assertEqual(result["decision"], qg.REJECT)
+        self.assertIn("speedup", result["reason"])
+
+    def test_missed_warm_start_rejects(self):
+        result = qg.warm_gate(self.cold_run(),
+                              self.warm_run(warm_started=False))
+        self.assertEqual(result["decision"], qg.REJECT)
+        self.assertEqual(len(result["missed_warm_starts"]), 10)
+
+    def test_warm_baseline_is_not_a_cold_baseline(self):
+        # Handing the gate two warm runs must fail loudly, not accept.
+        warm_as_cold = self.warm_run(iters=12)
+        result = qg.warm_gate(warm_as_cold, self.warm_run())
+        self.assertEqual(result["decision"], qg.REJECT)
+        self.assertIn("not a cold baseline", result["reason"])
+
+    def test_quality_regression_rejects_despite_speedup(self):
+        n = 20
+        result = qg.warm_gate(
+            self.cold_run(n=n),
+            self.warm_run(n=n, ratios=[1.9] * n))
+        self.assertEqual(result["decision"], qg.REJECT)
+        self.assertIn("quality gate rejected", result["reason"])
+
+    def test_custom_min_speedup(self):
+        result = qg.warm_gate(self.cold_run(iters=12),
+                              self.warm_run(iters=10), min_speedup=1.1)
+        self.assertEqual(result["decision"], qg.ACCEPT)
+
+
 class CliTest(unittest.TestCase):
     """End-to-end exit-code contract of the script itself."""
 
@@ -204,6 +254,27 @@ class CliTest(unittest.TestCase):
             self.assertEqual(self.run_gate(
                 "compare", "--baseline", paths["base"],
                 "--candidate", os.path.join(d, "missing.json")), 3)
+
+    def test_warm_exit_codes(self):
+        with tempfile.TemporaryDirectory() as d:
+            cold = os.path.join(d, "cold.json")
+            warm = os.path.join(d, "warm.json")
+            slow = os.path.join(d, "slow.json")
+            with open(cold, "w") as f:
+                json.dump(make_run([1.5] * 10, iterations=[12] * 10), f)
+            with open(warm, "w") as f:
+                json.dump(make_run([1.5] * 10, iterations=[4] * 10,
+                                   warm_started=True), f)
+            with open(slow, "w") as f:
+                json.dump(make_run([1.5] * 10, iterations=[11] * 10,
+                                   warm_started=True), f)
+            self.assertEqual(self.run_gate(
+                "warm", "--cold", cold, "--warm", warm), 0)
+            self.assertEqual(self.run_gate(
+                "warm", "--cold", cold, "--warm", slow), 1)
+            self.assertEqual(self.run_gate(
+                "warm", "--cold", cold, "--warm",
+                os.path.join(d, "missing.json")), 3)
 
     def test_append_then_check_roundtrip(self):
         with tempfile.TemporaryDirectory() as d:

@@ -1,8 +1,9 @@
 #include "bookshelf/writer.h"
 
-#include <fstream>
 #include <limits>
 #include <stdexcept>
+
+#include "util/atomic_file.h"
 
 namespace complx {
 
@@ -10,18 +11,21 @@ namespace {
 // Every section writer goes through here so no stream can fall back to the
 // default 6-digit precision: max_digits10 (17 for IEEE-754 binary64)
 // guarantees the decimal text parses back to the bitwise-identical double
-// (round-trip-tested in test_bookshelf).
-std::ofstream open_or_throw(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write " + path);
-  out.precision(std::numeric_limits<double>::max_digits10);
+// (round-trip-tested in test_bookshelf). Each file is published atomically
+// (util/atomic_file.h): an interrupted export leaves either the previous
+// file or the complete new one — a truncated .nodes/.pl would otherwise be
+// read back as a silently smaller design.
+AtomicFileWriter open_writer(const std::string& path) {
+  AtomicFileWriter out(path);
+  out.stream().precision(std::numeric_limits<double>::max_digits10);
   return out;
 }
 }  // namespace
 
 void write_pl(const Netlist& nl, const Placement& p,
               const std::string& path) {
-  std::ofstream out = open_or_throw(path);
+  AtomicFileWriter writer = open_writer(path);
+  std::ostream& out = writer.stream();
   out << "UCLA pl 1.0\n\n";
   for (CellId i = 0; i < nl.num_cells(); ++i) {
     const Cell& c = nl.cell(i);
@@ -32,6 +36,7 @@ void write_pl(const Netlist& nl, const Placement& p,
     if (!c.movable()) out << " /FIXED";
     out << '\n';
   }
+  writer.commit();
 }
 
 void write_bookshelf(const Netlist& nl, const std::string& dir,
@@ -39,12 +44,15 @@ void write_bookshelf(const Netlist& nl, const std::string& dir,
   const std::string base = dir + "/" + name;
 
   {
-    std::ofstream aux = open_or_throw(base + ".aux");
-    aux << "RowBasedPlacement : " << name << ".nodes " << name << ".nets "
-        << name << ".wts " << name << ".pl " << name << ".scl\n";
+    AtomicFileWriter aux = open_writer(base + ".aux");
+    aux.stream() << "RowBasedPlacement : " << name << ".nodes " << name
+                 << ".nets " << name << ".wts " << name << ".pl " << name
+                 << ".scl\n";
+    aux.commit();
   }
   {
-    std::ofstream out = open_or_throw(base + ".nodes");
+    AtomicFileWriter writer = open_writer(base + ".nodes");
+    std::ostream& out = writer.stream();
     out << "UCLA nodes 1.0\n\n";
     size_t terminals = 0;
     for (const Cell& c : nl.cells())
@@ -56,9 +64,11 @@ void write_bookshelf(const Netlist& nl, const std::string& dir,
       if (!c.movable()) out << "\tterminal";
       out << '\n';
     }
+    writer.commit();
   }
   {
-    std::ofstream out = open_or_throw(base + ".nets");
+    AtomicFileWriter writer = open_writer(base + ".nets");
+    std::ostream& out = writer.stream();
     out << "UCLA nets 1.0\n\n";
     out << "NumNets : " << nl.num_nets() << "\n";
     out << "NumPins : " << nl.num_pins() << "\n";
@@ -70,15 +80,19 @@ void write_bookshelf(const Netlist& nl, const std::string& dir,
             << pin.dy << '\n';
       }
     }
+    writer.commit();
   }
   {
-    std::ofstream out = open_or_throw(base + ".wts");
+    AtomicFileWriter writer = open_writer(base + ".wts");
+    std::ostream& out = writer.stream();
     out << "UCLA wts 1.0\n\n";
     for (const Net& n : nl.nets()) out << n.name << '\t' << n.weight << '\n';
+    writer.commit();
   }
   write_pl(nl, nl.snapshot(), base + ".pl");
   {
-    std::ofstream out = open_or_throw(base + ".scl");
+    AtomicFileWriter writer = open_writer(base + ".scl");
+    std::ostream& out = writer.stream();
     out << "UCLA scl 1.0\n\n";
     out << "NumRows : " << nl.rows().size() << "\n";
     for (const Row& r : nl.rows()) {
@@ -92,6 +106,7 @@ void write_bookshelf(const Netlist& nl, const std::string& dir,
           << '\n';
       out << "End\n";
     }
+    writer.commit();
   }
 }
 

@@ -5,6 +5,7 @@ namespace complx {
 const char* to_string(StopReason r) {
   switch (r) {
     case StopReason::Converged: return "converged";
+    case StopReason::Plateau: return "plateau";
     case StopReason::MaxIterations: return "max-iterations";
     case StopReason::TimeLimit: return "time-limit";
     case StopReason::Cancelled: return "cancelled";

@@ -33,6 +33,7 @@
 #include "core/trace.h"
 #include "linalg/cg.h"
 #include "netlist/netlist.h"
+#include "util/atomic_file.h"
 #include "util/fpcmp.h"
 
 namespace complx {
@@ -40,6 +41,7 @@ namespace complx {
 /// Why the primal-dual loop returned.
 enum class StopReason {
   Converged,      ///< overflow / duality-gap criterion met
+  Plateau,        ///< warm restart stalled at its resumed quality (good exit)
   MaxIterations,  ///< iteration budget exhausted before convergence
   TimeLimit,      ///< wall-clock budget exhausted
   Cancelled,      ///< external cancel flag raised (e.g. SIGINT)
@@ -222,8 +224,14 @@ struct FaultInjection {
   /// breakdown without solving (QP model only).
   std::function<bool(int iteration)> force_cg_breakdown;
 
+  /// I/O fault hooks (short writes, failed fsync/rename, ENOSPC, in-flight
+  /// bit flips) consumed by util/atomic_file and the snapshot store — the
+  /// file-system counterpart of the numeric hooks above.
+  IoFaultInjection io;
+
   bool any() const {
-    return corrupt_iterate || corrupt_lambda || force_cg_breakdown;
+    return corrupt_iterate || corrupt_lambda || force_cg_breakdown ||
+           io.any();
   }
 };
 

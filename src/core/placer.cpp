@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 
+#include "io/experience.h"
 #include "nlcg/nlcg.h"
 #include "util/log.h"
 #include "util/parallel.h"
@@ -164,7 +166,34 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
   PlaceResult result;
 
   Placement p = initial ? *initial : nl_.snapshot();
-  if (!cfg_.warm_start) init_at_center(nl_, p);
+
+  // Experience probe (io/experience.h): an exact or near-repeat hit replaces
+  // the cold collapse-to-center with the stored converged placement. Movable
+  // cells only — fixed positions always come from THIS netlist, so a
+  // topology hit with moved terminals stays consistent. A miss, a degraded
+  // store, or no store at all is the cold path, bitwise.
+  bool from_experience = false;
+  if (!initial && !cfg_.warm_start && cfg_.experience) {
+    const ExperienceStore::Probe hit = cfg_.experience->lookup(nl_);
+    if (hit.record) {
+      for (CellId id : nl_.movable_cells()) {
+        p.x[id] = hit.record->x[id];
+        p.y[id] = hit.record->y[id];
+      }
+      from_experience = true;
+      log_debug("experience store: %s hit (stored hpwl %.4g, %u iterations)",
+                hit.kind == ExperienceStore::MatchKind::Exact ? "exact"
+                                                              : "topology",
+                hit.record->hpwl, hit.record->iterations);
+    }
+  }
+  // Both warm-start flavours skip the bootstrap and the λ=0 phase and jump
+  // λ toward the balance point; the experience flavour additionally starts
+  // at the finest grid (the stored solution is already spread — coarse
+  // re-projection would shred it) and lowers the iteration floor.
+  const bool warm = cfg_.warm_start || from_experience;
+  result.warm_started = from_experience;
+  if (!warm) init_at_center(nl_, p);
   const VarMap vars(nl_);
 
   // Mutable copy: the recovery policy may relax the CG tolerance and add a
@@ -221,14 +250,17 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
   // --- Initial unconstrained minimization of Φ (λ = 0) -------------------
   // Skipped on warm starts: the incoming placement is already spread, and
   // an unconstrained solve would collapse it.
-  if (!cfg_.warm_start)
+  if (!warm)
     for (int i = 0; i < cfg_.initial_iterations; ++i) primal_step(nullptr);
 
   // --- Projection machinery and grid schedule ----------------------------
   LookAheadLegalizer lal(nl_, cfg_.projection);
   const size_t finest = lal.bins_x();
-  double bins = std::max(
-      4.0, static_cast<double>(finest) / std::max(cfg_.grid_coarsening, 1.0));
+  double bins =
+      from_experience
+          ? static_cast<double>(finest)
+          : std::max(4.0, static_cast<double>(finest) /
+                              std::max(cfg_.grid_coarsening, 1.0));
   lal.set_grid(static_cast<size_t>(bins), static_cast<size_t>(bins));
 
   ProjectionResult proj = lal.project(p);
@@ -245,7 +277,7 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
           : lambda_star / cfg_.lambda_ramp_steps;
   LambdaSchedule schedule(cfg_.schedule, cfg_.h_factor);
   schedule.init(weighted_hpwl(nl_, p), proj.displacement_l1, h_base);
-  if (cfg_.warm_start) {
+  if (warm) {
     // Jump λ to a fraction of its balance value so the incoming placement
     // is respected from the first iteration.
     while (schedule.lambda() < cfg_.warm_lambda_fraction * lambda_star)
@@ -356,6 +388,16 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
   };
 
   StopReason stop = StopReason::MaxIterations;
+
+  // Warm plateau detector. Baseline = the resumed solution's projected
+  // quality: an iteration must beat it (and then keep beating its own best)
+  // by warm_plateau_tol to keep the run alive. Cold runs never read these,
+  // so the cold path stays bitwise identical with the detector compiled in.
+  double warm_best_phi = from_experience
+                             ? result.trace.back().phi_upper
+                             : std::numeric_limits<double>::infinity();
+  int warm_stall = 0;
+
   auto give_up = [&](int iter, HealthFault fault) {
     result.failed = true;
     stop = StopReason::Diverged;
@@ -479,7 +521,9 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
     // on a small duality gap (detailed placement runs on the anchors, so
     // the gap bounds the cost difference).
     const bool grid_final = lal.bins_x() >= finest;
-    if (k >= cfg_.min_iterations && grid_final) {
+    const int min_iters =
+        from_experience ? cfg_.warm_min_iterations : cfg_.min_iterations;
+    if (k >= min_iters && grid_final) {
       if (st.overflow_ratio < cfg_.stop_overflow) {
         stop = StopReason::Converged;
         break;
@@ -489,15 +533,31 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
         stop = StopReason::Converged;
         break;
       }
+      // Warm plateau (experience resumes only): the run started at the
+      // stored quality, so once Φ̄ stops improving on it there is nothing
+      // left in the budget worth spending — exit and let the checkpoint
+      // fallback below return the best state seen (resumed or better).
+      if (from_experience) {
+        if (st.phi_upper < warm_best_phi * (1.0 - cfg_.warm_plateau_tol)) {
+          warm_best_phi = st.phi_upper;
+          warm_stall = 0;
+        } else if (++warm_stall >= cfg_.warm_plateau_window) {
+          stop = StopReason::Plateau;
+          log_debug("iter %d: warm plateau — phi_upper %.4g stalled for %d "
+                    "iterations",
+                    k, st.phi_upper, warm_stall);
+          break;
+        }
+      }
     }
   }
 
   // Which placement to return: a clean converged exit returns the final
   // iterate untouched (the watchdog adds zero perturbation to healthy
-  // runs). Abnormal exits — divergence, iteration exhaustion, time limit,
-  // cancellation — fall back to the best-so-far checkpoint when it ranks
-  // strictly better by (overflow, Φ_upper), and any exit whose final state
-  // is non-finite always does.
+  // runs). Every other exit — divergence, iteration exhaustion, warm
+  // plateau, time limit, cancellation — falls back to the best-so-far
+  // checkpoint when it ranks strictly better by (overflow, Φ_upper), and
+  // any exit whose final state is non-finite always does.
   const IterationStats& last = result.trace.back();
   bool use_checkpoint = false;
   if (best.valid()) {

@@ -35,6 +35,8 @@
 
 namespace complx {
 
+class ExperienceStore;
+
 /// Routability mode (the SimPLR/Ripple special cases, Section 5): RUDY
 /// congestion is estimated every `period` iterations and congested standard
 /// cells are inflated inside the feasibility projection.
@@ -121,6 +123,27 @@ struct ComplxConfig {
   bool warm_start = false;
   double warm_lambda_fraction = 0.5;  ///< initial λ as a fraction of λ*
 
+  // Experience-driven warm start (io/experience.h): when non-null, place()
+  // probes the store for this job before the cold bootstrap. On a hit the
+  // stored placement replaces the collapse-to-center, the λ=0 phase is
+  // skipped, the grid starts at the finest resolution (the stored solution
+  // is already spread — re-coarsening would destroy it) and the iteration
+  // floor drops to warm_min_iterations. A miss — or a degraded store — is
+  // exactly the cold path, bitwise. The placer only READS the store;
+  // recording results back is the caller's decision.
+  //
+  // A resumed run also gets a plateau stop: once Φ̄ fails to improve by
+  // warm_plateau_tol (relative) for warm_plateau_window consecutive healthy
+  // iterations at the finest grid, the run exits with StopReason::Plateau
+  // and returns its best-so-far checkpoint — which is never worse than the
+  // resumed solution. This is what makes a repeat of a job that exhausted
+  // its iteration budget cheap: the rerun re-attains the stored quality in
+  // a handful of iterations instead of burning the whole budget again.
+  const ExperienceStore* experience = nullptr;
+  int warm_min_iterations = 3;  ///< min_iterations for experience hits
+  int warm_plateau_window = 4;     ///< stalled iterations before Plateau stop
+  double warm_plateau_tol = 1e-3;  ///< relative Φ̄ gain that resets the stall
+
   // Routability-driven placement (SimPLR/Ripple as ComPLx configurations).
   RoutabilityOptions routability;
 
@@ -182,6 +205,7 @@ struct PlaceResult {
   HealthStats health;   ///< watchdog fault counters
   int recovered = 0;    ///< rollback-and-backoff recoveries performed
   int best_iteration = -1;  ///< trace iteration the placements come from
+  bool warm_started = false;  ///< started from an experience-store record
   bool failed = false;  ///< recovery retries exhausted; placements are the
                         ///< best-so-far checkpoint, `failure` explains why
   std::string failure;  ///< structured failure description (empty when ok)

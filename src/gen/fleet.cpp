@@ -1,13 +1,16 @@
 #include "gen/fleet.h"
 
 #include <cmath>
+#include <cstdarg>
 #include <cstdio>
 #include <stdexcept>
 
 #include "core/placer.h"
 #include "density/metric.h"
 #include "dp/detailed.h"
+#include "io/experience.h"
 #include "legal/tetris.h"
+#include "util/atomic_file.h"
 #include "util/timer.h"
 #include "wl/hpwl.h"
 
@@ -71,7 +74,22 @@ FleetRecord run_fleet_design(const PekoParams& params,
   ComplxConfig cfg;
   cfg.max_iterations = opts.max_iterations;
   cfg.threads = opts.threads;
+  cfg.cancel = opts.cancel;
+  if (opts.warm_start) cfg.experience = opts.experience;
   const PlaceResult gp = ComplxPlacer(nl, cfg).place();
+
+  // Record the best usable GLOBAL placement (the anchors a warm start
+  // resumes from), before legalization/DP bake in row snapping. Converged
+  // and plateaued exits are the ideal; iteration-capped runs still carry
+  // their best-so-far checkpoint, and on hard designs that never meet the
+  // overflow criterion they are the only experience a rerun could resume.
+  // Failed, cancelled or timed-out runs are never recorded.
+  if (opts.experience && opts.save_experience && !gp.failed &&
+      (gp.stop == StopReason::Converged ||
+       gp.stop == StopReason::Plateau ||
+       gp.stop == StopReason::MaxIterations))
+    opts.experience->record(nl, gp.anchors, weighted_hpwl(nl, gp.anchors),
+                            gp.iterations);
 
   Placement p = gp.anchors;
   TetrisLegalizer(nl).legalize(p);
@@ -92,6 +110,7 @@ FleetRecord run_fleet_design(const PekoParams& params,
   r.overflow_percent = dm.overflow_percent;
   r.legal = TetrisLegalizer::is_legal(nl, p);
   r.iterations = gp.iterations;
+  r.warm_started = gp.warm_started;
   r.wall_s = opts.record_timing ? timer.seconds() : 0.0;
   return r;
 }
@@ -107,54 +126,73 @@ FleetSummary summarize_fleet(const std::vector<FleetRecord>& records) {
     s.mean_overflow_percent += r.overflow_percent;
     s.total_wall_s += r.wall_s;
     if (!r.legal) ++s.illegal;
+    if (r.warm_started) ++s.warm_started;
   }
   s.geomean_ratio = std::exp(log_sum / static_cast<double>(records.size()));
   s.mean_overflow_percent /= static_cast<double>(records.size());
   return s;
 }
 
+namespace {
+
+/// printf-style formatting into an ostream: keeps the exact %.17g record
+/// layout the gate scripts parse while composing through AtomicFileWriter.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void jf(std::ostream& os, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  os << buf;
+}
+
+}  // namespace
+
 void write_fleet_run_json(const std::string& path, const std::string& label,
                           const std::string& preset,
                           const FleetRunOptions& opts,
                           const std::vector<FleetRecord>& records) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) throw std::runtime_error("cannot write " + path);
+  AtomicFileWriter writer(path);
+  std::ostream& f = writer.stream();
   const FleetSummary s = summarize_fleet(records);
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema_version\": 1,\n");
-  std::fprintf(f, "  \"kind\": \"peko_fleet_run\",\n");
-  std::fprintf(f, "  \"label\": \"%s\",\n", label.c_str());
-  std::fprintf(f, "  \"preset\": \"%s\",\n", preset.c_str());
-  std::fprintf(f,
-               "  \"config\": {\"max_iterations\": %d, \"threads\": %zu, "
-               "\"detailed\": %s},\n",
-               opts.max_iterations, opts.threads,
-               opts.detailed ? "true" : "false");
-  std::fprintf(f, "  \"designs\": [\n");
+  jf(f, "{\n");
+  jf(f, "  \"schema_version\": 1,\n");
+  jf(f, "  \"kind\": \"peko_fleet_run\",\n");
+  jf(f, "  \"label\": \"%s\",\n", label.c_str());
+  jf(f, "  \"preset\": \"%s\",\n", preset.c_str());
+  jf(f,
+     "  \"config\": {\"max_iterations\": %d, \"threads\": %zu, "
+     "\"detailed\": %s, \"warm_start\": %s, \"save_experience\": %s},\n",
+     opts.max_iterations, opts.threads, opts.detailed ? "true" : "false",
+     opts.warm_start ? "true" : "false",
+     opts.save_experience ? "true" : "false");
+  jf(f, "  \"designs\": [\n");
   for (size_t k = 0; k < records.size(); ++k) {
     const FleetRecord& r = records[k];
-    std::fprintf(
-        f,
-        "    {\"name\": \"%s\", \"seed\": %llu, \"cells\": %zu, "
-        "\"movable\": %zu, \"nets\": %zu, \"macros\": %zu, "
-        "\"utilization\": %.17g, \"optimum_hpwl\": %.17g, \"hpwl\": %.17g, "
-        "\"ratio\": %.17g, \"overflow_percent\": %.17g, \"legal\": %s, "
-        "\"iterations\": %d, \"wall_s\": %.6g}%s\n",
-        r.name.c_str(), static_cast<unsigned long long>(r.seed), r.cells,
-        r.movable, r.nets, r.macros, r.utilization, r.optimum_hpwl, r.hpwl,
-        r.ratio, r.overflow_percent, r.legal ? "true" : "false", r.iterations,
-        r.wall_s, k + 1 < records.size() ? "," : "");
+    jf(f,
+       "    {\"name\": \"%s\", \"seed\": %llu, \"cells\": %zu, "
+       "\"movable\": %zu, \"nets\": %zu, \"macros\": %zu, "
+       "\"utilization\": %.17g, \"optimum_hpwl\": %.17g, \"hpwl\": %.17g, "
+       "\"ratio\": %.17g, \"overflow_percent\": %.17g, \"legal\": %s, "
+       "\"iterations\": %d, \"warm_started\": %s, \"wall_s\": %.6g}%s\n",
+       r.name.c_str(), static_cast<unsigned long long>(r.seed), r.cells,
+       r.movable, r.nets, r.macros, r.utilization, r.optimum_hpwl, r.hpwl,
+       r.ratio, r.overflow_percent, r.legal ? "true" : "false", r.iterations,
+       r.warm_started ? "true" : "false", r.wall_s,
+       k + 1 < records.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f,
-               "  \"summary\": {\"designs\": %zu, \"illegal\": %zu, "
-               "\"geomean_ratio\": %.17g, \"max_ratio\": %.17g, "
-               "\"mean_overflow_percent\": %.17g, \"total_wall_s\": %.6g}\n",
-               s.designs, s.illegal, s.geomean_ratio, s.max_ratio,
-               s.mean_overflow_percent, s.total_wall_s);
-  std::fprintf(f, "}\n");
-  if (std::fclose(f) != 0)
-    throw std::runtime_error("write failed for " + path);
+  jf(f, "  ],\n");
+  jf(f,
+     "  \"summary\": {\"designs\": %zu, \"illegal\": %zu, "
+     "\"warm_started\": %zu, \"geomean_ratio\": %.17g, \"max_ratio\": %.17g, "
+     "\"mean_overflow_percent\": %.17g, \"total_wall_s\": %.6g}\n",
+     s.designs, s.illegal, s.warm_started, s.geomean_ratio, s.max_ratio,
+     s.mean_overflow_percent, s.total_wall_s);
+  jf(f, "}\n");
+  writer.commit();
 }
 
 }  // namespace complx

@@ -14,12 +14,17 @@
 // options) at any thread count — enforced by test_golden_determinism.
 #pragma once
 
+// complx-lint: allow(P1): holds a pointer to the apps' SIGINT cancel flag;
+// polled at iteration/design boundaries only, never in numeric kernels.
+#include <atomic>
 #include <string>
 #include <vector>
 
 #include "gen/peko.h"
 
 namespace complx {
+
+class ExperienceStore;
 
 enum class FleetPreset {
   Gate,   ///< 20 tiny designs — fast enough for a ctest-side gate run
@@ -40,6 +45,20 @@ struct FleetRunOptions {
   size_t threads = 1;       ///< worker threads (0 = inherit process setting)
   bool detailed = true;     ///< run detailed placement after legalization
   bool record_timing = true;  ///< false => wall_s = 0 (deterministic record)
+
+  /// Experience store (io/experience.h): when non-null, each design probes
+  /// the store before the cold bootstrap (warm_start) and/or records its
+  /// converged global placement back (save_experience). The store is probed
+  /// and updated per design, so within one fleet run design k can already
+  /// warm-start from design k's record of a previous run.
+  ExperienceStore* experience = nullptr;
+  bool warm_start = false;
+  bool save_experience = false;
+
+  /// Cooperative cancellation (SIGINT): checked between designs by the fleet
+  /// driver and at iteration boundaries inside the placer.
+  /// complx-lint: allow(P1): see header note — control flow only.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// One design's scored flow result (global place -> legalize -> DP).
@@ -58,6 +77,7 @@ struct FleetRecord {
   double overflow_percent = 0.0;
   bool legal = false;
   int iterations = 0;
+  bool warm_started = false;  ///< resumed from an experience-store record
   double wall_s = 0.0;  ///< full-flow wall time (0 when !record_timing)
 };
 
@@ -69,6 +89,7 @@ FleetRecord run_fleet_design(const PekoParams& params,
 struct FleetSummary {
   size_t designs = 0;
   size_t illegal = 0;  ///< records with legal == false (should be 0)
+  size_t warm_started = 0;  ///< designs resumed from the experience store
   double geomean_ratio = 0.0;
   double max_ratio = 0.0;
   double mean_overflow_percent = 0.0;
@@ -79,7 +100,9 @@ FleetSummary summarize_fleet(const std::vector<FleetRecord>& records);
 
 /// Writes one fleet run as a self-contained JSON object (schema_version 1).
 /// scripts/quality_gate.py consumes these for the paired gate and can append
-/// them to the BENCH_quality.json trajectory. Throws on I/O failure.
+/// them to the BENCH_quality.json trajectory. The write is atomic (temp +
+/// fsync + rename, util/atomic_file.h): a crash mid-write never leaves a
+/// half-written JSON for the gate to choke on. Throws on I/O failure.
 void write_fleet_run_json(const std::string& path, const std::string& label,
                           const std::string& preset,
                           const FleetRunOptions& opts,

@@ -1,0 +1,104 @@
+// ExperienceStore: the crash-safe placement memory that turns repeat jobs
+// into warm starts.
+//
+// A placement service sees the same netlist again and again — ECO loops,
+// parameter sweeps, nightly reruns. The store keeps one converged placement
+// per job (keyed by netlist_job_hash), persisted in the snapshot format of
+// io/snapshot.h, and answers probes:
+//
+//   Exact match     — same job hash: resume from the stored placement at
+//                     the finest grid with a short iteration floor; the
+//                     solver typically needs a small fraction of the cold
+//                     iteration count.
+//   Topology match  — same connectivity/cell shapes but different core,
+//                     density or fixed cells: the stored placement is still
+//                     a far better start than a cold collapse-to-center.
+//   Miss            — cold start.
+//
+// Failure policy (the whole point of this module):
+//   * open() NEVER throws on a corrupt store. The file is validated by
+//     parse_snapshot; any whole-file corruption class degrades the store to
+//     empty (cold starts), quarantines the damaged file by renaming it to
+//     "<path>.corrupt" so the evidence survives while the next save
+//     self-heals the path, and records the class in stats().
+//   * A payload bit flip drops only the damaged record (see snapshot.h).
+//   * record() NEVER throws into the placer: a failed save (ENOSPC, failed
+//     fsync/rename — injectable via IoFaultInjection) marks the store
+//     degraded and returns false. Thanks to the atomic write protocol the
+//     previous store content survives any failed save.
+//   * degraded() is the signal the CLIs map to exit code 4: the placement
+//     itself succeeded, but the experience store is corrupt or unwritable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "io/snapshot.h"
+#include "util/atomic_file.h"
+
+namespace complx {
+
+class Netlist;
+struct Placement;
+
+class ExperienceStore {
+ public:
+  struct Options {
+    std::string path;       ///< snapshot file (created on first save)
+    bool persist = true;    ///< false: in-memory only (tests)
+    bool fsync = true;      ///< passed through to the atomic writer
+    size_t max_records = 4096;  ///< eviction bound (fewest saves go first)
+    /// Write-side fault hooks for the chaos suite; null in production.
+    const IoFaultInjection* faults = nullptr;
+  };
+
+  explicit ExperienceStore(Options opts);
+
+  /// Loads the store from disk. A missing file is a clean empty store
+  /// (returns SnapshotError::None); a corrupt file degrades to empty,
+  /// quarantines the file to "<path>.corrupt" and returns the corruption
+  /// class. Never throws on malformed input.
+  SnapshotError open();
+
+  enum class MatchKind { Miss, Exact, Topology };
+  struct Probe {
+    MatchKind kind = MatchKind::Miss;
+    /// Valid until the next record()/open(); null on Miss.
+    const SnapshotRecord* record = nullptr;
+  };
+
+  /// Probes for this job. A record is only returned when its cell count
+  /// matches the netlist (a topology hit with a different cell count would
+  /// be un-applicable). Deterministic: an exact hit wins; otherwise the
+  /// topology match with the smallest key.
+  Probe lookup(const Netlist& nl) const;
+
+  /// Records a converged placement for this job and, when persist is on,
+  /// rewrites the store atomically. Returns false (and marks the store
+  /// degraded) if the save failed; the in-memory record is kept either way.
+  bool record(const Netlist& nl, const Placement& placement, double hpwl,
+              int iterations);
+
+  /// True after a failed load (whole-file corruption or dropped records) or
+  /// a failed save. Maps to CLI exit code 4.
+  bool degraded() const { return degraded_; }
+  const std::string& degraded_reason() const { return degraded_reason_; }
+
+  const SnapshotStats& stats() const { return stats_; }
+  size_t size() const { return records_.size(); }
+  uint64_t save_count() const { return save_count_; }
+  const std::string& path() const { return opts_.path; }
+
+ private:
+  void mark_degraded(const std::string& reason);
+
+  Options opts_;
+  std::map<uint64_t, SnapshotRecord> records_;  // key -> record, sorted
+  SnapshotStats stats_;
+  uint64_t save_count_ = 0;
+  bool degraded_ = false;
+  std::string degraded_reason_;
+};
+
+}  // namespace complx

@@ -1,0 +1,136 @@
+#include "util/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace complx {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  const int err = errno;
+  throw std::runtime_error(what + " " + path + ": " +
+                           (err != 0 ? std::strerror(err) : "injected fault"));
+}
+
+/// Temp path in the SAME directory as `path` (rename must not cross a
+/// filesystem boundary) with the pid appended so two processes writing the
+/// same destination cannot stomp each other's temp file.
+std::string temp_path_for(const std::string& path) {
+  return path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+}
+
+/// Best-effort directory fsync after the rename: makes the new directory
+/// entry itself durable. Failure is ignored — some filesystems refuse
+/// O_RDONLY fsync on directories and the data file is already synced.
+void fsync_parent_dir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view content,
+                       const AtomicWriteOptions& opts) {
+  const IoFaultInjection* faults = opts.faults;
+
+  // The corruption hook operates on a copy of the serialized bytes: it
+  // simulates damage in flight (bad RAM, a buggy layer below us), which the
+  // atomic protocol cannot prevent — only the reader's validation can.
+  std::string corrupted;
+  std::string_view bytes = content;
+  if (faults && faults->corrupt_bytes) {
+    corrupted.assign(content);
+    faults->corrupt_bytes(corrupted);
+    bytes = corrupted;
+  }
+
+  const std::string tmp = temp_path_for(path);
+  errno = 0;
+  int fd = -1;
+  if (faults && faults->fail_open && faults->fail_open())
+    errno = ENOSPC;
+  else
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot create temp file for", path);
+
+  // Write loop with injected short writes: a hook-truncated count models the
+  // kernel accepting fewer bytes (ENOSPC mid-file, signal, quota).
+  size_t off = 0;
+  while (off < bytes.size()) {
+    size_t want = bytes.size() - off;
+    bool injected_short = false;
+    if (faults && faults->short_write) {
+      const size_t allowed = faults->short_write(want);
+      if (allowed < want) {
+        want = allowed;
+        injected_short = true;
+      }
+    }
+    const ssize_t n =
+        want == 0 ? 0 : ::write(fd, bytes.data() + off, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail("write failed for", path);
+    }
+    off += static_cast<size_t>(n);
+    if (injected_short || (n == 0 && want > 0)) {
+      // The device stopped accepting bytes: report ENOSPC, clean up.
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      errno = ENOSPC;
+      fail("short write (device full?) for", path);
+    }
+  }
+
+  if (opts.fsync) {
+    errno = 0;
+    const bool injected = faults && faults->fail_fsync && faults->fail_fsync();
+    if (injected || ::fsync(fd) != 0) {
+      if (injected) errno = EIO;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail("fsync failed for", path);
+    }
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail("close failed for", path);
+  }
+
+  errno = 0;
+  const bool injected_rename =
+      faults && faults->fail_rename && faults->fail_rename();
+  if (injected_rename || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (injected_rename) errno = EIO;
+    ::unlink(tmp.c_str());
+    fail("rename failed for", path);
+  }
+  if (opts.fsync) fsync_parent_dir(path);
+}
+
+void AtomicFileWriter::commit() {
+  if (committed_)
+    throw std::logic_error("AtomicFileWriter: double commit for " + path_);
+  committed_ = true;
+  if (!buf_.good())
+    throw std::runtime_error("AtomicFileWriter: compose stream failed for " +
+                             path_);
+  write_file_atomic(path_, buf_.str(), opts_);
+}
+
+}  // namespace complx

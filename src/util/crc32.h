@@ -1,0 +1,54 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected) for the binary
+// snapshot format and any other artifact that needs cheap end-to-end
+// integrity checking.
+//
+// A checksum — unlike a magic number or a size field — catches the failure
+// class that actually happens in the field: a bit flipped by bad RAM or a
+// torn sector, a file truncated and re-extended by a crashing copy tool, a
+// stale page served by a broken network filesystem. The table is computed
+// at compile time; throughput is irrelevant at snapshot sizes (a few MB).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace complx {
+
+namespace detail {
+constexpr std::array<uint32_t, 256> make_crc32_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t n = 0; n < 256; ++n) {
+    uint32_t c = n;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[n] = c;
+  }
+  return table;
+}
+inline constexpr std::array<uint32_t, 256> kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+/// Incremental update: feed `crc32_init()` as the first `crc`, chain the
+/// result through successive buffers, finish with `crc32_final()`.
+constexpr uint32_t crc32_init() { return 0xFFFFFFFFu; }
+constexpr uint32_t crc32_final(uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+inline uint32_t crc32_update(uint32_t crc, const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i)
+    crc = detail::kCrc32Table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return crc;
+}
+
+/// One-shot CRC-32 of a buffer.
+inline uint32_t crc32(const void* data, size_t len) {
+  return crc32_final(crc32_update(crc32_init(), data, len));
+}
+
+inline uint32_t crc32(std::string_view bytes) {
+  return crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace complx

@@ -2,37 +2,52 @@
 
 #include <stdexcept>
 
+#include "util/log.h"
+
 namespace complx {
 
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
     : out_(path), columns_(header.size()) {
-  if (!out_) throw std::runtime_error("cannot open CSV file: " + path);
   for (size_t i = 0; i < header.size(); ++i) {
-    if (i) out_ << ',';
-    out_ << header[i];
+    if (i) out_.stream() << ',';
+    out_.stream() << header[i];
   }
-  out_ << '\n';
+  out_.stream() << '\n';
+}
+
+CsvWriter::~CsvWriter() {
+  if (closed_) return;
+  try {
+    close();
+  } catch (const std::exception& e) {
+    log_warn("csv write failed for %s: %s", out_.path().c_str(), e.what());
+  }
+}
+
+void CsvWriter::close() {
+  closed_ = true;
+  out_.commit();
 }
 
 void CsvWriter::row(const std::vector<double>& values) {
   if (values.size() != columns_)
     throw std::invalid_argument("CSV row width mismatch");
   for (size_t i = 0; i < values.size(); ++i) {
-    if (i) out_ << ',';
-    out_ << values[i];
+    if (i) out_.stream() << ',';
+    out_.stream() << values[i];
   }
-  out_ << '\n';
+  out_.stream() << '\n';
 }
 
 void CsvWriter::row(const std::vector<std::string>& values) {
   if (values.size() != columns_)
     throw std::invalid_argument("CSV row width mismatch");
   for (size_t i = 0; i < values.size(); ++i) {
-    if (i) out_ << ',';
-    out_ << values[i];
+    if (i) out_.stream() << ',';
+    out_.stream() << values[i];
   }
-  out_ << '\n';
+  out_.stream() << '\n';
 }
 
 }  // namespace complx

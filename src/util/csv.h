@@ -1,18 +1,29 @@
 // CSV emitter for figure data. Benches that reproduce the paper's figures
 // write their series to CSV next to printing them, so plots can be
 // regenerated offline.
+//
+// Rows compose in memory and the file is published atomically on close()
+// (or in the destructor, best-effort) via util/atomic_file.h — a crashed
+// bench leaves either the previous CSV or the complete new one, never a
+// torn prefix.
 #pragma once
 
-#include <fstream>
 #include <string>
 #include <vector>
+
+#include "util/atomic_file.h"
 
 namespace complx {
 
 class CsvWriter {
  public:
-  /// Opens `path` for writing and emits the header row. Throws on I/O error.
+  /// Stages `path` for writing and emits the header row. I/O happens only
+  /// at close()/destruction.
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Commits the composed file if close() was not called; write errors are
+  /// swallowed (destructors must not throw) — call close() to observe them.
+  ~CsvWriter();
 
   /// Appends one data row; size must match the header.
   void row(const std::vector<double>& values);
@@ -20,9 +31,13 @@ class CsvWriter {
   /// Appends one row of preformatted strings (e.g. a name column).
   void row(const std::vector<std::string>& values);
 
+  /// Publishes the file atomically. Throws on I/O failure.
+  void close();
+
  private:
-  std::ofstream out_;
+  AtomicFileWriter out_;
   size_t columns_;
+  bool closed_ = false;
 };
 
 }  // namespace complx

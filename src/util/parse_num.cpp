@@ -1,0 +1,84 @@
+#include "util/parse_num.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace complx {
+
+namespace {
+
+/// Skips trailing whitespace; true iff the parse consumed the whole string.
+bool consumed_all(const std::string& text, const char* end) {
+  while (*end != '\0' && std::isspace(static_cast<unsigned char>(*end))) ++end;
+  return end != text.c_str() && *end == '\0';
+}
+
+[[noreturn]] void bad(const std::string& flag, const char* expected,
+                      const std::string& range, const std::string& text) {
+  throw ParseError(flag + ": expected " + expected + range + ", got \"" +
+                   text + "\"");
+}
+
+std::string int_range(int64_t lo, int64_t hi) {
+  if (lo <= std::numeric_limits<int64_t>::min() &&
+      hi >= std::numeric_limits<int64_t>::max())
+    return "";
+  return " in [" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+}
+
+std::string uint_range(uint64_t lo, uint64_t hi) {
+  if (lo <= 0 && hi >= std::numeric_limits<uint64_t>::max()) return "";
+  return " in [" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+}
+
+std::string double_range(double lo, double hi) {
+  const bool no_lo = std::isinf(lo) && lo < 0.0;
+  const bool no_hi = std::isinf(hi) && hi > 0.0;
+  if (no_lo && no_hi) return "";
+  if (no_lo) return " <= " + std::to_string(hi);
+  if (no_hi) return " >= " + std::to_string(lo);
+  return " in [" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+}
+
+}  // namespace
+
+int64_t parse_int64(const std::string& flag, const std::string& text,
+                    int64_t lo, int64_t hi) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || !consumed_all(text, end) || v < lo || v > hi)
+    bad(flag, "integer", int_range(lo, hi), text);
+  return v;
+}
+
+uint64_t parse_uint64(const std::string& flag, const std::string& text,
+                      uint64_t lo, uint64_t hi) {
+  // strtoull accepts "-3" and wraps it; scan for a sign ourselves.
+  for (const char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '-') bad(flag, "unsigned integer", uint_range(lo, hi), text);
+    break;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || !consumed_all(text, end) || v < lo || v > hi)
+    bad(flag, "unsigned integer", uint_range(lo, hi), text);
+  return v;
+}
+
+double parse_double(const std::string& flag, const std::string& text,
+                    double lo, double hi) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || !consumed_all(text, end) || !std::isfinite(v) || v < lo ||
+      v > hi)
+    bad(flag, "number", double_range(lo, hi), text);
+  return v;
+}
+
+}  // namespace complx

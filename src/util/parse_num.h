@@ -1,0 +1,42 @@
+// Strict numeric parsing for CLI flags and environment variables.
+//
+// The apps used to parse flag values with bare atoi/strtoul, so
+// `complx_fleet --max-iters garbage` silently ran with 0 iterations — a
+// report that claims a configuration it never measured. Same policy as
+// gen/suites.cpp's bench_scale_from_env: a set-but-broken value must fail
+// loudly, with the flag name in the message. All parsers reject empty
+// input, trailing junk, and out-of-range values; the apps catch ParseError,
+// print the message plus usage, and exit 1 (the usage-error exit code).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace complx {
+
+/// Malformed numeric value; what() carries "<flag>: expected ... got ...".
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a decimal signed integer in [lo, hi]. `flag` names the source
+/// (e.g. "--max-iters") for the error message.
+int64_t parse_int64(const std::string& flag, const std::string& text,
+                    int64_t lo = std::numeric_limits<int64_t>::min(),
+                    int64_t hi = std::numeric_limits<int64_t>::max());
+
+/// Parses a decimal unsigned integer in [lo, hi]. A leading '-' is an error
+/// (strtoull would silently wrap it).
+uint64_t parse_uint64(const std::string& flag, const std::string& text,
+                      uint64_t lo = 0,
+                      uint64_t hi = std::numeric_limits<uint64_t>::max());
+
+/// Parses a finite double in [lo, hi].
+double parse_double(const std::string& flag, const std::string& text,
+                    double lo = -std::numeric_limits<double>::infinity(),
+                    double hi = std::numeric_limits<double>::infinity());
+
+}  // namespace complx

@@ -1,14 +1,15 @@
 #include "util/svg.h"
 
-#include <fstream>
 #include <stdexcept>
+
+#include "util/atomic_file.h"
 
 namespace complx {
 
 void write_placement_svg(const Netlist& nl, const Placement& p,
                          const std::string& path, const SvgOptions& opts) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write " + path);
+  AtomicFileWriter writer(path);
+  std::ostream& out = writer.stream();
 
   // Drawing frame: the core plus a margin for pads.
   Rect frame = nl.core();
@@ -62,6 +63,7 @@ void write_placement_svg(const Netlist& nl, const Placement& p,
   }
 
   out << "</svg>\n";
+  writer.commit();
 }
 
 }  // namespace complx

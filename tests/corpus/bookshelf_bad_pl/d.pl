@@ -1,0 +1,4 @@
+UCLA pl 1.0
+
+a0	0	garbled	: N
+a1	4	0	: N

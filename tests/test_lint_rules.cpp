@@ -165,6 +165,35 @@ TEST(LintP1, QuietInsideParallelAuthority) {
   EXPECT_FALSE(fired("src/util/parallel.cpp", src, "P1"));
 }
 
+// ----------------------------------------------------------------- IO1 ----
+
+TEST(LintIO1, FiresOnDirectWritePrimitivesInSrc) {
+  EXPECT_TRUE(fired("src/x.cpp", "std::ofstream out(path);\n", "IO1"));
+  EXPECT_TRUE(fired("src/x.cpp", "FILE* f = std::fopen(p, \"w\");\n", "IO1"));
+  EXPECT_TRUE(fired("src/x.cpp", "std::fwrite(buf, 1, n, f);\n", "IO1"));
+  EXPECT_TRUE(fired("src/x.cpp", "freopen(p, \"w\", stdout);\n", "IO1"));
+}
+
+TEST(LintIO1, QuietOnReadsAndInsideWriteAuthority) {
+  EXPECT_FALSE(fired("src/x.cpp", "std::ifstream in(path);\n", "IO1"));
+  EXPECT_FALSE(fired("src/x.cpp", "std::fread(buf, 1, n, f);\n", "IO1"));
+  EXPECT_FALSE(
+      fired("src/util/atomic_file.cpp", "int fd = ::open(tmp, f);\n", "IO1"));
+}
+
+TEST(LintIO1, QuietOutsideSrcTree) {
+  // Apps/tests/benches may stream directly (stderr diagnostics, fixtures);
+  // the crash-safety contract binds the library.
+  EXPECT_FALSE(fired("apps/x.cpp", "std::ofstream out(path);\n", "IO1"));
+  EXPECT_FALSE(fired("tests/x.cpp", "std::fopen(p, \"w\");\n", "IO1"));
+}
+
+TEST(LintIO1, QuietOnTokenInCommentOrString) {
+  EXPECT_FALSE(fired("src/x.cpp", "// ofstream is banned here\n", "IO1"));
+  EXPECT_FALSE(
+      fired("src/x.cpp", "const char* s = \"fopen\";\n", "IO1"));
+}
+
 // --------------------------------------------------------- suppressions ----
 
 TEST(LintSuppress, SameLineAllowWithJustification) {
@@ -233,7 +262,7 @@ TEST(LintReport, FindingsCarryFileLineAndSortedOrder) {
 TEST(LintReport, RuleCatalogCoversAllRules) {
   std::vector<std::string> ids;
   for (const auto& r : rule_catalog()) ids.push_back(r.id);
-  for (const char* want : {"D1", "D2", "N1", "N2", "P1", "SUPP"})
+  for (const char* want : {"D1", "D2", "IO1", "N1", "N2", "P1", "SUPP"})
     EXPECT_NE(std::find(ids.begin(), ids.end(), want), ids.end()) << want;
 }
 

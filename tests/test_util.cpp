@@ -205,8 +205,11 @@ TEST(Csv, RejectsWidthMismatch) {
 }
 
 TEST(Csv, ThrowsOnBadPath) {
-  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/f.csv", {"a"}),
-               std::runtime_error);
+  // Composition is in-memory; the unwritable path surfaces at close(),
+  // where the atomic publish happens.
+  CsvWriter csv("/nonexistent_dir_xyz/f.csv", {"a"});
+  csv.row(std::vector<double>{1.0});
+  EXPECT_THROW(csv.close(), std::runtime_error);
 }
 
 // --------------------------------------------------------------- fpcmp ----

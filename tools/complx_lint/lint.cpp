@@ -582,6 +582,26 @@ void rule_p1(const std::string& path, const std::vector<Token>& t,
   }
 }
 
+void rule_io1(const std::string& path, const std::vector<Token>& t,
+              std::vector<Finding>& out) {
+  if (!in_any_dir(path, {"src"})) return;  // apps/tests/benches may stream
+  if (path_has(path, "util/atomic_file.")) return;  // the write authority
+  // Direct file-writing primitives. Reads (ifstream, fread) are fine — the
+  // crash-safety contract is about what the system PUBLISHES: every artifact
+  // must go through the temp+fsync+rename protocol of util/atomic_file.h so
+  // a crash never leaves a half-written file.
+  static const std::set<std::string> kBanned = {"ofstream", "fopen", "freopen",
+                                                "fwrite"};
+  for (const Token& tok : t) {
+    if (tok.kind != Token::Ident || !kBanned.count(tok.text)) continue;
+    out.push_back({path, tok.line, "IO1",
+                   "'" + tok.text +
+                       "' in src/ outside util/atomic_file.* — library "
+                       "writes must be crash-safe; compose through "
+                       "AtomicFileWriter / write_file_atomic"});
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rule_catalog() {
@@ -592,6 +612,8 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"N1", "no raw ==/!= on floating-point operands outside util/fpcmp.h"},
       {"N2", "catch (...) in core/linalg/qp must log, set status or rethrow"},
       {"P1", "no mutexes/atomics/threads outside util/parallel.*"},
+      {"IO1", "no direct file-writing primitives (ofstream/fopen/fwrite) in "
+              "src/ outside util/atomic_file.*"},
       {"SUPP", "every allow(...) suppression carries a justification"},
   };
   return k;
@@ -624,6 +646,7 @@ std::vector<Finding> lint_source(const std::string& path,
   rule_n1(norm, tokens, raw);
   rule_n2(norm, tokens, raw);
   rule_p1(norm, tokens, raw);
+  rule_io1(norm, tokens, raw);
 
   std::vector<Finding> out;
   for (Finding& f : raw)
