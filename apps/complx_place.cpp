@@ -59,7 +59,7 @@
 #include "density/metric.h"
 #include "dp/detailed.h"
 #include "dp/orientation.h"
-#include "util/svg.h"
+#include "io/svg.h"
 #include "legal/tetris.h"
 #include "util/log.h"
 #include "util/parallel.h"

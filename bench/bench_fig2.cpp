@@ -10,7 +10,7 @@
 #include "common.h"
 #include "projection/lal.h"
 #include "util/csv.h"
-#include "util/svg.h"
+#include "io/svg.h"
 
 using namespace complx;
 using namespace complx::bench;

@@ -8,7 +8,7 @@
 // 50 connected cells.
 #include "common.h"
 #include "projection/regions.h"
-#include "util/svg.h"
+#include "io/svg.h"
 
 using namespace complx;
 using namespace complx::bench;

@@ -353,8 +353,9 @@ void BM_SpMVThreads(benchmark::State& state) {
   const Netlist& nl = big_circuit();
   static const CsrMatrix A = [&] {
     const VarMap vars(nl);
-    SystemBuilder builder(nl, vars, Axis::X, nl.snapshot());
-    builder.add_pin_springs(build_b2b(nl, nl.snapshot(), Axis::X, {}));
+    const Placement snap = nl.snapshot();
+    SystemBuilder builder(nl, vars, Axis::X, snap);
+    builder.add_pin_springs(build_b2b(nl, snap, Axis::X, {}));
     return builder.build_matrix();
   }();
   set_global_threads(static_cast<size_t>(state.range(0)));

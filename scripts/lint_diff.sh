@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Incremental lint for the edit loop: run complx-lint on only the files
+# changed relative to a base ref (default origin/main, falling back to
+# main, falling back to HEAD), reusing the shared incremental cache so a
+# warm invocation costs milliseconds.
+#
+#   scripts/lint_diff.sh [base-ref] [build-dir]
+#
+# Exit codes follow complx_lint: 0 clean, 1 findings, 2 usage/tool error.
+# With no lintable files changed the script exits 0 without running the
+# tool.
+#
+# Recommended as a pre-commit hook:
+#   ln -s ../../scripts/lint_diff.sh .git/hooks/pre-commit
+# The hook then lints exactly what the commit touches; the cross-file
+# passes (A1/A2/T1) still see the changed files' includes and call chains,
+# and the full-tree sweep stays in CI (lint_repo / run_static_analysis.sh).
+set -u
+cd "$(dirname "$0")/.."
+
+BASE_REF="${1:-}"
+BUILD_DIR="${2:-build}"
+
+if [ -z "$BASE_REF" ]; then
+  if git rev-parse --verify --quiet origin/main >/dev/null; then
+    BASE_REF=origin/main
+  elif git rev-parse --verify --quiet main >/dev/null; then
+    BASE_REF=main
+  else
+    BASE_REF=HEAD
+  fi
+fi
+
+LINT_BIN="$BUILD_DIR/tools/complx_lint/complx_lint"
+if [ ! -x "$LINT_BIN" ]; then
+  echo "== building complx_lint =="
+  cmake -B "$BUILD_DIR" -S . >/dev/null && \
+    cmake --build "$BUILD_DIR" --target complx_lint -j >/dev/null
+fi
+if [ ! -x "$LINT_BIN" ]; then
+  echo "error: could not build complx_lint" >&2
+  exit 2
+fi
+
+# Changed + untracked C++ files, excluding deletions. The diff runs against
+# the merge base so a stale origin/main never reports upstream edits.
+mapfile -t changed < <(
+  { git diff --name-only --diff-filter=d "$BASE_REF"...HEAD -- \
+      '*.cpp' '*.h' 2>/dev/null ||
+    git diff --name-only --diff-filter=d "$BASE_REF" -- '*.cpp' '*.h'; \
+    git diff --name-only --diff-filter=d -- '*.cpp' '*.h'; \
+    git ls-files --others --exclude-standard -- '*.cpp' '*.h'; } |
+  sort -u)
+
+lintable=()
+for f in "${changed[@]}"; do
+  [ -f "$f" ] || continue
+  case "$f" in
+    src/*|apps/*) lintable+=("$f") ;;
+  esac
+done
+
+if [ "${#lintable[@]}" -eq 0 ]; then
+  echo "lint-diff: no lintable changes vs $BASE_REF"
+  exit 0
+fi
+
+echo "lint-diff: ${#lintable[@]} file(s) changed vs $BASE_REF"
+exec "$LINT_BIN" --cache "$BUILD_DIR/.complx_lint.cache" --stats \
+  "${lintable[@]}"

@@ -29,12 +29,14 @@
 #include <functional>
 #include <limits>
 #include <string>
+#include <utility>
 
 #include "core/trace.h"
 #include "linalg/cg.h"
 #include "netlist/netlist.h"
 #include "util/atomic_file.h"
 #include "util/fpcmp.h"
+#include "util/parallel.h"
 
 namespace complx {
 
@@ -209,6 +211,49 @@ struct Checkpoint {
   bool offer(const Netlist& nl, const Placement& it, const Placement& anc,
              double lam, double pi_value, int index, size_t bins, double ovfl,
              double phi_up);
+};
+
+/// Mutex-guarded Checkpoint holder: the driver offers every healthy
+/// iteration, and any thread — the loop itself on rollback/exit, a watchdog
+/// or service thread polling progress — reads a consistent snapshot. The
+/// lock discipline is declared (COMPLX_GUARDED_BY) and proven by the CI
+/// clang job's -Wthread-safety build; on the placer's hot path the store
+/// is touched once per iteration, so the uncontended lock cost is noise.
+class CheckpointStore {
+ public:
+  /// Checkpoint::offer under the lock. Returns true if the snapshot was
+  /// taken.
+  bool offer(const Netlist& nl, const Placement& it, const Placement& anc,
+             double lam, double pi_value, int index, size_t bins, double ovfl,
+             double phi_up) COMPLX_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return best_.offer(nl, it, anc, lam, pi_value, index, bins, ovfl, phi_up);
+  }
+
+  bool valid() const COMPLX_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return best_.valid();
+  }
+
+  /// Consistent copy of the best-so-far state (rollback targets, progress
+  /// polls). Copying the placements is deliberate: the caller gets a frozen
+  /// state, never a reference another thread may overwrite.
+  Checkpoint snapshot() const COMPLX_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return best_;
+  }
+
+  /// Moves the checkpoint out (final hand-off; the store is empty after).
+  Checkpoint take() COMPLX_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    Checkpoint out = std::move(best_);
+    best_ = Checkpoint{};
+    return out;
+  }
+
+ private:
+  mutable Mutex mu_;
+  Checkpoint best_ COMPLX_GUARDED_BY(mu_);
 };
 
 /// Test-only fault hooks. Production configs leave every member empty; the

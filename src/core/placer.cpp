@@ -6,7 +6,7 @@
 #include <memory>
 #include <stdexcept>
 
-#include "io/experience.h"
+#include "core/warm_start.h"
 #include "nlcg/nlcg.h"
 #include "util/log.h"
 #include "util/parallel.h"
@@ -167,24 +167,24 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
 
   Placement p = initial ? *initial : nl_.snapshot();
 
-  // Experience probe (io/experience.h): an exact or near-repeat hit replaces
-  // the cold collapse-to-center with the stored converged placement. Movable
-  // cells only — fixed positions always come from THIS netlist, so a
-  // topology hit with moved terminals stays consistent. A miss, a degraded
-  // store, or no store at all is the cold path, bitwise.
+  // Warm-start probe (core/warm_start.h): an exact or near-repeat hit
+  // replaces the cold collapse-to-center with the stored converged
+  // placement. Movable cells only — fixed positions always come from THIS
+  // netlist, so a topology hit with moved terminals stays consistent. A
+  // miss, a degraded source, or no source at all is the cold path, bitwise.
   bool from_experience = false;
   if (!initial && !cfg_.warm_start && cfg_.experience) {
-    const ExperienceStore::Probe hit = cfg_.experience->lookup(nl_);
-    if (hit.record) {
+    const WarmStartSource::Hit hit = cfg_.experience->warm_start(nl_);
+    if (hit.x != nullptr && hit.y != nullptr) {
       for (CellId id : nl_.movable_cells()) {
-        p.x[id] = hit.record->x[id];
-        p.y[id] = hit.record->y[id];
+        p.x[id] = (*hit.x)[id];
+        p.y[id] = (*hit.y)[id];
       }
       from_experience = true;
       log_debug("experience store: %s hit (stored hpwl %.4g, %u iterations)",
-                hit.kind == ExperienceStore::MatchKind::Exact ? "exact"
+                hit.kind == WarmStartSource::MatchKind::Exact ? "exact"
                                                               : "topology",
-                hit.record->hpwl, hit.record->iterations);
+                hit.hpwl, hit.iterations);
     }
   }
   // Both warm-start flavours skip the bootstrap and the λ=0 phase and jump
@@ -307,7 +307,7 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
   // same arithmetic with the watchdog on or off.
   const bool watchdog = cfg_.health.enabled;
   HealthMonitor monitor(nl_, cfg_.health);
-  Checkpoint best;
+  CheckpointStore best;
   int consecutive_faults = 0;  // rollbacks since the last healthy iteration
   int breakdown_streak = 0;    // consecutive CG-breakdown faults
   int pending_recoveries = 0;  // recoveries to stamp on the next trace row
@@ -369,20 +369,21 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
         qp_opts.cg.diag_shift += cfg_.recovery.diag_shift;
       }
     }
-    p = best.iterate;
-    proj.anchors = best.anchors;
-    proj.displacement_l1 = best.pi;
-    proj.input_overflow_ratio = best.overflow;
+    const Checkpoint ck = best.snapshot();
+    p = ck.iterate;
+    proj.anchors = ck.anchors;
+    proj.displacement_l1 = ck.pi;
+    proj.input_overflow_ratio = ck.overflow;
     prev_iter = p;
     prev_proj = proj.anchors;
-    prev_pi = best.pi;
-    double backed_off = best.lambda;
+    prev_pi = ck.pi;
+    double backed_off = ck.lambda;
     for (int i = 0; i < consecutive_faults; ++i)
       backed_off *= cfg_.recovery.lambda_backoff;
     schedule.set_lambda(std::max(backed_off, 1e-12));
     log_warn("iter %d: %s — rolled back to iteration %d, lambda %.3g "
              "(retry %d/%d)",
-             iter, to_string(fault), best.trace_index, schedule.lambda(),
+             iter, to_string(fault), ck.trace_index, schedule.lambda(),
              consecutive_faults, cfg_.recovery.max_retries);
     return true;
   };
@@ -559,25 +560,27 @@ PlaceResult ComplxPlacer::place_impl(const Placement* initial) {
   // checkpoint when it ranks strictly better by (overflow, Φ_upper), and
   // any exit whose final state is non-finite always does.
   const IterationStats& last = result.trace.back();
+  Checkpoint ck;
   bool use_checkpoint = false;
   if (best.valid()) {
+    ck = best.take();  // the loop is done — move the placements out
     const bool final_finite =
         HealthMonitor::placement_finite(nl_, p) &&
         HealthMonitor::placement_finite(nl_, proj.anchors);
     if (!final_finite)
       use_checkpoint = true;
     else if (stop != StopReason::Converged &&
-             Checkpoint::ranks_better(best.grid_bins, best.overflow,
-                                      best.phi_upper, last.grid_bins,
+             Checkpoint::ranks_better(ck.grid_bins, ck.overflow,
+                                      ck.phi_upper, last.grid_bins,
                                       last.overflow_ratio, last.phi_upper))
       use_checkpoint = true;
   }
   if (use_checkpoint) {
-    result.lower_bound = std::move(best.iterate);
-    result.anchors = std::move(best.anchors);
-    result.final_lambda = best.lambda;
-    result.final_overflow = best.overflow;
-    result.best_iteration = best.trace_index;
+    result.lower_bound = std::move(ck.iterate);
+    result.anchors = std::move(ck.anchors);
+    result.final_lambda = ck.lambda;
+    result.final_overflow = ck.overflow;
+    result.best_iteration = ck.trace_index;
   } else {
     result.lower_bound = std::move(p);
     result.anchors = std::move(proj.anchors);

@@ -35,7 +35,7 @@
 
 namespace complx {
 
-class ExperienceStore;
+class WarmStartSource;
 
 /// Routability mode (the SimPLR/Ripple special cases, Section 5): RUDY
 /// congestion is estimated every `period` iterations and congested standard
@@ -123,8 +123,9 @@ struct ComplxConfig {
   bool warm_start = false;
   double warm_lambda_fraction = 0.5;  ///< initial λ as a fraction of λ*
 
-  // Experience-driven warm start (io/experience.h): when non-null, place()
-  // probes the store for this job before the cold bootstrap. On a hit the
+  // Experience-driven warm start (core/warm_start.h; io/experience.h is
+  // the production implementation): when non-null, place() probes the
+  // source for this job before the cold bootstrap. On a hit the
   // stored placement replaces the collapse-to-center, the λ=0 phase is
   // skipped, the grid starts at the finest resolution (the stored solution
   // is already spread — re-coarsening would destroy it) and the iteration
@@ -139,7 +140,7 @@ struct ComplxConfig {
   // resumed solution. This is what makes a repeat of a job that exhausted
   // its iteration budget cheap: the rerun re-attains the stored quality in
   // a handful of iterations instead of burning the whole budget again.
-  const ExperienceStore* experience = nullptr;
+  const WarmStartSource* experience = nullptr;
   int warm_min_iterations = 3;  ///< min_iterations for experience hits
   int warm_plateau_window = 4;     ///< stalled iterations before Plateau stop
   double warm_plateau_tol = 1e-3;  ///< relative Φ̄ gain that resets the stall

@@ -1,0 +1,42 @@
+// WarmStartSource: the core-side interface behind experience-driven warm
+// starts.
+//
+// The placer (core layer) must not depend on where converged placements
+// are remembered — that is a service concern (io/experience.h persists
+// them in the snapshot format). The declared layer DAG
+// (tools/complx_lint/layers.toml) puts io ABOVE core, so core defines this
+// interface and the experience store implements it: the classic dependency
+// inversion that keeps the include graph acyclic and downward-only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace complx {
+
+class Netlist;
+
+class WarmStartSource {
+ public:
+  enum class MatchKind { Miss, Exact, Topology };
+
+  /// One probe answer. On a hit, x/y are cell-indexed positions covering
+  /// every cell of the probed netlist (the placer copies movable cells
+  /// only); the pointers stay valid until the source is next mutated,
+  /// matching ExperienceStore::Probe lifetime.
+  struct Hit {
+    MatchKind kind = MatchKind::Miss;
+    const std::vector<double>* x = nullptr;
+    const std::vector<double>* y = nullptr;
+    double hpwl = 0.0;        ///< stored wirelength, for logging
+    std::uint32_t iterations = 0;  ///< iterations the stored run took
+  };
+
+  virtual ~WarmStartSource() = default;
+
+  /// Probes for a stored placement matching this netlist. A Miss (null
+  /// x/y) means cold start; never throws.
+  virtual Hit warm_start(const Netlist& nl) const = 0;
+};
+
+}  // namespace complx

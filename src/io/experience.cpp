@@ -18,6 +18,7 @@ void ExperienceStore::mark_degraded(const std::string& reason) {
 }
 
 SnapshotError ExperienceStore::open() {
+  MutexLock lock(mu_);
   records_.clear();
   std::ifstream in(opts_.path, std::ios::binary);
   if (!in.is_open()) return SnapshotError::None;  // no store yet: cold start
@@ -69,6 +70,12 @@ SnapshotError ExperienceStore::open() {
 }
 
 ExperienceStore::Probe ExperienceStore::lookup(const Netlist& nl) const {
+  MutexLock lock(mu_);
+  return lookup_locked(nl);
+}
+
+ExperienceStore::Probe ExperienceStore::lookup_locked(
+    const Netlist& nl) const {
   Probe probe;
   const uint64_t key = netlist_job_hash(nl);
   const auto exact = records_.find(key);
@@ -90,8 +97,25 @@ ExperienceStore::Probe ExperienceStore::lookup(const Netlist& nl) const {
   return probe;
 }
 
+WarmStartSource::Hit ExperienceStore::warm_start(const Netlist& nl) const {
+  WarmStartSource::Hit hit;
+  MutexLock lock(mu_);
+  const Probe probe = lookup_locked(nl);
+  if (probe.record != nullptr) {
+    hit.kind = probe.kind == MatchKind::Exact
+                   ? WarmStartSource::MatchKind::Exact
+                   : WarmStartSource::MatchKind::Topology;
+    hit.x = &probe.record->x;
+    hit.y = &probe.record->y;
+    hit.hpwl = probe.record->hpwl;
+    hit.iterations = probe.record->iterations;
+  }
+  return hit;
+}
+
 bool ExperienceStore::record(const Netlist& nl, const Placement& placement,
                              double hpwl, int iterations) {
+  MutexLock lock(mu_);
   if (placement.size() != nl.num_cells()) {
     mark_degraded("record: placement size mismatch");
     return false;

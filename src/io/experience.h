@@ -34,15 +34,17 @@
 #include <map>
 #include <string>
 
+#include "core/warm_start.h"
 #include "io/snapshot.h"
 #include "util/atomic_file.h"
+#include "util/parallel.h"
 
 namespace complx {
 
 class Netlist;
 struct Placement;
 
-class ExperienceStore {
+class ExperienceStore : public WarmStartSource {
  public:
   struct Options {
     std::string path;       ///< snapshot file (created on first save)
@@ -74,6 +76,11 @@ class ExperienceStore {
   /// topology match with the smallest key.
   Probe lookup(const Netlist& nl) const;
 
+  /// WarmStartSource: lookup() adapted to the core-side interface (the
+  /// placer depends on core/warm_start.h only — io sits above core in the
+  /// layer DAG, so the store implements the interface, not the reverse).
+  WarmStartSource::Hit warm_start(const Netlist& nl) const override;
+
   /// Records a converged placement for this job and, when persist is on,
   /// rewrites the store atomically. Returns false (and marks the store
   /// degraded) if the save failed; the in-memory record is kept either way.
@@ -82,23 +89,45 @@ class ExperienceStore {
 
   /// True after a failed load (whole-file corruption or dropped records) or
   /// a failed save. Maps to CLI exit code 4.
-  bool degraded() const { return degraded_; }
-  const std::string& degraded_reason() const { return degraded_reason_; }
+  bool degraded() const COMPLX_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return degraded_;
+  }
+  std::string degraded_reason() const COMPLX_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return degraded_reason_;
+  }
 
-  const SnapshotStats& stats() const { return stats_; }
-  size_t size() const { return records_.size(); }
-  uint64_t save_count() const { return save_count_; }
-  const std::string& path() const { return opts_.path; }
+  SnapshotStats stats() const COMPLX_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return stats_;
+  }
+  size_t size() const COMPLX_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return records_.size();
+  }
+  uint64_t save_count() const COMPLX_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return save_count_;
+  }
+  const std::string& path() const { return opts_.path; }  // immutable
 
  private:
-  void mark_degraded(const std::string& reason);
+  void mark_degraded(const std::string& reason) COMPLX_REQUIRES(mu_);
+  Probe lookup_locked(const Netlist& nl) const COMPLX_REQUIRES(mu_);
 
-  Options opts_;
-  std::map<uint64_t, SnapshotRecord> records_;  // key -> record, sorted
-  SnapshotStats stats_;
-  uint64_t save_count_ = 0;
-  bool degraded_ = false;
-  std::string degraded_reason_;
+  Options opts_;  ///< set in the constructor, never mutated after
+  /// Guards every mutable member: a placement service probes (lookup /
+  /// warm_start) from worker sessions while completed runs record() back.
+  /// The discipline is declared here and proven by the CI clang job's
+  /// -Wthread-safety build; complx-lint rule P2 keeps it declared.
+  mutable Mutex mu_;
+  std::map<uint64_t, SnapshotRecord> records_
+      COMPLX_GUARDED_BY(mu_);  // key -> record, sorted
+  SnapshotStats stats_ COMPLX_GUARDED_BY(mu_);
+  uint64_t save_count_ COMPLX_GUARDED_BY(mu_) = 0;
+  bool degraded_ COMPLX_GUARDED_BY(mu_) = false;
+  std::string degraded_reason_ COMPLX_GUARDED_BY(mu_);
 };
 
 }  // namespace complx

@@ -1,4 +1,4 @@
-#include "util/svg.h"
+#include "io/svg.h"
 
 #include <stdexcept>
 

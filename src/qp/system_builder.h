@@ -50,10 +50,15 @@ class SystemBuilder {
  public:
   SystemBuilder(const Netlist& nl, const VarMap& vars, Axis axis,
                 const Placement& linearization_point);
+  /// The builder keeps a pointer to the linearization point for the
+  /// lifetime of the system being assembled — a temporary would dangle.
+  SystemBuilder(const Netlist& nl, const VarMap& vars, Axis axis,
+                Placement&& linearization_point) = delete;
 
   /// Rewinds to an empty system at a new linearization point, keeping the
   /// capacity of the triplet and RHS buffers (allocation-free once warm).
   void reset(const Placement& linearization_point);
+  void reset(Placement&& linearization_point) = delete;
 
   void add_pin_springs(const std::vector<PinSpring>& springs);
   void add_star_springs(const std::vector<StarSpring>& springs);

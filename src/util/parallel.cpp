@@ -35,7 +35,7 @@ ThreadPool::ThreadPool(size_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -47,8 +47,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      MutexLock lock(mu_);
+      // Explicit wait loop: condition_variable_any::wait(mu_) releases and
+      // reacquires the annotated Mutex, and the guarded reads stay inside
+      // this scope where the analysis can see the capability.
+      while (!stop_ && generation_ == seen) work_cv_.wait(mu_);
       if (stop_) return;
       seen = generation_;
       job = job_;
@@ -58,7 +61,7 @@ void ThreadPool::worker_loop() {
     }
     if (job) {
       run_chunks(*job);
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (--job->active == 0) done_cv_.notify_all();
     }
   }
@@ -74,7 +77,7 @@ void ThreadPool::run_chunks(Job& job) {
     try {
       (*job.body)(begin, end);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(job.error_mu);
+      MutexLock lock(job.error_mu);
       if (!job.error) job.error = std::current_exception();
     }
     job.completed.fetch_add(1, std::memory_order_acq_rel);
@@ -115,7 +118,7 @@ void ThreadPool::parallel_for(size_t n, size_t chunk,
   job.chunk = chunk;
   job.num_chunks = chunk_count(n, chunk);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = &job;
     ++generation_;
   }
@@ -127,14 +130,21 @@ void ThreadPool::parallel_for(size_t n, size_t chunk,
   {
     // Wait until every chunk ran AND every worker let go of the job — the
     // Job lives on this stack frame.
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = nullptr;  // late wakers must not pick the job up anymore
-    done_cv_.wait(lock, [&] {
-      return job.active == 0 &&
-             job.completed.load(std::memory_order_acquire) == job.num_chunks;
-    });
+    while (job.active != 0 ||
+           job.completed.load(std::memory_order_acquire) != job.num_chunks)
+      done_cv_.wait(mu_);
   }
-  if (job.error) std::rethrow_exception(job.error);
+  // Copy the error pointer out under its own lock: every worker that could
+  // write it has detached above, but the discipline (and the analysis)
+  // want the guarded read locked regardless.
+  std::exception_ptr error;
+  {
+    MutexLock lock(job.error_mu);
+    error = job.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::invoke(const std::vector<std::function<void()>>& tasks) {

@@ -29,7 +29,70 @@
 #include <thread>
 #include <vector>
 
+// ---------------------------------------------------------------------------
+// Clang Thread Safety Analysis attributes (no-ops on other compilers).
+//
+// The CI clang job compiles with -Wthread-safety -Werror, turning the
+// locking discipline declared by these annotations into a build-time
+// proof: every COMPLX_GUARDED_BY member must be touched with its mutex
+// held, every COMPLX_REQUIRES function must be called with the capability
+// held. complx-lint rule P2 closes the loop from the other side — every
+// mutex declared in src/ must participate in this scheme.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && (!defined(SWIG))
+#define COMPLX_TSA(x) __attribute__((x))
+#else
+#define COMPLX_TSA(x)  // no-op off clang
+#endif
+
+#define COMPLX_CAPABILITY(x) COMPLX_TSA(capability(x))
+#define COMPLX_SCOPED_CAPABILITY COMPLX_TSA(scoped_lockable)
+#define COMPLX_GUARDED_BY(x) COMPLX_TSA(guarded_by(x))
+#define COMPLX_PT_GUARDED_BY(x) COMPLX_TSA(pt_guarded_by(x))
+#define COMPLX_REQUIRES(...) COMPLX_TSA(requires_capability(__VA_ARGS__))
+#define COMPLX_ACQUIRE(...) COMPLX_TSA(acquire_capability(__VA_ARGS__))
+#define COMPLX_RELEASE(...) COMPLX_TSA(release_capability(__VA_ARGS__))
+#define COMPLX_TRY_ACQUIRE(...) \
+  COMPLX_TSA(try_acquire_capability(__VA_ARGS__))
+#define COMPLX_EXCLUDES(...) COMPLX_TSA(locks_excluded(__VA_ARGS__))
+#define COMPLX_ASSERT_CAPABILITY(x) COMPLX_TSA(assert_capability(x))
+#define COMPLX_RETURN_CAPABILITY(x) COMPLX_TSA(lock_returned(x))
+#define COMPLX_NO_TSA COMPLX_TSA(no_thread_safety_analysis)
+
 namespace complx {
+
+/// Annotated mutex — the only mutex type the rest of the library may
+/// declare (complx-lint rule P1 bans raw std::mutex outside this header,
+/// and rule P2 requires every instance to be wired into the annotation
+/// scheme). Wraps std::mutex because the standard library's is invisible
+/// to clang's analysis. Satisfies BasicLockable, so it works with
+/// std::condition_variable_any directly.
+class COMPLX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() COMPLX_ACQUIRE() { mu_.lock(); }
+  void unlock() COMPLX_RELEASE() { mu_.unlock(); }
+  bool try_lock() COMPLX_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex (std::lock_guard is as unannotated as std::mutex).
+class COMPLX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) COMPLX_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() COMPLX_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
 
 /// Fixed-size worker pool executing one static-partitioned loop at a time.
 /// `num_threads` counts the calling thread: a pool of N spawns N−1 workers,
@@ -83,9 +146,11 @@ class ThreadPool {
     size_t num_chunks = 0;
     std::atomic<size_t> next{0};
     std::atomic<size_t> completed{0};
-    size_t active = 0;  ///< workers currently attached (guarded by pool mu_)
-    std::exception_ptr error;
-    std::mutex error_mu;
+    size_t active = 0;  ///< workers currently attached (guarded by pool mu_;
+                        ///< a nested struct cannot name the outer member in
+                        ///< a GUARDED_BY argument)
+    Mutex error_mu;
+    std::exception_ptr error COMPLX_GUARDED_BY(error_mu);
   };
 
   void worker_loop();
@@ -95,12 +160,15 @@ class ThreadPool {
 
   size_t threads_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;  ///< workers wait for a new job
-  std::condition_variable done_cv_;  ///< caller waits for job completion
-  Job* job_ = nullptr;
-  uint64_t generation_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  /// _any variants: they wait on the annotated Mutex directly. The waits
+  /// are explicit while-loops rather than predicate lambdas — clang's
+  /// analysis does not propagate held capabilities into lambda bodies.
+  std::condition_variable_any work_cv_;  ///< workers wait for a new job
+  std::condition_variable_any done_cv_;  ///< caller waits for job completion
+  Job* job_ COMPLX_GUARDED_BY(mu_) = nullptr;
+  uint64_t generation_ COMPLX_GUARDED_BY(mu_) = 0;
+  bool stop_ COMPLX_GUARDED_BY(mu_) = false;
 };
 
 /// std::thread::hardware_concurrency with a floor of 1.

@@ -183,8 +183,9 @@ TEST(ParallelHelpers, DotDeterministicAcrossThreadCounts) {
 /// matrix with ~100k+ entries, big enough to exercise multi-chunk paths.
 CsrMatrix placement_system(const Netlist& nl, Vec& rhs) {
   const VarMap vars(nl);
-  SystemBuilder builder(nl, vars, Axis::X, nl.snapshot());
-  builder.add_pin_springs(build_b2b(nl, nl.snapshot(), Axis::X, {}));
+  const Placement snap = nl.snapshot();
+  SystemBuilder builder(nl, vars, Axis::X, snap);
+  builder.add_pin_springs(build_b2b(nl, snap, Axis::X, {}));
   rhs = builder.rhs();
   return builder.build_matrix();
 }

@@ -4,7 +4,7 @@
 #include <fstream>
 
 #include "helpers.h"
-#include "util/svg.h"
+#include "io/svg.h"
 
 namespace complx {
 namespace {

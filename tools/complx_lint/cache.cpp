@@ -1,0 +1,186 @@
+#include "cache.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/atomic_file.h"
+
+namespace complx::lint {
+
+namespace {
+
+// Bump whenever the summary semantics change: an old cache must never
+// feed a new analyzer.
+constexpr const char* kFormat = "complx-lint-cache 1";
+
+std::string esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string unesc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out.push_back(s[i]);
+      continue;
+    }
+    switch (s[++i]) {
+      case 't': out.push_back('\t'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      default: out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_tabs(const std::string& line) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  for (;;) {
+    const size_t tab = line.find('\t', pos);
+    if (tab == std::string::npos) {
+      out.push_back(line.substr(pos));
+      return out;
+    }
+    out.push_back(line.substr(pos, tab - pos));
+    pos = tab + 1;
+  }
+}
+
+bool parse_size(const std::string& s, size_t& out) {
+  try {
+    out = std::stoull(s);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::uint64_t content_hash(const std::string& content) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : content) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Record grammar (fields tab-separated, strings escaped):
+//   F <path> <hash> <#findings> <#includes> <#functions>
+//   f <line> <rule> <message>                (finding, owned by last F)
+//   i <line> <a1> <a2> <target>              (include edge)
+//   d <line> <a_t1> <source_token> <name> <callee>...   (function def)
+Cache load_cache(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::string line;
+  if (!std::getline(in, line) || line != kFormat) return {};
+
+  Cache cache;
+  CacheEntry* entry = nullptr;
+  size_t want_f = 0, want_i = 0, want_d = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> f = split_tabs(line);
+    if (f[0] == "F") {
+      if (f.size() != 6) return {};
+      const std::string p = unesc(f[1]);
+      CacheEntry e;
+      try {
+        e.hash = std::stoull(f[2], nullptr, 16);
+      } catch (...) {
+        return {};
+      }
+      if (!parse_size(f[3], want_f) || !parse_size(f[4], want_i) ||
+          !parse_size(f[5], want_d))
+        return {};
+      e.summary.path = p;
+      entry = &(cache[p] = std::move(e));
+    } else if (f[0] == "f") {
+      if (entry == nullptr || f.size() != 4 || want_f == 0) return {};
+      Finding fd;
+      fd.file = entry->summary.path;
+      if (!parse_size(f[1], fd.line)) return {};
+      fd.rule = unesc(f[2]);
+      fd.message = unesc(f[3]);
+      entry->summary.findings.push_back(std::move(fd));
+      --want_f;
+    } else if (f[0] == "i") {
+      if (entry == nullptr || f.size() != 5 || want_i == 0) return {};
+      IncludeEdge e;
+      if (!parse_size(f[1], e.line)) return {};
+      e.allow_a1 = f[2] == "1";
+      e.allow_a2 = f[3] == "1";
+      e.target = unesc(f[4]);
+      entry->summary.includes.push_back(std::move(e));
+      --want_i;
+    } else if (f[0] == "d") {
+      if (entry == nullptr || f.size() < 5 || want_d == 0) return {};
+      FunctionSummary fn;
+      if (!parse_size(f[1], fn.line)) return {};
+      fn.allow_t1 = f[2] == "1";
+      fn.source_token = unesc(f[3]);
+      fn.name = unesc(f[4]);
+      for (size_t i = 5; i < f.size(); ++i) fn.callees.push_back(unesc(f[i]));
+      entry->summary.functions.push_back(std::move(fn));
+      --want_d;
+    } else {
+      return {};
+    }
+  }
+  // A truncated trailing record means the counts don't balance; the last
+  // entry is the only suspect, so drop just it (the header promised counts
+  // per record, and all earlier records closed theirs).
+  if ((want_f || want_i || want_d) && entry != nullptr)
+    cache.erase(entry->summary.path);
+  return cache;
+}
+
+void save_cache(const std::string& path, const Cache& cache) {
+  std::ostringstream out;
+  out << kFormat << "\n";
+  char hex[32];
+  for (const auto& [p, e] : cache) {
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(e.hash));
+    out << "F\t" << esc(p) << "\t" << hex << "\t" << e.summary.findings.size()
+        << "\t" << e.summary.includes.size() << "\t"
+        << e.summary.functions.size() << "\n";
+    for (const Finding& fd : e.summary.findings)
+      out << "f\t" << fd.line << "\t" << esc(fd.rule) << "\t"
+          << esc(fd.message) << "\n";
+    for (const IncludeEdge& ie : e.summary.includes)
+      out << "i\t" << ie.line << "\t" << (ie.allow_a1 ? 1 : 0) << "\t"
+          << (ie.allow_a2 ? 1 : 0) << "\t" << esc(ie.target) << "\n";
+    for (const FunctionSummary& fn : e.summary.functions) {
+      out << "d\t" << fn.line << "\t" << (fn.allow_t1 ? 1 : 0) << "\t"
+          << esc(fn.source_token) << "\t" << esc(fn.name);
+      for (const std::string& c : fn.callees) out << "\t" << esc(c);
+      out << "\n";
+    }
+  }
+  try {
+    complx::AtomicWriteOptions opts;
+    opts.fsync = false;  // a cache is disposable; speed over durability
+    complx::write_file_atomic(path, out.str(), opts);
+  } catch (...) {
+    // Read-only checkout or full disk: the lint result is unaffected.
+  }
+}
+
+}  // namespace complx::lint

@@ -1,0 +1,43 @@
+// Incremental analysis cache.
+//
+// Maps (normalized path, content hash) to a serialized FileSummary so a
+// warm run skips stripping, tokenization and the per-file rules — the
+// dominant cost — for unchanged files. The cross-file passes (A1/A2/T1)
+// always run fresh from the summaries, so cached and uncached runs produce
+// byte-identical findings by construction.
+//
+// Format: versioned tab-separated text (one record per line, tabs,
+// newlines and backslashes escaped), written atomically via
+// util/atomic_file so an interrupted run
+// never leaves a torn cache. Any malformation — wrong version header, a
+// short line — discards the whole cache: it is a pure accelerator, never a
+// source of truth.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "summary.h"
+
+namespace complx::lint {
+
+/// FNV-1a 64-bit. Stable across platforms; collisions are astronomically
+/// unlikely at repo scale and cost at most one stale summary.
+std::uint64_t content_hash(const std::string& content);
+
+struct CacheEntry {
+  std::uint64_t hash = 0;
+  FileSummary summary;
+};
+
+using Cache = std::map<std::string, CacheEntry>;  ///< keyed by path
+
+/// Loads a cache file. Missing or malformed caches yield an empty map.
+Cache load_cache(const std::string& path);
+
+/// Serializes and atomically writes the cache. Failures are swallowed —
+/// a read-only checkout must still lint.
+void save_cache(const std::string& path, const Cache& cache);
+
+}  // namespace complx::lint

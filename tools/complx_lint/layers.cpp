@@ -1,0 +1,311 @@
+#include "layers.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace complx::lint {
+
+namespace {
+
+std::string trimmed(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Strips an unquoted trailing `# comment` (quoted '#' never appears in
+/// our values, which are bare dir names).
+std::string without_comment(const std::string& s) {
+  bool in_str = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '"') in_str = !in_str;
+    if (s[i] == '#' && !in_str) return s.substr(0, i);
+  }
+  return s;
+}
+
+bool parse_quoted(const std::string& s, size_t& pos, std::string& out) {
+  pos = s.find('"', pos);
+  if (pos == std::string::npos) return false;
+  const size_t end = s.find('"', pos + 1);
+  if (end == std::string::npos) return false;
+  out = s.substr(pos + 1, end - pos - 1);
+  pos = end + 1;
+  return true;
+}
+
+/// True when `path` contains `dir` as a '/'-anchored prefix of a suffix:
+/// matches at position 0 or right after a '/', and is followed by '/'.
+bool dir_prefix_match(const std::string& path, const std::string& dir) {
+  size_t at = 0;
+  while ((at = path.find(dir, at)) != std::string::npos) {
+    const bool left_ok = at == 0 || path[at - 1] == '/';
+    const size_t end = at + dir.size();
+    const bool right_ok = end < path.size() && path[end] == '/';
+    if (left_ok && right_ok) return true;
+    ++at;
+  }
+  return false;
+}
+
+}  // namespace
+
+int LayerMap::layer_of(const std::string& path) const {
+  int best = -1;
+  size_t best_len = 0;
+  for (size_t i = 0; i < layers.size(); ++i) {
+    for (const std::string& dir : layers[i].dirs) {
+      if (dir.size() > best_len && dir_prefix_match(path, dir)) {
+        best = static_cast<int>(i);
+        best_len = dir.size();
+      }
+    }
+  }
+  return best;
+}
+
+int LayerMap::layer_of_include(const std::string& target) const {
+  const int direct = layer_of(target);
+  if (direct >= 0) return direct;
+  return layer_of("src/" + target);
+}
+
+bool parse_layers_toml(const std::string& text, LayerMap& out,
+                       std::string& error, std::size_t& error_line) {
+  out.layers.clear();
+  std::istringstream in(text);
+  std::string raw;
+  size_t line_no = 0;
+  Layer* current = nullptr;
+  bool explicit_ranks = false;
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = trimmed(without_comment(raw));
+    if (line.empty()) continue;
+
+    if (line == "[[layer]]") {
+      out.layers.emplace_back();
+      current = &out.layers.back();
+      current->rank = static_cast<int>(out.layers.size());  // declaration order
+      continue;
+    }
+    if (line[0] == '[') {
+      error = "unknown table '" + line + "' (only [[layer]] is understood)";
+      error_line = line_no;
+      return false;
+    }
+
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos || current == nullptr) {
+      error = current == nullptr
+                  ? "key outside a [[layer]] table"
+                  : "expected key = value";
+      error_line = line_no;
+      return false;
+    }
+    const std::string key = trimmed(line.substr(0, eq));
+    const std::string val = trimmed(line.substr(eq + 1));
+
+    if (key == "name") {
+      size_t pos = 0;
+      if (!parse_quoted(val, pos, current->name)) {
+        error = "name must be a quoted string";
+        error_line = line_no;
+        return false;
+      }
+    } else if (key == "rank") {
+      try {
+        current->rank = std::stoi(val);
+        explicit_ranks = true;
+      } catch (...) {
+        error = "rank must be an integer";
+        error_line = line_no;
+        return false;
+      }
+    } else if (key == "dirs") {
+      if (val.empty() || val.front() != '[' || val.back() != ']') {
+        error = "dirs must be a single-line array of quoted strings";
+        error_line = line_no;
+        return false;
+      }
+      size_t pos = 0;
+      std::string dir;
+      while (parse_quoted(val, pos, dir)) {
+        // Normalize: no leading "./", no trailing '/'.
+        if (dir.rfind("./", 0) == 0) dir.erase(0, 2);
+        while (!dir.empty() && dir.back() == '/') dir.pop_back();
+        if (!dir.empty()) current->dirs.push_back(dir);
+      }
+      if (current->dirs.empty()) {
+        error = "dirs array is empty";
+        error_line = line_no;
+        return false;
+      }
+    } else {
+      error = "unknown key '" + key + "'";
+      error_line = line_no;
+      return false;
+    }
+  }
+
+  if (out.layers.empty()) {
+    error = "no [[layer]] tables declared";
+    error_line = line_no;
+    return false;
+  }
+  for (const Layer& l : out.layers) {
+    if (l.name.empty() || l.dirs.empty()) {
+      error = "layer '" + l.name + "' is missing name or dirs";
+      error_line = line_no;
+      return false;
+    }
+  }
+  (void)explicit_ranks;
+  return true;
+}
+
+namespace {
+
+/// Resolves include targets to indices in `files`: a target "util/log.h"
+/// matches any scanned path equal to it or ending in "/util/log.h".
+std::vector<size_t> resolve_target(const std::vector<FileSummary>& files,
+                                   const std::string& target) {
+  std::vector<size_t> out;
+  const std::string suffix = "/" + target;
+  for (size_t i = 0; i < files.size(); ++i) {
+    const std::string& p = files[i].path;
+    if (p == target ||
+        (p.size() > suffix.size() &&
+         p.compare(p.size() - suffix.size(), suffix.size(), suffix) == 0))
+      out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+void check_layers(const std::vector<FileSummary>& files, const LayerMap& map,
+                  std::vector<Finding>& out) {
+  // --- A1: upward includes against the declared DAG -----------------------
+  for (const FileSummary& f : files) {
+    const int from = map.layer_of(f.path);
+    if (from < 0) continue;  // undeclared territory (tests, tools)
+    for (const IncludeEdge& e : f.includes) {
+      const int to = map.layer_of_include(e.target);
+      if (to < 0 || e.allow_a1) continue;
+      if (map.layers[static_cast<size_t>(to)].rank >
+          map.layers[static_cast<size_t>(from)].rank) {
+        out.push_back(
+            {f.path, e.line, "A1",
+             "#include \"" + e.target + "\" reaches UP the layer DAG: '" +
+                 map.layers[static_cast<size_t>(from)].name + "' (rank " +
+                 std::to_string(map.layers[static_cast<size_t>(from)].rank) +
+                 ") may not depend on '" +
+                 map.layers[static_cast<size_t>(to)].name + "' (rank " +
+                 std::to_string(map.layers[static_cast<size_t>(to)].rank) +
+                 ") — invert the dependency or move the code; the DAG is "
+                 "declared in tools/complx_lint/layers.toml"});
+      }
+    }
+  }
+
+  // --- A2: include cycles among the scanned files -------------------------
+  // Resolve edges to scanned-file indices, then peel leaves (Kahn): every
+  // node left has a path back to itself. Deterministic: files arrive
+  // sorted and edges are visited in declaration order.
+  const size_t n = files.size();
+  std::vector<std::vector<size_t>> adj(n);
+  std::vector<size_t> out_deg(n, 0);
+  std::vector<std::vector<size_t>> radj(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::set<size_t> targets;
+    for (const IncludeEdge& e : files[i].includes)
+      for (size_t j : resolve_target(files, e.target))
+        if (j != i) targets.insert(j);
+    for (size_t j : targets) {
+      adj[i].push_back(j);
+      radj[j].push_back(i);
+    }
+    out_deg[i] = adj[i].size();
+  }
+  std::vector<size_t> stack;
+  for (size_t i = 0; i < n; ++i)
+    if (out_deg[i] == 0) stack.push_back(i);
+  std::vector<bool> removed(n, false);
+  while (!stack.empty()) {
+    const size_t v = stack.back();
+    stack.pop_back();
+    removed[v] = true;
+    for (size_t u : radj[v])
+      if (!removed[u] && --out_deg[u] == 0) stack.push_back(u);
+  }
+
+  // Report each cycle once: walk from the smallest-path unreported cyclic
+  // node along cyclic successors until the walk closes.
+  std::vector<size_t> cyclic;
+  for (size_t i = 0; i < n; ++i)
+    if (!removed[i]) cyclic.push_back(i);
+  std::sort(cyclic.begin(), cyclic.end(), [&](size_t a, size_t b) {
+    return files[a].path < files[b].path;
+  });
+  std::vector<bool> reported(n, false);
+  for (size_t start : cyclic) {
+    if (reported[start]) continue;
+    std::vector<size_t> walk{start};
+    std::vector<bool> on_walk(n, false);
+    on_walk[start] = true;
+    size_t v = start;
+    size_t closes_at = start;
+    for (;;) {
+      size_t next = n;
+      for (size_t u : adj[v])
+        if (!removed[u]) {
+          next = u;
+          break;
+        }
+      if (next == n) break;  // unreachable for cyclic nodes; defensive
+      if (on_walk[next]) {
+        closes_at = next;
+        break;
+      }
+      walk.push_back(next);
+      on_walk[next] = true;
+      v = next;
+    }
+    // Trim the tail leading into the cycle; keep the loop itself.
+    size_t first = 0;
+    while (first < walk.size() && walk[first] != closes_at) ++first;
+    std::string chain;
+    for (size_t i = first; i < walk.size(); ++i) {
+      reported[walk[i]] = true;
+      chain += files[walk[i]].path + " -> ";
+    }
+    chain += files[closes_at].path;
+
+    // Anchor the finding at `start`'s include that enters the cycle.
+    size_t line = 0;
+    bool allowed = false;
+    for (const IncludeEdge& e : files[start].includes) {
+      for (size_t j : resolve_target(files, e.target)) {
+        if (j != start && !removed[j]) {
+          line = e.line;
+          allowed = e.allow_a2;
+          break;
+        }
+      }
+      if (line) break;
+    }
+    if (!allowed) {
+      out.push_back({files[start].path, line, "A2",
+                     "include cycle: " + chain +
+                         " — break it with a forward declaration or an "
+                         "interface header"});
+    }
+  }
+}
+
+}  // namespace complx::lint

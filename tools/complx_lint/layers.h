@@ -1,0 +1,65 @@
+// Layer-DAG include checking (rules A1/A2).
+//
+// The architecture's layering is DECLARED, not inferred: layers.toml
+// commits the intended DAG (util at the bottom, apps at the top), and the
+// include-graph pass holds every `#include "..."` in the scanned set
+// against it. Two rules fall out:
+//
+//   A1  an include whose target lives in a HIGHER layer than the including
+//       file — util/ reaching into netlist/, core/ reaching into io/.
+//   A2  an include cycle among the scanned files (possible even within a
+//       layer, which A1 cannot see).
+//
+// The declaration format is a minimal TOML subset — an array of tables:
+//
+//   [[layer]]
+//   name = "util"
+//   rank = 1
+//   dirs = ["src/util"]
+//
+// Lower rank = lower layer. A file may include files of the same or lower
+// rank; same-rank sibling directories may include each other. Files that
+// match no layer (tests, tools) are unconstrained by A1 but still
+// participate in A2 cycle detection.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+#include "summary.h"
+
+namespace complx::lint {
+
+struct Layer {
+  std::string name;
+  int rank = 0;
+  std::vector<std::string> dirs;  ///< path prefixes, '/'-separated
+};
+
+struct LayerMap {
+  std::vector<Layer> layers;
+
+  /// Index into layers for a repo path ("src/util/log.h"), or -1. Matches
+  /// the longest declared dir prefix, anchored at the start of the path or
+  /// at a '/' boundary (so "a/b/src/util/log.h" matches "src/util").
+  int layer_of(const std::string& path) const;
+
+  /// Layer of an include target ("util/log.h"): tries the target verbatim
+  /// and with "src/" prepended (quoted includes in this repo are rooted at
+  /// src/). Returns -1 when the target matches no declared layer.
+  int layer_of_include(const std::string& target) const;
+};
+
+/// Parses the layers.toml subset. On failure returns false and sets
+/// `error` to a one-line diagnosis (with its 1-based line number).
+bool parse_layers_toml(const std::string& text, LayerMap& out,
+                       std::string& error, std::size_t& error_line);
+
+/// The A1/A2 include-graph pass over the summarized file set. Appends
+/// findings; deterministic for a fixed input order.
+void check_layers(const std::vector<FileSummary>& files, const LayerMap& map,
+                  std::vector<Finding>& out);
+
+}  // namespace complx::lint

@@ -7,6 +7,8 @@
 #include <set>
 #include <sstream>
 
+#include "summary.h"
+
 namespace complx::lint {
 
 namespace {
@@ -226,8 +228,8 @@ std::vector<Token> tokenize(const std::string& code) {
 
 // ---------------------------------------------------------------------------
 // Suppressions: `// complx-lint: allow(D1): justification` on the same line
-// or the line above a finding. Bare allow() without justification is itself
-// a finding (SUPP).
+// or the line above a finding. Bare allow() — missing justification or no
+// rule ids — is itself a finding (SUPP).
 // ---------------------------------------------------------------------------
 
 struct Suppressions {
@@ -267,7 +269,18 @@ Suppressions parse_suppressions(const std::string& path,
     std::replace(ids.begin(), ids.end(), ',', ' ');
     std::istringstream in(ids);
     std::string id;
-    while (in >> id) sup.allowed[line].insert(id);
+    size_t id_count = 0;
+    while (in >> id) {
+      sup.allowed[line].insert(id);
+      ++id_count;
+    }
+    if (id_count == 0) {
+      sup.missing_justification.push_back(
+          {path, line, "SUPP",
+           "suppression names no rules: // complx-lint: allow(ID): "
+           "<why this is safe>"});
+      continue;
+    }
 
     std::string just = text.substr(close + 1);
     const size_t b = just.find_first_not_of(" \t:-—");
@@ -431,37 +444,49 @@ void rule_d1(const std::string& path, const std::vector<Token>& t,
   }
 }
 
-void rule_d2(const std::string& path, const std::vector<Token>& t,
-             std::vector<Finding>& out) {
-  const bool is_rng_authority = path_has(path, "util/rng.h");
+/// D2 source detection for one token. Returns the offending token rendered
+/// for a message ("rand()", "this_thread", ...) or empty. Shared between
+/// rule_d2 and the taint-seed extraction so the two passes can never
+/// disagree on what counts as a nondeterminism source.
+std::string d2_source_at(const std::string& path, const std::vector<Token>& t,
+                         size_t i) {
   static const std::set<std::string> kAlways = {
       "srand",  "rand_r",  "drand48", "lrand48",
       "mrand48", "random_shuffle", "this_thread"};
   static const std::set<std::string> kCallOnly = {"rand", "time", "clock"};
+  if (t[i].kind != Token::Ident) return "";
+  const std::string& s = t[i].text;
+  const bool member_access =
+      i > 0 && (is(t[i - 1], ".") || is(t[i - 1], "->"));
+  if (kAlways.count(s)) return s;
+  if (s == "random_device" && !path_has(path, "util/rng.h")) return s;
+  if (kCallOnly.count(s) && !member_access && i + 1 < t.size() &&
+      is(t[i + 1], "("))
+    return s + "()";
+  return "";
+}
+
+void rule_d2(const std::string& path, const std::vector<Token>& t,
+             std::vector<Finding>& out) {
   for (size_t i = 0; i < t.size(); ++i) {
-    if (t[i].kind != Token::Ident) continue;
+    const std::string src = d2_source_at(path, t, i);
+    if (src.empty()) continue;
     const std::string& s = t[i].text;
-    const bool member_access =
-        i > 0 && (is(t[i - 1], ".") || is(t[i - 1], "->"));
-    if (kAlways.count(s)) {
+    if (s == "random_device") {
+      out.push_back({path, t[i].line, "D2",
+                     "'std::random_device' outside util/rng.h — all entropy "
+                     "must flow through the seeded Rng"});
+    } else if (s == "time" || s == "clock") {
+      out.push_back({path, t[i].line, "D2",
+                     "'" + src +
+                         "' makes results wall-clock dependent — "
+                         "use util/timer.h for measurement and "
+                         "explicit seeds for variation"});
+    } else {
       out.push_back({path, t[i].line, "D2",
                      "'" + s +
                          "' is a banned nondeterminism source — use the "
                          "seeded util/rng.h Rng"});
-    } else if (s == "random_device" && !is_rng_authority) {
-      out.push_back({path, t[i].line, "D2",
-                     "'std::random_device' outside util/rng.h — all entropy "
-                     "must flow through the seeded Rng"});
-    } else if (kCallOnly.count(s) && !member_access && i + 1 < t.size() &&
-               is(t[i + 1], "(")) {
-      out.push_back({path, t[i].line, "D2",
-                     s == "rand"
-                         ? "'rand()' is a banned nondeterminism source — "
-                           "use the seeded util/rng.h Rng"
-                         : "'" + s +
-                               "()' makes results wall-clock dependent — "
-                               "use util/timer.h for measurement and "
-                               "explicit seeds for variation"});
     }
   }
 }
@@ -577,8 +602,78 @@ void rule_p1(const std::string& path, const std::vector<Token>& t,
                      "'" + tok.text +
                          "' outside util/parallel.* — the deterministic "
                          "execution layer is the single concurrency "
-                         "authority (use parallel_for/parallel_sum)"});
+                         "authority (use parallel_for/parallel_sum, or the "
+                         "annotated complx::Mutex when shared state is "
+                         "unavoidable)"});
     }
+  }
+}
+
+/// P2: every mutex declared in src/ must be tied into the clang
+/// thread-safety annotation scheme — its name referenced by an annotation
+/// argument in the same file, or the declaration wrapped inside a
+/// COMPLX_CAPABILITY class (the annotated wrapper itself).
+void rule_p2(const std::string& path, const std::vector<Token>& t,
+             std::vector<Finding>& out) {
+  if (!in_any_dir(path, {"src"})) return;
+  static const std::set<std::string> kMutexTypes = {
+      "mutex",       "shared_mutex",       "recursive_mutex",
+      "timed_mutex", "shared_timed_mutex", "recursive_timed_mutex",
+      "Mutex"};
+  static const std::set<std::string> kAnnotations = {
+      "COMPLX_GUARDED_BY",  "COMPLX_PT_GUARDED_BY", "COMPLX_REQUIRES",
+      "COMPLX_ACQUIRE",     "COMPLX_RELEASE",       "COMPLX_TRY_ACQUIRE",
+      "COMPLX_EXCLUDES",    "COMPLX_ASSERT_CAPABILITY",
+      "COMPLX_RETURN_CAPABILITY"};
+
+  // Identifiers named inside annotation arguments.
+  std::set<std::string> annotated;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::Ident || !kAnnotations.count(t[i].text) ||
+        !is(t[i + 1], "("))
+      continue;
+    const size_t close = find_match(t, i + 1, "(", ")");
+    for (size_t j = i + 2; j < close && j < t.size(); ++j)
+      if (t[j].kind == Token::Ident) annotated.insert(t[j].text);
+  }
+
+  // Token spans of class bodies whose head carries a capability attribute.
+  std::vector<std::pair<size_t, size_t>> capability_spans;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::Ident ||
+        (!is(t[i], "class") && !is(t[i], "struct")))
+      continue;
+    bool capability = false;
+    size_t j = i + 1;
+    for (; j < t.size() && j < i + 64; ++j) {
+      if (is(t[j], "{") || is(t[j], ";")) break;
+      if (t[j].kind == Token::Ident &&
+          (t[j].text == "COMPLX_CAPABILITY" ||
+           t[j].text == "COMPLX_SCOPED_CAPABILITY"))
+        capability = true;
+    }
+    if (capability && j < t.size() && is(t[j], "{"))
+      capability_spans.emplace_back(j, find_match(t, j, "{", "}"));
+  }
+  auto in_capability_class = [&](size_t i) {
+    for (const auto& [b, e] : capability_spans)
+      if (i > b && i < e) return true;
+    return false;
+  };
+
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::Ident || !kMutexTypes.count(t[i].text)) continue;
+    if (i > 0 && (is(t[i - 1], ".") || is(t[i - 1], "->"))) continue;
+    if (t[i + 1].kind != Token::Ident) continue;  // not `MutexType name`
+    const std::string& name = t[i + 1].text;
+    if (annotated.count(name) || in_capability_class(i)) continue;
+    out.push_back(
+        {path, t[i].line, "P2",
+         "mutex '" + name +
+             "' has no thread-safety annotation — name it in a "
+             "COMPLX_GUARDED_BY(" + name +
+             ") on the state it protects (or wrap it in a "
+             "COMPLX_CAPABILITY class); see util/parallel.h"});
   }
 }
 
@@ -602,26 +697,193 @@ void rule_io1(const std::string& path, const std::vector<Token>& t,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Cross-file model extraction: #include edges and the function call graph.
+// ---------------------------------------------------------------------------
+
+/// Quoted includes, parsed from the raw content (the stripper blanks string
+/// literals, which is exactly what an include path is).
+std::vector<IncludeEdge> collect_includes(const std::string& content) {
+  std::vector<IncludeEdge> out;
+  size_t line = 1;
+  size_t pos = 0;
+  while (pos <= content.size()) {
+    const size_t eol = content.find('\n', pos);
+    const std::string text =
+        content.substr(pos, eol == std::string::npos ? eol : eol - pos);
+    size_t i = text.find_first_not_of(" \t");
+    if (i != std::string::npos && text[i] == '#') {
+      i = text.find_first_not_of(" \t", i + 1);
+      if (i != std::string::npos && text.compare(i, 7, "include") == 0) {
+        const size_t q1 = text.find('"', i + 7);
+        const size_t q2 =
+            q1 == std::string::npos ? q1 : text.find('"', q1 + 1);
+        if (q2 != std::string::npos) {
+          IncludeEdge e;
+          e.target = text.substr(q1 + 1, q2 - q1 - 1);
+          e.line = line;
+          out.push_back(std::move(e));
+        }
+      }
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+    ++line;
+  }
+  return out;
+}
+
+/// Identifiers that can never name a function being defined or called.
+bool is_cpp_keywordish(const std::string& s) {
+  static const std::set<std::string> k = {
+      "if",       "for",      "while",     "switch",   "catch",
+      "return",   "sizeof",   "alignof",   "alignas",  "decltype",
+      "constexpr", "consteval", "constinit", "operator", "throw",
+      "static_assert", "new", "delete",    "co_await", "co_return",
+      "co_yield", "requires", "typeid",    "else",     "do",
+      "void",     "int",      "double",    "float",    "char",
+      "bool",     "auto",     "long",      "short",    "unsigned",
+      "signed",   "case",     "goto",      "default",  "using",
+      "namespace", "template", "typename", "explicit", "noexcept"};
+  return k.count(s) > 0;
+}
+
+/// Extracts function definitions: name, line, direct D2 sources in the
+/// body, callee names, taint-source annotations and allow(T1) coverage.
+/// Token-level: the body is everything between the definition's braces
+/// (lambdas inside attribute their calls to the enclosing function, which
+/// is exactly the taint semantics we want).
+std::vector<FunctionSummary> extract_functions(
+    const std::string& path, const std::vector<Token>& t,
+    const std::vector<std::string>& comments, const Suppressions& sup) {
+  std::vector<FunctionSummary> out;
+  for (size_t i = 1; i < t.size(); ++i) {
+    if (!is(t[i], "(") || t[i - 1].kind != Token::Ident ||
+        is_cpp_keywordish(t[i - 1].text))
+      continue;
+    const size_t close = find_match(t, i, "(", ")");
+    if (close >= t.size()) continue;
+
+    // Walk the tokens after the parameter list looking for the body brace;
+    // anything that cannot appear between them (';', '=', ',', ...) makes
+    // this a declaration or a call, not a definition.
+    size_t k = close + 1;
+    size_t body = t.size();
+    bool in_init_list = false;
+    const size_t budget = k + 220;
+    while (k < t.size() && k < budget) {
+      const Token& tok = t[k];
+      if (is(tok, "{")) {
+        body = k;
+        break;
+      }
+      if (tok.kind == Token::Ident) {
+        // Qualifier, trailing-return type component, or an annotation
+        // macro such as COMPLX_EXCLUDES(mu_).
+        if (k + 1 < t.size() && is(t[k + 1], "(")) {
+          const size_t mclose = find_match(t, k + 1, "(", ")");
+          if (mclose >= t.size()) break;
+          k = mclose + 1;
+          // In a ctor initializer list a member init is followed by ','
+          // (next member) or '{' (the body).
+          if (in_init_list && k < t.size() && is(t[k], ",")) ++k;
+        } else {
+          ++k;
+        }
+        continue;
+      }
+      if (is(tok, ":")) {  // ctor initializer list
+        in_init_list = true;
+        ++k;
+        continue;
+      }
+      if (is(tok, "<")) {
+        const size_t after = skip_template_args(t, k);
+        if (after == k) break;
+        k = after;
+        continue;
+      }
+      if (is(tok, "&") || is(tok, "&&") || is(tok, "*") || is(tok, "->") ||
+          is(tok, "::") || is(tok, ",")) {
+        ++k;
+        continue;
+      }
+      break;  // ';', '=', ')', ... — not a definition
+    }
+    if (body >= t.size()) continue;
+    const size_t end = find_match(t, body, "{", "}");
+    if (end >= t.size()) continue;
+
+    FunctionSummary fn;
+    fn.name = t[i - 1].text;
+    fn.line = t[i - 1].line;
+    fn.allow_t1 = sup.covers(fn.line, "T1");
+
+    std::set<std::string> callees;
+    for (size_t j = body + 1; j < end; ++j) {
+      if (t[j].kind != Token::Ident) continue;
+      if (fn.source_token.empty()) {
+        const std::string src = d2_source_at(path, t, j);
+        if (!src.empty()) fn.source_token = src;
+      }
+      if (j + 1 < end && is(t[j + 1], "(") && !is_cpp_keywordish(t[j].text))
+        callees.insert(t[j].text);
+    }
+    fn.callees.assign(callees.begin(), callees.end());
+
+    // `// complx-lint: taint-source` anywhere from the line above the
+    // definition through the body marks the function an explicit source.
+    if (fn.source_token.empty()) {
+      const size_t first = fn.line > 1 ? fn.line - 1 : 1;
+      const size_t last = std::min(t[end].line, comments.size());
+      for (size_t l = first; l <= last; ++l) {
+        const std::string& c = comments[l - 1];
+        if (c.find("complx-lint:") != std::string::npos &&
+            c.find("taint-source") != std::string::npos) {
+          fn.source_token = "taint-source annotation";
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(fn));
+    i = end;  // a body never contains another non-lambda definition
+  }
+  return out;
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rule_catalog() {
   static const std::vector<RuleInfo> k = {
+      {"A1", "no upward #include against the layer DAG declared in "
+             "tools/complx_lint/layers.toml"},
+      {"A2", "no #include cycles among the scanned files"},
       {"D1", "no iteration over unordered associative containers"},
       {"D2", "no nondeterminism sources (rand/srand/random_device/time/"
              "clock/this_thread) outside util/rng.h"},
       {"N1", "no raw ==/!= on floating-point operands outside util/fpcmp.h"},
       {"N2", "catch (...) in core/linalg/qp must log, set status or rethrow"},
-      {"P1", "no mutexes/atomics/threads outside util/parallel.*"},
+      {"P1", "no std mutexes/atomics/threads outside util/parallel.*"},
+      {"P2", "every mutex in src/ carries a COMPLX_GUARDED_BY/capability "
+             "annotation"},
+      {"T1", "no call chain from core/linalg/qp/projection to a "
+             "nondeterminism source (determinism taint)"},
       {"IO1", "no direct file-writing primitives (ofstream/fopen/fwrite) in "
               "src/ outside util/atomic_file.*"},
-      {"SUPP", "every allow(...) suppression carries a justification"},
+      {"SUPP", "every allow(...) suppression names rules and carries a "
+               "justification"},
+      {"IO", "tool-level error: a file could not be read or a layer "
+             "declaration could not be parsed"},
   };
   return k;
 }
 
-std::vector<Finding> lint_source(const std::string& path,
-                                 const std::string& content) {
-  const std::string norm = normalized(path);
+FileSummary summarize_source(const std::string& path,
+                             const std::string& content) {
+  FileSummary summary;
+  summary.path = normalized(path);
+  const std::string& norm = summary.path;
+
   const SourceView view = strip_source(content);
   const std::vector<Token> tokens = tokenize(view.code);
   Suppressions sup = parse_suppressions(norm, view.comment_of_line);
@@ -646,18 +908,28 @@ std::vector<Finding> lint_source(const std::string& path,
   rule_n1(norm, tokens, raw);
   rule_n2(norm, tokens, raw);
   rule_p1(norm, tokens, raw);
+  rule_p2(norm, tokens, raw);
   rule_io1(norm, tokens, raw);
 
-  std::vector<Finding> out;
   for (Finding& f : raw)
-    if (!sup.covers(f.line, f.rule)) out.push_back(std::move(f));
-  out.insert(out.end(), sup.missing_justification.begin(),
-             sup.missing_justification.end());
-  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
-    if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
-  });
-  return out;
+    if (!sup.covers(f.line, f.rule)) summary.findings.push_back(std::move(f));
+  summary.findings.insert(summary.findings.end(),
+                          sup.missing_justification.begin(),
+                          sup.missing_justification.end());
+
+  summary.includes = collect_includes(content);
+  for (IncludeEdge& e : summary.includes) {
+    e.allow_a1 = sup.covers(e.line, "A1");
+    e.allow_a2 = sup.covers(e.line, "A2");
+  }
+  summary.functions =
+      extract_functions(norm, tokens, view.comment_of_line, sup);
+  return summary;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content) {
+  return analyze_sources({{path, content}});
 }
 
 std::vector<Finding> lint_file(const std::string& path) {

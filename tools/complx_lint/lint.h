@@ -7,7 +7,11 @@
 // unordered_map iterated into a floating-point reduction, a std::rand()
 // in a tiebreaker, a raw `==` in a convergence check. complx-lint scans
 // the repository's own sources (a token-level scanner; no compiler
-// needed) and enforces those invariants as named, suppressible rules:
+// needed) and enforces those invariants as named, suppressible rules.
+//
+// Two kinds of passes run:
+//
+//  * per-file rules, on each translation unit in isolation:
 //
 //   D1  no iteration over unordered associative containers — hash order
 //       is not part of any determinism contract; take a sorted snapshot
@@ -19,15 +23,44 @@
 //       the designated comparator helper.
 //   N2  catch (...) in src/core, src/linalg, src/qp must log, set a
 //       status, or rethrow — never swallow silently.
-//   P1  no mutexes/atomics/threads outside util/parallel.* — the
+//   P1  no std mutexes/atomics/threads outside util/parallel.* — the
 //       deterministic-reduction layer is the single concurrency
 //       authority.
+//   P2  every mutex declared in src/ must carry a thread-safety
+//       annotation: its name referenced by a COMPLX_GUARDED_BY /
+//       COMPLX_PT_GUARDED_BY / COMPLX_REQUIRES / COMPLX_ACQUIRE /
+//       COMPLX_RELEASE / COMPLX_EXCLUDES argument in the same file, or
+//       the declaration inside a COMPLX_CAPABILITY-annotated class.
+//   IO1 no direct file-writing primitives (ofstream/fopen/freopen/
+//       fwrite) in src/ outside util/atomic_file.*, the crash-safe
+//       write authority.
+//
+//  * cross-file passes, on the whole scanned file set (analyze_sources):
+//
+//   A1  no upward #include against the layer DAG declared in
+//       tools/complx_lint/layers.toml (util at the bottom, apps at the
+//       top) — e.g. util/ reaching into netlist/ is reported.
+//   A2  no #include cycles among the scanned files.
+//   T1  determinism taint: a function defined under src/core, src/linalg,
+//       src/qp or src/projection must not reach a nondeterminism source
+//       (the D2 set, or a function annotated `// complx-lint:
+//       taint-source`) through any chain of calls. This catches the
+//       one-hop laundering a per-file D2 scan cannot see — including
+//       sources that were locally allow(D2)-suppressed.
+//
+// The machine-readable rule list is rule_catalog() — the single source of
+// truth behind `complx_lint --list-rules`, the docs table, and the
+// fixture tests. (A failed file read is reported under the pseudo-rule
+// "IO", also in the catalog.)
 //
 // Suppression: `// complx-lint: allow(D1): <justification>` on the same
 // line or the line above. The justification is mandatory; a bare
-// allow() is itself reported (rule SUPP).
+// allow() — no justification or no rule ids — is itself reported (rule
+// SUPP). A1 suppressions go on the offending #include line; T1
+// suppressions on the entry function's definition line.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -36,7 +69,7 @@ namespace complx::lint {
 struct Finding {
   std::string file;
   std::size_t line = 0;
-  std::string rule;  ///< "D1", "D2", "N1", "N2", "P1", "SUPP", "IO"
+  std::string rule;  ///< one of rule_catalog()'s ids — see lint.h header
   std::string message;
 };
 
@@ -45,10 +78,56 @@ struct RuleInfo {
   const char* summary;
 };
 
-/// The enforced rule set, for --list-rules and the docs.
+/// The enforced rule set — the single source of truth for --list-rules,
+/// the docs table, and the SARIF rule metadata.
 const std::vector<RuleInfo>& rule_catalog();
 
-/// Lints one translation unit given its contents. `path` is used both for
+/// One in-memory source file handed to the analyzer.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Options for the multi-pass analyzer.
+struct AnalyzeOptions {
+  /// Contents of the layer declaration (layers.toml). Empty disables the
+  /// A1/A2 include passes.
+  std::string layers_toml;
+  /// Run the cross-file determinism-taint pass (rule T1).
+  bool taint = true;
+  /// Path of the incremental cache file. Empty disables caching. The cache
+  /// maps content hashes to per-file summaries so unchanged files skip
+  /// tokenization and per-file rules entirely; it is written atomically
+  /// (temp + rename) and produces byte-identical findings on warm runs.
+  std::string cache_path;
+  /// Worker threads for the per-file pass; 0 = the process-wide default
+  /// (util/parallel.h global_threads()).
+  std::size_t threads = 0;
+};
+
+/// Instrumentation from one analyze_sources run.
+struct AnalyzeStats {
+  std::size_t files = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  double analyze_s = 0.0;  ///< per-file + cross-file pass wall time
+};
+
+/// The full multi-pass analysis: per-file rules on every file (parallel,
+/// cache-accelerated), then the cross-file passes (A1/A2 layering, T1
+/// taint) over the whole set. Findings are sorted by (file, line, rule).
+std::vector<Finding> analyze_sources(const std::vector<SourceFile>& files,
+                                     const AnalyzeOptions& opts = {},
+                                     AnalyzeStats* stats = nullptr);
+
+/// analyze_sources over files read from disk. Unreadable files yield an
+/// "IO" finding rather than a crash.
+std::vector<Finding> analyze_paths(const std::vector<std::string>& paths,
+                                   const AnalyzeOptions& opts = {},
+                                   AnalyzeStats* stats = nullptr);
+
+/// Lints one translation unit given its contents: the per-file rules plus
+/// the degenerate single-file taint pass. `path` is used both for
 /// reporting and for rule scoping (e.g. util/parallel.* is exempt from P1;
 /// N2 applies only under core/, linalg/ and qp/).
 std::vector<Finding> lint_source(const std::string& path,

@@ -1,17 +1,24 @@
 // complx-lint CLI: scan files/directories and report rule findings.
 //
-//   complx_lint [--json FILE] [--quiet] [--list-rules] PATH...
+//   complx_lint [options] PATH...
 //
 // Directories are walked recursively for *.h *.hpp *.cpp *.cc *.cxx.
+// Report files (--json/--sarif) are written atomically (temp + rename) so
+// an interrupted run never leaves a torn report a later CI step parses.
 // Exit codes: 0 clean, 1 findings, 2 usage error.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "lint.h"
+#include "report.h"
+#include "util/atomic_file.h"
 
 namespace fs = std::filesystem;
 using complx::lint::Finding;
@@ -24,47 +31,81 @@ bool lintable(const fs::path& p) {
          ext == ".cxx";
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] PATH...\n"
+      "  PATH            file, or directory walked recursively for "
+      "*.h *.hpp *.cpp *.cc *.cxx\n"
+      "  --json FILE     write findings as JSON, atomically (use '-' for "
+      "stdout)\n"
+      "  --sarif FILE    write findings as SARIF 2.1.0, atomically ('-' for "
+      "stdout)\n"
+      "  --layers FILE   layer declaration for the A1/A2 include passes\n"
+      "                  (default: tools/complx_lint/layers.toml under the\n"
+      "                  first PATH's repo, when present; --layers none "
+      "disables)\n"
+      "  --cache FILE    incremental cache (content-hash keyed, written "
+      "atomically)\n"
+      "  --no-taint      skip the cross-file T1 determinism-taint pass\n"
+      "  --threads N     worker threads for the per-file pass\n"
+      "  --stats         print files/cache-hit/timing summary to stderr\n"
+      "  --quiet         summary line only\n"
+      "  --list-rules    print the rule catalog and exit\n",
+      argv0);
+  return 2;
 }
 
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--json FILE] [--quiet] [--list-rules] PATH...\n"
-               "  PATH            file, or directory walked recursively for "
-               "*.h *.hpp *.cpp *.cc *.cxx\n"
-               "  --json FILE     also write findings as JSON (use '-' for "
-               "stdout)\n"
-               "  --quiet         summary line only\n"
-               "  --list-rules    print the rule catalog and exit\n",
-               argv0);
-  return 2;
+/// Looks for tools/complx_lint/layers.toml at `root` and each parent, so
+/// `complx_lint src apps` run from the repo root (or a subdir) finds the
+/// committed declaration without flags.
+std::string default_layers_file(const std::string& first_root) {
+  std::error_code ec;
+  fs::path dir = fs::absolute(first_root, ec);
+  if (ec) return "";
+  if (!fs::is_directory(dir, ec) || ec) dir = dir.parent_path();
+  for (int up = 0; up < 8 && !dir.empty(); ++up) {
+    const fs::path cand = dir / "tools" / "complx_lint" / "layers.toml";
+    if (fs::exists(cand, ec) && !ec) return cand.generic_string();
+    const fs::path parent = dir.parent_path();
+    if (parent == dir) break;
+    dir = parent;
+  }
+  return "";
+}
+
+bool write_report(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return true;
+  }
+  try {
+    complx::AtomicWriteOptions opts;
+    opts.fsync = false;  // CI reports are re-derivable; rename atomicity
+                         // is what protects the downstream parse
+    complx::write_file_atomic(path, content, opts);
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "complx-lint: cannot write %s: %s\n", path.c_str(),
+                 e.what());
+    return false;
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
-  std::string json_path;
-  bool quiet = false;
+  std::string json_path, sarif_path, layers_path, cache_path;
+  bool quiet = false, stats_out = false, taint = true;
+  bool layers_explicit = false;
+  std::size_t threads = 0;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
@@ -73,9 +114,31 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--stats") {
+      stats_out = true;
+    } else if (arg == "--no-taint") {
+      taint = false;
     } else if (arg == "--json") {
-      if (i + 1 >= argc) return usage(argv[0]);
-      json_path = argv[++i];
+      const char* v = need_value(i);
+      if (!v) return usage(argv[0]);
+      json_path = v;
+    } else if (arg == "--sarif") {
+      const char* v = need_value(i);
+      if (!v) return usage(argv[0]);
+      sarif_path = v;
+    } else if (arg == "--layers") {
+      const char* v = need_value(i);
+      if (!v) return usage(argv[0]);
+      layers_path = v;
+      layers_explicit = true;
+    } else if (arg == "--cache") {
+      const char* v = need_value(i);
+      if (!v) return usage(argv[0]);
+      cache_path = v;
+    } else if (arg == "--threads") {
+      const char* v = need_value(i);
+      if (!v) return usage(argv[0]);
+      threads = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -109,11 +172,26 @@ int main(int argc, char** argv) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::vector<Finding> all;
-  for (const std::string& f : files) {
-    std::vector<Finding> fs_ = complx::lint::lint_file(f);
-    all.insert(all.end(), fs_.begin(), fs_.end());
+  complx::lint::AnalyzeOptions opts;
+  opts.taint = taint;
+  opts.cache_path = cache_path;
+  opts.threads = threads;
+  if (!layers_explicit) layers_path = default_layers_file(roots.front());
+  if (!layers_path.empty() && layers_path != "none") {
+    std::ifstream in(layers_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "complx-lint: cannot read layers file %s\n",
+                   layers_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    opts.layers_toml = buf.str();
   }
+
+  complx::lint::AnalyzeStats stats;
+  const std::vector<Finding> all =
+      complx::lint::analyze_paths(files, opts, &stats);
 
   std::map<std::string, size_t> per_rule;
   for (const Finding& f : all) {
@@ -123,27 +201,19 @@ int main(int argc, char** argv) {
                   f.rule.c_str(), f.message.c_str());
   }
 
-  if (!json_path.empty()) {
-    FILE* out = json_path == "-" ? stdout : std::fopen(json_path.c_str(), "w");
-    if (!out) {
-      std::fprintf(stderr, "complx-lint: cannot write %s\n",
-                   json_path.c_str());
-      return 2;
-    }
-    std::fprintf(out, "{\n  \"files_scanned\": %zu,\n  \"findings\": [\n",
-                 files.size());
-    for (size_t i = 0; i < all.size(); ++i) {
-      const Finding& f = all[i];
-      std::fprintf(out,
-                   "    {\"file\": \"%s\", \"line\": %zu, \"rule\": \"%s\", "
-                   "\"message\": \"%s\"}%s\n",
-                   json_escape(f.file).c_str(), f.line,
-                   json_escape(f.rule).c_str(),
-                   json_escape(f.message).c_str(),
-                   i + 1 < all.size() ? "," : "");
-    }
-    std::fprintf(out, "  ]\n}\n");
-    if (out != stdout) std::fclose(out);
+  if (!json_path.empty() &&
+      !write_report(json_path, complx::lint::render_json(files.size(), all)))
+    return 2;
+  if (!sarif_path.empty() &&
+      !write_report(sarif_path, complx::lint::render_sarif(all)))
+    return 2;
+
+  if (stats_out) {
+    std::fprintf(stderr,
+                 "complx-lint: stats files=%zu cache_hits=%zu "
+                 "cache_misses=%zu analyze_ms=%.2f\n",
+                 stats.files, stats.cache_hits, stats.cache_misses,
+                 stats.analyze_s * 1e3);
   }
 
   std::string breakdown;

@@ -1,0 +1,90 @@
+#include "report.h"
+
+#include <sstream>
+
+namespace complx::lint {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_json(std::size_t files_scanned,
+                        const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n  \"files_scanned\": " << files_scanned
+      << ",\n  \"findings\": [\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "    {\"file\": \"" << json_escape(f.file)
+        << "\", \"line\": " << f.line << ", \"rule\": \""
+        << json_escape(f.rule) << "\", \"message\": \""
+        << json_escape(f.message) << "\"}"
+        << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+std::string render_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"complx-lint\",\n"
+      << "          \"informationUri\": \"docs/STATIC_ANALYSIS.md\",\n"
+      << "          \"rules\": [\n";
+  const auto& catalog = rule_catalog();
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    out << "            {\"id\": \"" << json_escape(catalog[i].id)
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(catalog[i].summary) << "\"}}"
+        << (i + 1 < catalog.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    const std::size_t line = f.line > 0 ? f.line : 1;
+    out << "        {\"ruleId\": \"" << json_escape(f.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << json_escape(f.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << json_escape(f.file)
+        << "\"}, \"region\": {\"startLine\": " << line << "}}}]}"
+        << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace complx::lint

@@ -1,0 +1,26 @@
+// Machine-readable report rendering: the stable JSON format consumed by
+// scripts/run_static_analysis.sh, and SARIF 2.1.0 for GitHub code
+// scanning. Both renderers are pure (string in, string out) so the CLI
+// can write them atomically and tests can pin the bytes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace complx::lint {
+
+std::string json_escape(const std::string& s);
+
+/// The tool's own JSON report: {"files_scanned": N, "findings": [...]}.
+std::string render_json(std::size_t files_scanned,
+                        const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 with one run, rule metadata from rule_catalog(), and one
+/// result per finding (level "error"; line 0 findings clamp to 1 as SARIF
+/// regions are 1-based).
+std::string render_sarif(const std::vector<Finding>& findings);
+
+}  // namespace complx::lint

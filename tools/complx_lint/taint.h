@@ -1,0 +1,31 @@
+// Determinism-taint pass (rule T1).
+//
+// Builds a function-level call graph from the per-file summaries (name-based
+// resolution — a deliberate over-approximation: a call site `f(...)` may
+// reach any scanned definition named `f`), seeds taint at every function
+// whose body directly contains a D2 nondeterminism source or that carries a
+// `// complx-lint: taint-source` annotation, and propagates taint backwards
+// over call edges to a fixpoint.
+//
+// A finding fires for a function DEFINED under src/core, src/linalg, src/qp
+// or src/projection whose taint arrives VIA A CALL — directly-tainted
+// bodies are already D2's findings, and an allow(D2)-suppressed source
+// still seeds taint, so laundering a suppressed source through a wrapper
+// does not escape. Each finding carries a deterministic witness chain
+// (entry -> ... -> source) so the report is actionable without rerunning.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint.h"
+#include "summary.h"
+
+namespace complx::lint {
+
+/// The T1 pass over the summarized file set. Appends findings;
+/// deterministic for a fixed input order.
+void check_taint(const std::vector<FileSummary>& files,
+                 std::vector<Finding>& out);
+
+}  // namespace complx::lint
