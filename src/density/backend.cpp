@@ -1,0 +1,89 @@
+#include "density/backend.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "density/electrostatic.h"
+#include "density/penalty.h"
+
+namespace complx {
+
+namespace {
+
+struct Registry {
+  /// Append-only (name, factory) list: deterministic iteration order and no
+  /// static-initialization-order hazards (function-local static).
+  std::vector<std::pair<std::string, DensityBackendFactory>> entries;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::unique_ptr<DensityBackend> make_spread(const Netlist& nl,
+                                            const DensityBackendOptions& o) {
+  DensityPenaltyOptions po;
+  po.bins = o.bins;
+  po.smoothing = o.smoothing;
+  po.grid = o.grid;
+  return std::make_unique<DensityPenalty>(nl, po);
+}
+
+std::unique_ptr<DensityBackend> make_electrostatic(
+    const Netlist& nl, const DensityBackendOptions& o) {
+  ElectrostaticOptions eo;
+  eo.bins = o.bins;
+  eo.grid = o.grid;
+  return std::make_unique<ElectrostaticDensity>(nl, eo);
+}
+
+void ensure_builtins() {
+  Registry& r = registry();
+  if (!r.entries.empty()) return;
+  r.entries.emplace_back("spread", &make_spread);
+  r.entries.emplace_back("electrostatic", &make_electrostatic);
+}
+
+DensityBackendFactory find(const std::string& name) {
+  ensure_builtins();
+  const Registry& r = registry();
+  // Latest registration wins so tests can shadow a built-in.
+  for (auto it = r.entries.rbegin(); it != r.entries.rend(); ++it)
+    if (it->first == name) return it->second;
+  return nullptr;
+}
+
+}  // namespace
+
+void register_density_backend(const std::string& name,
+                              DensityBackendFactory factory) {
+  ensure_builtins();
+  registry().entries.emplace_back(name, factory);
+}
+
+std::unique_ptr<DensityBackend> make_density_backend(
+    const std::string& name, const Netlist& nl,
+    const DensityBackendOptions& opts) {
+  if (DensityBackendFactory f = find(name)) return f(nl, opts);
+  std::string known;
+  for (const std::string& n : density_backend_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("unknown density backend '" + name +
+                              "' (registered: " + known + ")");
+}
+
+std::vector<std::string> density_backend_names() {
+  ensure_builtins();
+  std::vector<std::string> names;
+  for (const auto& e : registry().entries) {
+    bool seen = false;
+    for (const std::string& n : names) seen = seen || n == e.first;
+    if (!seen) names.push_back(e.first);
+  }
+  return names;
+}
+
+}  // namespace complx

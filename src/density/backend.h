@@ -1,0 +1,92 @@
+// DensityBackend — the pluggable density model behind the nonconvex
+// placers and the density-driven projection.
+//
+// Two families implement it:
+//   "spread"         the cosine-bell kernel-density penalty
+//                    (density/penalty.h; APlace/NTUPlace3 style), and
+//   "electrostatic"  the FFT Poisson-solver field model
+//                    (density/electrostatic.h; FFTPL / ePlace style).
+//
+// Backends are registered by name and constructed through the factory so
+// the choice can ride a config string (ComplxConfig::density_backend,
+// complx_place --density-backend) all the way from the CLI without any
+// caller knowing the concrete types. Registration order is a deterministic
+// append-only vector — never an unordered container — so name listings are
+// stable across runs (lint rule D1 discipline).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "density/grid.h"
+#include "netlist/netlist.h"
+
+namespace complx {
+
+/// Health counters a backend accumulates across evaluations. Drivers fold
+/// these into core/health.h's HealthStats (the density layer cannot include
+/// core, so the counter surfaces through this struct instead).
+struct DensityStats {
+  /// Cell centers that sat outside the core (or went non-finite mid-solve)
+  /// and were clamped onto it before depositing — each one used to lose its
+  /// entire area silently.
+  size_t clamped_cells = 0;
+};
+
+/// Options shared by every density backend; the factory maps them onto each
+/// implementation's own struct.
+struct DensityBackendOptions {
+  size_t bins = 0;         ///< 0 = auto from the movable count
+  double smoothing = 2.0;  ///< "spread": bell radius in bins
+  DensityOptions grid;     ///< internal DensityGrid query mode
+};
+
+/// A differentiable density model over a placement: a scalar penalty/energy
+/// with its gradient in the cell centers, plus the hard overflow metric the
+/// outer loops use as a stopping rule. Implementations cache their
+/// fixed-blockage grid and are NOT thread-safe across concurrent calls on
+/// one instance (same contract as projection/lal.h's capacity cache).
+class DensityBackend {
+ public:
+  virtual ~DensityBackend() = default;
+
+  /// Registered backend name ("spread", "electrostatic", ...).
+  virtual const char* name() const = 0;
+
+  /// Grid resolution (bins per axis) the model evaluates on.
+  virtual size_t bins() const = 0;
+
+  /// Model value at `p`; gx/gy are overwritten with its gradient with
+  /// respect to the movable cell centers.
+  virtual double value_and_grad(const Placement& p, Vec& gx,
+                                Vec& gy) const = 0;
+
+  /// Hard (non-smoothed) overflow ratio at the model's grid: Σ bin overflow
+  /// above the netlist target density, divided by total movable area.
+  virtual double overflow_ratio(const Placement& p) const = 0;
+
+  /// Cumulative health counters (see DensityStats).
+  virtual const DensityStats& stats() const = 0;
+};
+
+using DensityBackendFactory = std::unique_ptr<DensityBackend> (*)(
+    const Netlist& nl, const DensityBackendOptions& opts);
+
+/// Registers a backend under `name` (later registrations of the same name
+/// win, so tests can shadow a built-in). The built-ins self-register on
+/// first factory use.
+void register_density_backend(const std::string& name,
+                              DensityBackendFactory factory);
+
+/// Constructs the named backend; throws std::invalid_argument for an
+/// unknown name (the message lists the registered names).
+std::unique_ptr<DensityBackend> make_density_backend(
+    const std::string& name, const Netlist& nl,
+    const DensityBackendOptions& opts);
+
+/// Registered names in registration order (built-ins first).
+std::vector<std::string> density_backend_names();
+
+}  // namespace complx

@@ -1,0 +1,248 @@
+#include "density/electrostatic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "density/fft/dct.h"
+#include "util/fpcmp.h"
+#include "util/parallel.h"
+
+namespace complx {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+/// ePlace stretches sub-bin cells to √2 × bin pitch so a cell strictly
+/// inside one bin still spills charge into its neighbors (a cell fully
+/// contained in a single bin would otherwise see a locally flat energy).
+constexpr double kStretch = 1.4142135623730951;
+
+/// NaN-safe clamp, same ordering discipline as grid.cpp's bin lookup: NaN
+/// fails every ordered comparison and lands on `lo`.
+double clamp_center(double c, double lo, double hi, bool& clamped) {
+  if (!(c > lo)) {
+    // NaN is not exactly_equal to lo, so it is counted as a clamp.
+    clamped = clamped || !fp::exactly_equal(c, lo);
+    return lo;
+  }
+  if (c > hi) {
+    clamped = true;
+    return hi;
+  }
+  return c;
+}
+
+size_t pick_bins(size_t requested, size_t num_movable) {
+  size_t b = requested;
+  if (b == 0) {
+    b = std::clamp<size_t>(
+        static_cast<size_t>(
+            std::sqrt(static_cast<double>(num_movable) / 4.0)),
+        8, 256);
+  }
+  b = std::clamp<size_t>(b, 8, 512);
+  return fft::next_pow2(b);
+}
+}  // namespace
+
+ElectrostaticDensity::ElectrostaticDensity(const Netlist& nl,
+                                           const ElectrostaticOptions& opts)
+    : nl_(nl), opts_(opts), bins_(pick_bins(opts.bins, nl.num_movable())) {}
+
+DensityGrid& ElectrostaticDensity::ensure_grid() const {
+  if (!grid_)
+    grid_ = std::make_unique<DensityGrid>(nl_, bins_, bins_, opts_.grid);
+  return *grid_;
+}
+
+void ElectrostaticDensity::set_bins(size_t bins) {
+  const size_t next = pick_bins(bins, nl_.num_movable());
+  if (next == bins_) return;
+  bins_ = next;
+  grid_.reset();
+}
+
+double ElectrostaticDensity::bin_width() const {
+  return nl_.core().width() / static_cast<double>(bins_);
+}
+
+double ElectrostaticDensity::bin_height() const {
+  return nl_.core().height() / static_cast<double>(bins_);
+}
+
+void ElectrostaticDensity::solve_field(const Placement& p,
+                                       const Vec* area_factors) const {
+  DensityGrid& g = ensure_grid();
+  const Rect& core = nl_.core();
+  const std::vector<CellId>& movable = nl_.movable_cells();
+  const size_t M = bins_;
+  const double bw = g.bin_width();
+  const double bh = g.bin_height();
+
+  // Stretched, area-preserving charge footprints. Serial: the clamp counter
+  // feeds HealthMonitor and must not race; the O(n) rect build is dwarfed by
+  // the deposit + transforms anyway.
+  rects_.resize(movable.size());
+  weights_.resize(movable.size());
+  for (size_t k = 0; k < movable.size(); ++k) {
+    const CellId id = movable[k];
+    const Cell& cell = nl_.cell(id);
+    bool clamped = false;
+    const double cx = clamp_center(p.x[id], core.xl, core.xh, clamped);
+    const double cy = clamp_center(p.y[id], core.yl, core.yh, clamped);
+    if (clamped) ++stats_.clamped_cells;
+    const double sw = std::max(cell.width, kStretch * bw);
+    const double sh = std::max(cell.height, kStretch * bh);
+    double area = cell.area();
+    if (area_factors && !cell.is_macro()) area *= (*area_factors)[id];
+    rects_[k] = {cx - sw / 2.0, cy - sh / 2.0, cx + sw / 2.0, cy + sh / 2.0};
+    weights_[k] = area > 0.0 ? area / (sw * sh) : 0.0;
+  }
+  g.build_from_rects(rects_, weights_);
+
+  // Charge density per bin (area / bin area).
+  rho_.resize(M * M);
+  const double inv_bin_area = 1.0 / (bw * bh);
+  for (size_t j = 0; j < M; ++j)
+    for (size_t i = 0; i < M; ++i)
+      rho_[j * M + i] = g.usage(i, j) * inv_bin_area;
+
+  // Forward 2-D DCT-II: rows along x, transpose, rows along y.
+  fft::dct2_rows(rho_, M, M, t1_);       // t1[j][u]
+  fft::transpose(t1_, M, M, t2_);        // t2[u][j]
+  fft::dct2_rows(t2_, M, M, t1_);        // t1[u][v] = raw a_uv
+
+  // Spectral solve: ψ̂_uv = â_uv / (w_u² + w_v²) with physical frequencies
+  // w_u = πu/W, w_v = πv/H; â folds in the DCT normalization (2/M)² s_u s_v
+  // (s_0 = ½). The (0,0) monopole is dropped — mean charge carries no force
+  // under Neumann walls. phat_wv_ pre-multiplies by w_v for the E_y series.
+  const double W = core.width();
+  const double H = core.height();
+  phat_.resize(M * M);
+  phat_wv_.resize(M * M);
+  const double norm = (2.0 / static_cast<double>(M)) *
+                      (2.0 / static_cast<double>(M));
+  for (size_t u = 0; u < M; ++u) {
+    const double su = u == 0 ? 0.5 : 1.0;
+    const double wu = kPi * static_cast<double>(u) / W;
+    for (size_t v = 0; v < M; ++v) {
+      const double sv = v == 0 ? 0.5 : 1.0;
+      const double wv = kPi * static_cast<double>(v) / H;
+      const size_t k = u * M + v;
+      const double denom = wu * wu + wv * wv;
+      const double psihat =
+          (u == 0 && v == 0) ? 0.0 : norm * su * sv * t1_[k] / denom;
+      phat_[k] = psihat;
+      phat_wv_[k] = psihat * wv;
+    }
+  }
+
+  // Inverse readback. Along v (the y axis): cosine series for the ψ path,
+  // sine series for E_y.
+  fft::series_rows(phat_, M, M, &t1_, nullptr);     // t1[u][j] = Σ_v ψ̂ cos
+  fft::series_rows(phat_wv_, M, M, nullptr, &t2_);  // t2[u][j] = Σ_v ψ̂ w_v sin
+  fft::transpose(t1_, M, M, ct_);                   // ct[j][u]
+  fft::transpose(t2_, M, M, st_);                   // st[j][u]
+  // Along u (the x axis): ψ = cos series of ct; E_x = sin series of w_u·ct;
+  // E_y = cos series of st.
+  cw_.resize(M * M);
+  for (size_t j = 0; j < M; ++j)
+    for (size_t u = 0; u < M; ++u)
+      cw_[j * M + u] = ct_[j * M + u] * (kPi * static_cast<double>(u) / W);
+  fft::series_rows(ct_, M, M, &psi_, nullptr);  // ψ[j][i]
+  fft::series_rows(cw_, M, M, nullptr, &ex_);   // E_x[j][i]
+  fft::series_rows(st_, M, M, &ey_, nullptr);   // E_y[j][i]
+}
+
+double ElectrostaticDensity::value_and_grad(const Placement& p, Vec& gx,
+                                            Vec& gy) const {
+  solve_field(p);
+  const size_t n = nl_.num_cells();
+  gx.assign(n, 0.0);
+  gy.assign(n, 0.0);
+
+  const Rect& core = nl_.core();
+  const DensityGrid& g = *grid_;
+  const std::vector<CellId>& movable = nl_.movable_cells();
+  const size_t M = bins_;
+  const double inv_bin_area = 1.0 / (g.bin_width() * g.bin_height());
+
+  // Energy N = ½ Σ_b ρ_b ψ_b. Fixed-chunk bin-order reduction keeps the
+  // value bitwise thread-invariant like the rest of the pipeline.
+  const double energy =
+      0.5 * parallel_sum(M * M, [&](size_t begin, size_t end) {
+        double s = 0.0;
+        for (size_t k = begin; k < end; ++k) s += rho_[k] * psi_[k];
+        return s;
+      });
+
+  // Exact gradient: the solve is a fixed symmetric operator, so
+  // dN/dx_c = Σ_b ψ_b · ∂ρ_b/∂x_c, and ∂ρ/∂x of the clipped-rectangle
+  // deposit is an edge term: a unit move of the cell shifts overlap from
+  // the column holding its left edge to the column holding its right edge
+  // (edges already clipped to the core contribute nothing — which also
+  // zeroes the saturated direction for clamped cells). Writes are
+  // index-owned (one cell, one gradient slot): deterministic and race-free
+  // at any thread count.
+  parallel_for(movable.size(), [&](size_t begin, size_t end) {
+    std::vector<double> xov, yov;
+    std::vector<double> dx, dy;
+    for (size_t k = begin; k < end; ++k) {
+      const CellId id = movable[k];
+      const Rect& r = rects_[k];
+      const double xl = std::max(r.xl, core.xl);
+      const double xh = std::min(r.xh, core.xh);
+      const double yl = std::max(r.yl, core.yl);
+      const double yh = std::min(r.yh, core.yh);
+      if (!(xh > xl) || !(yh > yl) || weights_[k] <= 0.0) continue;
+      const size_t i0 = g.bin_x_of(xl);
+      const size_t i1 = g.bin_x_of(xh - 1e-12);
+      const size_t j0 = g.bin_y_of(yl);
+      const size_t j1 = g.bin_y_of(yh - 1e-12);
+      xov.assign(i1 - i0 + 1, 0.0);
+      dx.assign(i1 - i0 + 1, 0.0);
+      yov.assign(j1 - j0 + 1, 0.0);
+      dy.assign(j1 - j0 + 1, 0.0);
+      for (size_t i = i0; i <= i1; ++i) {
+        const Rect b = g.bin_rect(i, static_cast<size_t>(0));
+        const double a = std::max(xl, b.xl);
+        const double c = std::min(xh, b.xh);
+        xov[i - i0] = std::max(0.0, c - a);
+        double d = 0.0;
+        if (r.xh < core.xh && r.xh < b.xh && r.xh > b.xl) d += 1.0;
+        if (r.xl > core.xl && r.xl > b.xl && r.xl < b.xh) d -= 1.0;
+        dx[i - i0] = d;
+      }
+      for (size_t j = j0; j <= j1; ++j) {
+        const Rect b = g.bin_rect(static_cast<size_t>(0), j);
+        const double a = std::max(yl, b.yl);
+        const double c = std::min(yh, b.yh);
+        yov[j - j0] = std::max(0.0, c - a);
+        double d = 0.0;
+        if (r.yh < core.yh && r.yh < b.yh && r.yh > b.yl) d += 1.0;
+        if (r.yl > core.yl && r.yl > b.yl && r.yl < b.yh) d -= 1.0;
+        dy[j - j0] = d;
+      }
+      double ax = 0.0, ay = 0.0;
+      for (size_t j = j0; j <= j1; ++j) {
+        for (size_t i = i0; i <= i1; ++i) {
+          const double ps = psi_[j * M + i];
+          ax += yov[j - j0] * dx[i - i0] * ps;
+          ay += xov[i - i0] * dy[j - j0] * ps;
+        }
+      }
+      const double q = weights_[k] * inv_bin_area;
+      gx[id] = q * ax;
+      gy[id] = q * ay;
+    }
+  });
+  return energy;
+}
+
+double ElectrostaticDensity::overflow_ratio(const Placement& p) const {
+  DensityGrid& grid = ensure_grid();
+  grid.build(p);
+  return grid.total_overflow(nl_.target_density()) /
+         std::max(nl_.movable_area(), 1e-12);
+}
+
+}  // namespace complx

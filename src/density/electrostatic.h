@@ -1,0 +1,103 @@
+// FFT electrostatic density backend (FFTPL, arXiv:1312.4587; ePlace family;
+// real-input DCT/DST formulation per arXiv:2510.21547).
+//
+// Movable cells are treated as positive charges on the bin grid: the charge
+// map ρ comes from the exact-overlap deposit of density/grid.h (narrow cells
+// stretched to the bin pitch with area-preserving weights, so every cell
+// exerts and feels force even inside one bin), the potential solves
+//
+//   ∇²ψ = −ρ        (Neumann walls — the core boundary reflects)
+//
+// by diagonalizing the Laplacian in the 2-D cosine basis: one forward
+// DCT-II of ρ, a per-mode divide by (w_u² + w_v²), and cosine/sine series
+// readbacks for ψ and the field E = −∇ψ (density/fft/dct.h). The DC mode is
+// dropped, which is the spectral form of subtracting the mean charge —
+// Neumann boundaries admit no monopole.
+//
+// The penalty value is the field energy N(ρ) = ½ Σ_b ρ_b ψ_b. Because the
+// solve is a fixed symmetric positive-semidefinite operator G (ψ = Gρ), the
+// exact gradient is dN/dx = ψᵀ·∂ρ/∂x, and ∂ρ/∂x of the rectangle-overlap
+// deposit is a closed-form edge term — so value_and_grad passes a central
+// finite-difference check to roundoff away from bin-edge kinks, unlike the
+// normalized-bell penalty whose gradient is approximate by construction.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "density/backend.h"
+#include "density/grid.h"
+#include "netlist/netlist.h"
+
+namespace complx {
+
+struct ElectrostaticOptions {
+  /// Bins per axis; 0 = auto from the movable count. Always rounded up to a
+  /// power of two (the transform length) and clamped to [8, 512].
+  size_t bins = 0;
+  DensityOptions grid;  ///< query mode of the internal DensityGrid
+};
+
+class ElectrostaticDensity : public DensityBackend {
+ public:
+  ElectrostaticDensity(const Netlist& nl, const ElectrostaticOptions& opts);
+
+  const char* name() const override { return "electrostatic"; }
+  size_t bins() const override { return bins_; }
+
+  /// Field energy N(ρ) at `p` and its exact discrete gradient with respect
+  /// to the movable cell centers. Centers outside the core (or non-finite)
+  /// clamp onto it — counted in stats().clamped_cells — and the gradient is
+  /// evaluated at the clamped center (the interior one-sided derivative).
+  double value_and_grad(const Placement& p, Vec& gx, Vec& gy) const override;
+
+  /// Hard overflow ratio of the TRUE (unstretched) footprints at this grid,
+  /// using the cached capacity field — same stopping metric as the spread
+  /// backend and the projection-based placers.
+  double overflow_ratio(const Placement& p) const override;
+
+  const DensityStats& stats() const override { return stats_; }
+
+  /// Re-grids the model: `bins` is rounded up to a power of two and clamped
+  /// to [8, 512]; the cached capacity grid is dropped only when the
+  /// resolution actually changes.
+  void set_bins(size_t bins);
+
+  /// Builds the stretched charge map at `p` — optionally scaled per cell by
+  /// `area_factors` (the SimPLR routability-inflation contract: standard
+  /// cells only, macros unaffected) — and solves the Poisson system. The
+  /// accessors below stay valid until the next solve or evaluation.
+  void solve_field(const Placement& p,
+                   const Vec* area_factors = nullptr) const;
+
+  /// Per-bin fields after solve_field / value_and_grad, row-major with x
+  /// fastest: potential ψ, and E = −∇ψ.
+  const std::vector<double>& potential() const { return psi_; }
+  const std::vector<double>& field_x() const { return ex_; }
+  const std::vector<double>& field_y() const { return ey_; }
+  double bin_width() const;
+  double bin_height() const;
+
+  /// The cached internal grid (capacity scan runs once per resolution).
+  const DensityGrid& grid() const { return ensure_grid(); }
+
+ private:
+  DensityGrid& ensure_grid() const;
+
+  const Netlist& nl_;
+  ElectrostaticOptions opts_;
+  size_t bins_;
+  mutable DensityStats stats_;
+  mutable std::unique_ptr<DensityGrid> grid_;
+
+  // Solver state, valid after solve_field. Mutable workspace behind const
+  // evaluation (not thread-safe across concurrent calls on one instance —
+  // same contract as the LAL capacity cache).
+  mutable std::vector<Rect> rects_;      ///< stretched (unclipped) footprints
+  mutable std::vector<double> weights_;  ///< per-rect charge scale
+  mutable std::vector<double> rho_, psi_, ex_, ey_;
+  mutable std::vector<double> t1_, t2_, phat_, phat_wv_, ct_, st_, cw_;
+};
+
+}  // namespace complx

@@ -1,0 +1,136 @@
+#include "density/fft/dct.h"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "util/parallel.h"
+
+namespace complx {
+namespace fft {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+using cd = std::complex<double>;
+
+/// Iterative radix-2 Cooley–Tukey, in place, no output scaling. The
+/// butterfly schedule is a pure function of the input length, so the result
+/// is the same bytes on every run and every thread.
+void fft_inplace(std::vector<cd>& a, bool inverse) {
+  const size_t n = a.size();
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const cd wlen(std::cos(ang), std::sin(ang));
+    for (size_t i = 0; i < n; i += len) {
+      cd w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const cd u = a[i + k];
+        const cd v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void check_pow2(size_t n) {
+  if (!is_pow2(n))
+    throw std::invalid_argument("fft: transform length must be a power of 2");
+}
+
+}  // namespace
+
+bool is_pow2(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+size_t next_pow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void dct2_rows(const std::vector<double>& in, size_t n, size_t rows,
+               std::vector<double>& out) {
+  check_pow2(n);
+  out.resize(rows * n);
+  // Zero-padded length-2n DFT:  Σ_i x_i cos(πu(2i+1)/(2n)) =
+  // Re(e^{-iπu/(2n)} · DFT_{2n}(x‖0)[u]) — the half-sample phase recenters
+  // the cosine argument on the bin midpoints.
+  parallel_for(
+      rows,
+      [&](size_t begin, size_t end) {
+        std::vector<cd> buf(2 * n);
+        for (size_t r = begin; r < end; ++r) {
+          const double* x = in.data() + r * n;
+          double* y = out.data() + r * n;
+          for (size_t i = 0; i < n; ++i) buf[i] = cd(x[i], 0.0);
+          for (size_t i = n; i < 2 * n; ++i) buf[i] = cd(0.0, 0.0);
+          fft_inplace(buf, /*inverse=*/false);
+          for (size_t u = 0; u < n; ++u) {
+            const double th =
+                kPi * static_cast<double>(u) / (2.0 * static_cast<double>(n));
+            y[u] = std::cos(th) * buf[u].real() + std::sin(th) * buf[u].imag();
+          }
+        }
+      },
+      1);
+}
+
+void series_rows(const std::vector<double>& coef, size_t n, size_t rows,
+                 std::vector<double>* cos_out, std::vector<double>* sin_out) {
+  check_pow2(n);
+  if (cos_out) cos_out->resize(rows * n);
+  if (sin_out) sin_out->resize(rows * n);
+  if (!cos_out && !sin_out) return;
+  // g_i = Σ_u c_u e^{iπu(i+½)/n} = Σ_u (c_u e^{iπu/(2n)}) e^{2πiui/(2n)}:
+  // phase-shift the coefficients, zero-pad to 2n, positive-exponent FFT.
+  // Re g is the cosine series, Im g the sine series — one transform serves
+  // both the DCT-III potential readback and the DST-type field readback.
+  parallel_for(
+      rows,
+      [&](size_t begin, size_t end) {
+        std::vector<cd> buf(2 * n);
+        for (size_t r = begin; r < end; ++r) {
+          const double* c = coef.data() + r * n;
+          for (size_t u = 0; u < n; ++u) {
+            const double th =
+                kPi * static_cast<double>(u) / (2.0 * static_cast<double>(n));
+            buf[u] = c[u] * cd(std::cos(th), std::sin(th));
+          }
+          for (size_t u = n; u < 2 * n; ++u) buf[u] = cd(0.0, 0.0);
+          fft_inplace(buf, /*inverse=*/true);
+          if (cos_out) {
+            double* g = cos_out->data() + r * n;
+            for (size_t i = 0; i < n; ++i) g[i] = buf[i].real();
+          }
+          if (sin_out) {
+            double* h = sin_out->data() + r * n;
+            for (size_t i = 0; i < n; ++i) h[i] = buf[i].imag();
+          }
+        }
+      },
+      1);
+}
+
+void transpose(const std::vector<double>& in, size_t cols, size_t rows,
+               std::vector<double>& out) {
+  out.resize(cols * rows);
+  parallel_for(
+      rows,
+      [&](size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r)
+          for (size_t c = 0; c < cols; ++c) out[c * rows + r] = in[r * cols + c];
+      },
+      1);
+}
+
+}  // namespace fft
+}  // namespace complx

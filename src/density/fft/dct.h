@@ -1,0 +1,59 @@
+// Real-input DCT-II / trigonometric-series kernels for the FFT Poisson
+// solver (density/electrostatic.h).
+//
+// The electrostatic density model (FFTPL, arXiv:1312.4587; enhanced-FFT
+// electrostatics, arXiv:2510.21547) expands the bin charge field in a 2-D
+// cosine basis — the eigenbasis of the Laplacian under Neumann (reflecting)
+// boundary conditions, which is what a placement core wall physically is.
+// The solver needs three primitives per axis, all on power-of-two lengths:
+//
+//   dct2_rows     forward DCT-II:   a_u  = Σ_i f_i  cos(πu(i+½)/n)
+//   series_rows   inverse series:   g_i  = Σ_u c_u cos(πu(i+½)/n)   and/or
+//                                   h_i  = Σ_u c_u sin(πu(i+½)/n)
+//
+// The sin series is the DST-type evaluation that turns ψ coefficients into
+// the field E = −∇ψ without ever forming a complex spectrum of the charge.
+// Internally each length-n transform is computed exactly (up to roundoff)
+// through one length-2n complex radix-2 FFT — an implementation detail
+// behind the real-input API.
+//
+// Determinism contract: rows are transformed independently (index-owned
+// writes) with a serial per-row kernel; the row loop runs on util/parallel's
+// fixed-chunk pool, so outputs are bitwise identical at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace complx {
+namespace fft {
+
+/// True when n is a nonzero power of two.
+bool is_pow2(size_t n);
+
+/// Smallest power of two >= n (n >= 1).
+size_t next_pow2(size_t n);
+
+/// Forward DCT-II along the fastest axis of a row-major `rows` x `n` array:
+///   out[r][u] = Σ_{i<n} in[r][i] · cos(πu(i+½)/n),  u ∈ [0, n).
+/// `n` must be a power of two. `out` is resized to rows·n.
+void dct2_rows(const std::vector<double>& in, size_t n, size_t rows,
+               std::vector<double>& out);
+
+/// Evaluates the cosine and/or sine series of per-row coefficients:
+///   cos_out[r][i] = Σ_{u<n} coef[r][u] · cos(πu(i+½)/n)
+///   sin_out[r][i] = Σ_{u<n} coef[r][u] · sin(πu(i+½)/n)
+/// Either output may be nullptr (skipped). `n` must be a power of two.
+/// With DCT-II normalization folded into the coefficients, the cosine
+/// branch is the DCT-III inverse; the sine branch is the DST-type transform
+/// producing the field components.
+void series_rows(const std::vector<double>& coef, size_t n, size_t rows,
+                 std::vector<double>* cos_out, std::vector<double>* sin_out);
+
+/// Transposes a row-major `rows` x `cols` array into `out` (`cols` x `rows`).
+/// `out` must not alias `in`.
+void transpose(const std::vector<double>& in, size_t cols, size_t rows,
+               std::vector<double>& out);
+
+}  // namespace fft
+}  // namespace complx

@@ -45,6 +45,9 @@ struct FleetRunOptions {
   size_t threads = 1;       ///< worker threads (0 = inherit process setting)
   bool detailed = true;     ///< run detailed placement after legalization
   bool record_timing = true;  ///< false => wall_s = 0 (deterministic record)
+  /// Density / projection backend by registry name ("spread",
+  /// "electrostatic") — the spreading-ablation axis of docs/BENCHMARKS.md.
+  std::string density_backend = "spread";
 
   /// Experience store (io/experience.h): when non-null, each design probes
   /// the store before the cold bootstrap (warm_start) and/or records its

@@ -9,6 +9,7 @@
 
 #include <functional>
 
+#include "density/backend.h"
 #include "linalg/vec.h"
 #include "netlist/netlist.h"
 #include "qp/solver.h"
@@ -42,5 +43,34 @@ NlcgResult minimize_nlcg(
 NlcgResult minimize_smooth_placement(const Netlist& nl, const SmoothWl& wl,
                                      Placement& p, const AnchorSet* anchors,
                                      const NlcgOptions& opts);
+
+/// Smooth wirelength augmented with λ_d × a density model — the nonconvex
+/// baseline's objective F = Φ_smooth + λ_d·D, generic over any registered
+/// DensityBackend (cosine-bell penalty or FFT field energy). λ_d is held by
+/// reference so the caller's outer ramp is seen without rebuilding the
+/// adapter.
+class DensityAugmentedWl : public SmoothWl {
+ public:
+  DensityAugmentedWl(const SmoothWl& wl, const DensityBackend& density,
+                     const double& lambda_d)
+      : wl_(wl), density_(density), lambda_(lambda_d) {}
+
+  double value_and_grad(const Placement& p, Vec& gx,
+                        Vec& gy) const override {
+    const double f = wl_.value_and_grad(p, gx, gy);
+    const double d = density_.value_and_grad(p, dgx_, dgy_);
+    for (size_t i = 0; i < gx.size(); ++i) {
+      gx[i] += lambda_ * dgx_[i];
+      gy[i] += lambda_ * dgy_[i];
+    }
+    return f + lambda_ * d;
+  }
+
+ private:
+  const SmoothWl& wl_;
+  const DensityBackend& density_;
+  const double& lambda_;
+  mutable Vec dgx_, dgy_;  ///< gradient scratch (reused across evaluations)
+};
 
 }  // namespace complx

@@ -1,0 +1,82 @@
+#include "projection/backend.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "projection/electrostatic.h"
+#include "projection/lal.h"
+
+namespace complx {
+
+namespace {
+
+struct Registry {
+  /// Append-only (name, factory) list: deterministic iteration order and no
+  /// static-initialization-order hazards (function-local static).
+  std::vector<std::pair<std::string, ProjectionBackendFactory>> entries;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::unique_ptr<ProjectionBackend> make_spread(const Netlist& nl,
+                                               const ProjectionOptions& o) {
+  return std::make_unique<LookAheadLegalizer>(nl, o);
+}
+
+std::unique_ptr<ProjectionBackend> make_electrostatic(
+    const Netlist& nl, const ProjectionOptions& o) {
+  return std::make_unique<ElectrostaticProjection>(nl, o);
+}
+
+void ensure_builtins() {
+  Registry& r = registry();
+  if (!r.entries.empty()) return;
+  r.entries.emplace_back("spread", &make_spread);
+  r.entries.emplace_back("electrostatic", &make_electrostatic);
+}
+
+ProjectionBackendFactory find(const std::string& name) {
+  ensure_builtins();
+  const Registry& r = registry();
+  // Latest registration wins so tests can shadow a built-in.
+  for (auto it = r.entries.rbegin(); it != r.entries.rend(); ++it)
+    if (it->first == name) return it->second;
+  return nullptr;
+}
+
+}  // namespace
+
+void register_projection_backend(const std::string& name,
+                                 ProjectionBackendFactory factory) {
+  ensure_builtins();
+  registry().entries.emplace_back(name, factory);
+}
+
+std::unique_ptr<ProjectionBackend> make_projection_backend(
+    const std::string& name, const Netlist& nl,
+    const ProjectionOptions& opts) {
+  if (ProjectionBackendFactory f = find(name)) return f(nl, opts);
+  std::string known;
+  for (const std::string& n : projection_backend_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("unknown projection backend '" + name +
+                              "' (registered: " + known + ")");
+}
+
+std::vector<std::string> projection_backend_names() {
+  ensure_builtins();
+  std::vector<std::string> names;
+  for (const auto& e : registry().entries) {
+    bool seen = false;
+    for (const std::string& n : names) seen = seen || n == e.first;
+    if (!seen) names.push_back(e.first);
+  }
+  return names;
+}
+
+}  // namespace complx

@@ -1,0 +1,126 @@
+// ProjectionBackend — the pluggable feasibility projection P_C behind the
+// ComPLx driver loop.
+//
+// Two families implement it:
+//   "spread"         geometric look-ahead legalization (projection/lal.h):
+//                    overfilled-region search + cut-based spreading, the
+//                    projection of the source paper, and
+//   "electrostatic"  field-directed diffusion (projection/electrostatic.h):
+//                    cells ride the Poisson field E = −∇ψ of the FFT density
+//                    model until bin overflow dissipates.
+//
+// Both produce the same contract: a C-feasible(-ish) anchor placement whose
+// L1 displacement from the iterate is the penalty value Π of Formula 3. The
+// driver selects a backend by name (ComplxConfig::density_backend,
+// complx_place --density-backend) through the registry below; registration
+// is a deterministic append-only vector, never an unordered container (lint
+// rule D1 discipline).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "density/grid.h"
+#include "netlist/netlist.h"
+#include "projection/alignment.h"
+#include "projection/mote.h"
+#include "projection/shredder.h"
+#include "projection/spreader.h"
+
+namespace complx {
+
+struct ProjectionOptions {
+  double gamma = 1.0;  ///< target utilization (ISPD 2006: 0.5 / 0.8 / 0.9)
+  size_t bins_x = 0;   ///< 0 = derive from design size
+  size_t bins_y = 0;
+  SpreaderOptions spreader;  ///< gamma is overwritten from this struct
+  ShredderOptions shredder;  ///< gamma is overwritten from this struct
+  DensityOptions density;    ///< grid query mode (prefix sums on/off)
+  bool enforce_regions = true;
+  /// Alignment groups enforced by the projection (after density spreading
+  /// and region snapping).
+  std::vector<AlignmentGroup> alignments;
+};
+
+/// Wall-clock split of one project() call. The placer accumulates these
+/// into SolverStats; `complx_place --stats` prints the totals.
+struct ProjectionTimers {
+  double grid_build_s = 0.0;    ///< mote materialization + density deposit
+  double region_find_s = 0.0;   ///< region search + mote→region ownership
+  double spread_s = 0.0;        ///< per-region spreading / field sweeps
+  double readback_s = 0.0;      ///< anchors, region/alignment snap, Π
+};
+
+struct ProjectionResult {
+  Placement anchors;        ///< the C-feasible(-ish) projection P_C(x, y)
+  double displacement_l1 = 0.0;  ///< Π: Σ_movable |x−x°| + |y−y°|
+  size_t num_regions = 0;        ///< spreading regions processed
+  /// Density overflow of the INPUT placement: Σ bin overflow above γ,
+  /// divided by total movable area. The classic SimPL stopping metric.
+  double input_overflow_ratio = 0.0;
+  /// Shred clouds after spreading (only filled when export_shreds=true);
+  /// used by the Figure 2 reproduction.
+  std::vector<Mote> shreds;
+  std::vector<Point> shred_origins;
+  ProjectionTimers timers;  ///< phase split of this call
+};
+
+/// A feasibility projection: P_C at a placement, with the grid-resolution
+/// schedule and routability-inflation hooks the driver exercises.
+/// Implementations cache their fixed-blockage grid and are NOT thread-safe
+/// across concurrent calls on one instance.
+class ProjectionBackend {
+ public:
+  virtual ~ProjectionBackend() = default;
+
+  /// Registered backend name ("spread", "electrostatic", ...).
+  virtual const char* name() const = 0;
+
+  /// Computes P_C at `p`. `p` itself is not modified.
+  virtual ProjectionResult project(const Placement& p,
+                                   bool export_shreds = false) const = 0;
+
+  /// Adjusts the grid resolution (the ComPLx driver coarsens/refines the
+  /// grid over iterations as a runtime/accuracy trade-off, Section 6).
+  virtual void set_grid(size_t bins_x, size_t bins_y) = 0;
+
+  /// Per-cell AREA inflation factors (SimPLR-style routability): standard
+  /// cells are spread as if `factor×` larger, creating routing whitespace.
+  /// Pass an empty vector to clear. Macros are unaffected.
+  virtual void set_inflation(Vec area_factors) = 0;
+
+  virtual size_t bins_x() const = 0;
+  virtual size_t bins_y() const = 0;
+  virtual const ProjectionOptions& options() const = 0;
+
+  /// Drops the cached capacity field so the next project() rebuilds the
+  /// fixed-cell blockage scan from scratch (benchmark/test hook; callers
+  /// normally rely on set_grid/set_inflation invalidation).
+  virtual void invalidate_grid_cache() = 0;
+
+  /// Cumulative count of off-core / non-finite cell centers the backend
+  /// clamped onto the core across project() calls. The driver folds this
+  /// into HealthStats (the projection layer cannot include core/health).
+  virtual size_t density_clamped_cells() const { return 0; }
+};
+
+using ProjectionBackendFactory = std::unique_ptr<ProjectionBackend> (*)(
+    const Netlist& nl, const ProjectionOptions& opts);
+
+/// Registers a backend under `name` (later registrations of the same name
+/// win, so tests can shadow a built-in). The built-ins self-register on
+/// first factory use.
+void register_projection_backend(const std::string& name,
+                                 ProjectionBackendFactory factory);
+
+/// Constructs the named backend; throws std::invalid_argument for an
+/// unknown name (the message lists the registered names).
+std::unique_ptr<ProjectionBackend> make_projection_backend(
+    const std::string& name, const Netlist& nl,
+    const ProjectionOptions& opts);
+
+/// Registered names in registration order (built-ins first).
+std::vector<std::string> projection_backend_names();
+
+}  // namespace complx

@@ -1,0 +1,236 @@
+#include "projection/electrostatic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "projection/lal.h"
+#include "projection/regions.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace complx {
+
+namespace {
+/// Diffusion schedule: each sweep moves cells at most kStepFrac of a bin
+/// edge (larger steps overshoot the field and oscillate), for at most
+/// kMaxSweeps sweeps or until overflow drops under kStopOverflow or stalls
+/// for kStallSweeps sweeps in a row.
+constexpr double kStepFrac = 0.8;
+constexpr int kMaxSweeps = 64;
+constexpr double kStopOverflow = 0.02;
+constexpr int kStallSweeps = 5;
+constexpr double kStallTol = 1e-4;
+
+/// splitmix64 finalizer mapped to [0,1): a pure function of the cell id, so
+/// the symmetry-breaking offsets below are bitwise reproducible on any
+/// thread count and any platform.
+double hash01(uint64_t v) {
+  v += 0x9E3779B97F4A7C15ull;
+  v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9ull;
+  v = (v ^ (v >> 27)) * 0x94D049BB133111EBull;
+  v ^= v >> 31;
+  return static_cast<double>(v >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+ElectrostaticProjection::ElectrostaticProjection(const Netlist& nl,
+                                                 const ProjectionOptions& opts)
+    : nl_(nl), opts_(opts) {
+  if (opts_.bins_x == 0 || opts_.bins_y == 0) {
+    const size_t b = LookAheadLegalizer::auto_bins(nl);
+    opts_.bins_x = b;
+    opts_.bins_y = b;
+  }
+}
+
+ElectrostaticDensity& ElectrostaticProjection::ensure_model() const {
+  if (!model_) {
+    ElectrostaticOptions eo;
+    eo.bins = std::max(opts_.bins_x, opts_.bins_y);
+    eo.grid = opts_.density;
+    model_ = std::make_unique<ElectrostaticDensity>(nl_, eo);
+  }
+  return *model_;
+}
+
+DensityGrid& ElectrostaticProjection::ensure_meter() const {
+  const size_t b = ensure_model().bins();
+  if (!meter_ || meter_->bins_x() != b)
+    meter_ = std::make_unique<DensityGrid>(nl_, b, b, opts_.density);
+  return *meter_;
+}
+
+void ElectrostaticProjection::set_grid(size_t bins_x, size_t bins_y) {
+  opts_.bins_x = std::max<size_t>(1, bins_x);
+  opts_.bins_y = std::max<size_t>(1, bins_y);
+  // The model rounds to its power-of-two transform length and keeps its
+  // capacity cache when that length is unchanged (the steady state of the
+  // driver's refinement schedule); the meter follows the model.
+  ensure_model().set_bins(std::max(opts_.bins_x, opts_.bins_y));
+}
+
+void ElectrostaticProjection::set_inflation(Vec area_factors) {
+  if (!area_factors.empty() && area_factors.size() != nl_.num_cells())
+    throw std::invalid_argument("inflation vector size mismatch");
+  inflation_ = std::move(area_factors);
+  // Inflation scales the deposited charge per solve — no cached state to
+  // drop (the capacity field does not depend on movable area).
+}
+
+void ElectrostaticProjection::invalidate_grid_cache() {
+  model_.reset();
+  meter_.reset();
+}
+
+size_t ElectrostaticProjection::density_clamped_cells() const {
+  return model_ ? model_->stats().clamped_cells : 0;
+}
+
+ProjectionResult ElectrostaticProjection::project(const Placement& p,
+                                                  bool export_shreds) const {
+  (void)export_shreds;  // no shred clouds: macros ride the field whole
+  ProjectionResult result;
+  Timer phase;
+
+  ElectrostaticDensity& model = ensure_model();
+  DensityGrid& meter = ensure_meter();
+  const size_t M = model.bins();
+  const Rect& core = nl_.core();
+  const std::vector<CellId>& movable = nl_.movable_cells();
+  const double movable_area = std::max(nl_.movable_area(), 1e-12);
+
+  auto hard_overflow = [&](const Placement& w) {
+    meter.build(w);
+    return meter.total_overflow(opts_.gamma) / movable_area;
+  };
+
+  result.input_overflow_ratio = hard_overflow(p);
+  result.timers.grid_build_s = phase.seconds();
+  phase.reset();
+
+  Placement w = p;
+  const auto clamp_into_core = [&](CellId id, double nx, double ny) {
+    const Cell& c = nl_.cell(id);
+    w.x[id] = std::clamp(
+        nx, core.xl + c.width / 2.0,
+        std::max(core.xl + c.width / 2.0, core.xh - c.width / 2.0));
+    w.y[id] = std::clamp(
+        ny, core.yl + c.height / 2.0,
+        std::max(core.yl + c.height / 2.0, core.yh - c.height / 2.0));
+  };
+
+  // Symmetry breaking: a degenerate input can stack many cells on one exact
+  // coordinate (a pile). Identical positions sample identical fields, so the
+  // stack would translate rigidly forever instead of spreading. Cells sitting
+  // in overfilled bins are first teased apart by a deterministic per-cell
+  // offset of up to half a bin; legal-density bins are left untouched, so an
+  // already-feasible placement picks up zero extra displacement. The meter
+  // still holds the input usage from the overflow measurement above.
+  if (result.input_overflow_ratio > kStopOverflow) {
+    const double mbw = meter.bin_width();
+    const double mbh = meter.bin_height();
+    parallel_for(movable.size(), [&](size_t begin, size_t end) {
+      for (size_t k = begin; k < end; ++k) {
+        const CellId id = movable[k];
+        const size_t i = meter.bin_x_of(w.x[id]);
+        const size_t j = meter.bin_y_of(w.y[id]);
+        if (meter.usage(i, j) <= opts_.gamma * meter.capacity(i, j)) continue;
+        const uint64_t h = static_cast<uint64_t>(id);
+        clamp_into_core(id,
+                        w.x[id] + (hash01(2 * h) - 0.5) * mbw,
+                        w.y[id] + (hash01(2 * h + 1) - 0.5) * mbh);
+      }
+    });
+  }
+
+  // Diffusion sweeps: solve the field at the working placement, step every
+  // cell along its bilinearly interpolated E, repeat. The step magnitude is
+  // kStepFrac·bin·√(|E|/|E|max): capped at a fraction of a bin for the
+  // strongest mover, while the √ keeps the weak interior of a cluster
+  // moving instead of freezing it. All per-cell writes are index-owned and
+  // the normalization comes from a serial bin-order max, so the sweep
+  // trajectory is bitwise identical at any thread count.
+  const Vec* infl = inflation_.empty() ? nullptr : &inflation_;
+  double overflow = hard_overflow(w);
+  double best_overflow = overflow;
+  int stalled = 0;
+  int sweeps = 0;
+  for (; sweeps < kMaxSweeps && overflow > kStopOverflow &&
+         stalled < kStallSweeps;
+       ++sweeps) {
+    model.solve_field(w, infl);
+    const std::vector<double>& ex = model.field_x();
+    const std::vector<double>& ey = model.field_y();
+    double emax = 0.0;
+    for (size_t k = 0; k < M * M; ++k)
+      emax = std::max(emax, std::hypot(ex[k], ey[k]));
+    if (!(emax > 0.0)) break;  // field flat (or non-finite): nothing to do
+    const double step =
+        kStepFrac * std::min(model.bin_width(), model.bin_height());
+    const double bw = model.bin_width();
+    const double bh = model.bin_height();
+    const long last = static_cast<long>(M) - 1;
+    // Bilinear sample of a bin-center field at a continuous point; edge
+    // bins extend flat past the core boundary.
+    const auto sample = [&](const std::vector<double>& f, double x,
+                            double y) {
+      const double u = (x - core.xl) / bw - 0.5;
+      const double v = (y - core.yl) / bh - 0.5;
+      const double fu = std::floor(u);
+      const double fv = std::floor(v);
+      const long i0 = std::clamp(static_cast<long>(fu), 0L, last);
+      const long j0 = std::clamp(static_cast<long>(fv), 0L, last);
+      const long i1 = std::min(i0 + 1, last);
+      const long j1 = std::min(j0 + 1, last);
+      const double tx = std::clamp(u - fu, 0.0, 1.0);
+      const double ty = std::clamp(v - fv, 0.0, 1.0);
+      const size_t r0 = static_cast<size_t>(j0) * M;
+      const size_t r1 = static_cast<size_t>(j1) * M;
+      return (1.0 - ty) * ((1.0 - tx) * f[r0 + static_cast<size_t>(i0)] +
+                           tx * f[r0 + static_cast<size_t>(i1)]) +
+             ty * ((1.0 - tx) * f[r1 + static_cast<size_t>(i0)] +
+                   tx * f[r1 + static_cast<size_t>(i1)]);
+    };
+    parallel_for(movable.size(), [&](size_t begin, size_t end) {
+      for (size_t k = begin; k < end; ++k) {
+        const CellId id = movable[k];
+        const double exc = sample(ex, w.x[id], w.y[id]);
+        const double eyc = sample(ey, w.x[id], w.y[id]);
+        const double e = std::hypot(exc, eyc);
+        if (!(e > 0.0)) continue;
+        const double scale = step * std::sqrt(e / emax) / e;
+        clamp_into_core(id, w.x[id] + scale * exc, w.y[id] + scale * eyc);
+      }
+    });
+    overflow = hard_overflow(w);
+    if (overflow < best_overflow - kStallTol) {
+      best_overflow = overflow;
+      stalled = 0;
+    } else {
+      ++stalled;
+    }
+  }
+  result.num_regions = static_cast<size_t>(sweeps);  // sweeps stand in for
+                                                     // regions in the trace
+  result.timers.spread_s = phase.seconds();
+  phase.reset();
+
+  // Readback: same post-processing contract as the spread backend.
+  result.anchors = std::move(w);
+  if (opts_.enforce_regions && !nl_.regions().empty())
+    snap_to_regions(nl_, result.anchors);
+  if (!opts_.alignments.empty())
+    snap_to_alignments(nl_, opts_.alignments, result.anchors);
+
+  double pi = 0.0;
+  for (CellId id : movable)
+    pi += std::abs(p.x[id] - result.anchors.x[id]) +
+          std::abs(p.y[id] - result.anchors.y[id]);
+  result.displacement_l1 = pi;
+  result.timers.readback_s = phase.seconds();
+  return result;
+}
+
+}  // namespace complx

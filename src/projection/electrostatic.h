@@ -1,0 +1,55 @@
+// Field-directed feasibility projection — the "electrostatic" backend.
+//
+// Instead of cut-based region spreading, cells diffuse along the Poisson
+// field of the FFT density model (density/electrostatic.h): each sweep
+// solves ∇²ψ = −ρ for the current positions and moves every cell a bounded
+// step along E = −∇ψ (charge flows from crowded bins toward whitespace, the
+// ePlace picture with the gradient applied directly instead of through
+// Nesterov's method). Sweeps stop when the hard bin overflow drops under a
+// threshold or the budget runs out; region snapping, alignment snapping and
+// the Π = L1-displacement readback then match the spread backend exactly,
+// so the driver's dual update sees the same contract from both.
+#pragma once
+
+#include <memory>
+
+#include "density/electrostatic.h"
+#include "density/grid.h"
+#include "netlist/netlist.h"
+#include "projection/backend.h"
+
+namespace complx {
+
+class ElectrostaticProjection : public ProjectionBackend {
+ public:
+  ElectrostaticProjection(const Netlist& nl, const ProjectionOptions& opts);
+
+  const char* name() const override { return "electrostatic"; }
+
+  ProjectionResult project(const Placement& p,
+                           bool export_shreds = false) const override;
+
+  void set_grid(size_t bins_x, size_t bins_y) override;
+  void set_inflation(Vec area_factors) override;
+  size_t bins_x() const override { return opts_.bins_x; }
+  size_t bins_y() const override { return opts_.bins_y; }
+  const ProjectionOptions& options() const override { return opts_; }
+  void invalidate_grid_cache() override;
+
+  size_t density_clamped_cells() const override;
+
+ private:
+  ElectrostaticDensity& ensure_model() const;
+  /// Hard-overflow meter at the current resolution (true footprints against
+  /// γ — the same stopping metric the spread backend reports). Cached like
+  /// the LAL capacity field.
+  DensityGrid& ensure_meter() const;
+
+  const Netlist& nl_;
+  ProjectionOptions opts_;
+  Vec inflation_;  ///< empty = no inflation
+  mutable std::unique_ptr<ElectrostaticDensity> model_;
+  mutable std::unique_ptr<DensityGrid> meter_;
+};
+
+}  // namespace complx

@@ -1,11 +1,49 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <limits>
+#include <new>
 
 #include "density/grid.h"
 #include "density/metric.h"
+#include "density/penalty.h"
 #include "helpers.h"
+#include "util/parallel.h"
 #include "util/rng.h"
+
+// Global operator new/delete replacement for the cached-grid
+// allocation-freedom regression below (same pattern as test_linalg.cpp).
+// The counter only ticks while armed, so the rest of the binary is
+// unaffected. Must live at global scope.
+namespace alloc_counter {
+std::atomic<bool> armed{false};
+std::atomic<size_t> news{0};
+
+size_t drain() {
+  armed.store(false, std::memory_order_relaxed);
+  return news.exchange(0, std::memory_order_relaxed);
+}
+void arm() { armed.store(true, std::memory_order_relaxed); }
+}  // namespace alloc_counter
+
+// GCC pairs the malloc inside the replaced operator new with deletes at
+// call sites and (wrongly) reports a mismatch; every allocation in this
+// binary goes through these replacements, so malloc/free always pair up.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t sz) {
+  if (alloc_counter::armed.load(std::memory_order_relaxed))
+    alloc_counter::news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) { return ::operator new(sz); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace complx {
 namespace {
@@ -291,6 +329,95 @@ TEST(DensityGrid, NonFiniteCoordinateClampsToValidBin) {
   EXPECT_EQ(g.bin_x_of(55.0), 5u);
   EXPECT_EQ(g.bin_x_of(100.0), 9u);
   EXPECT_EQ(g.bin_x_of(1e12), 9u);
+}
+
+// ---------------------------------------------------------------------------
+// DensityPenalty hot-path regressions (the "spread" DensityBackend)
+// ---------------------------------------------------------------------------
+
+TEST(DensityPenalty, OverflowRatioReusesCachedGrid) {
+  // overflow_ratio used to construct a fresh DensityGrid — including the
+  // full fixed-blockage scan — on EVERY call. The cached grid only
+  // re-deposits the movable field, which on a small serial fixture reuses
+  // the existing buffers entirely.
+  const size_t prev = global_threads();
+  set_global_threads(1);
+  Netlist nl = complx::testing::small_circuit(51, 200);
+  const Placement p = nl.snapshot();
+  DensityPenalty pen(nl, {});
+  (void)pen.overflow_ratio(p);  // warm-up: grid constructed and sized
+
+  alloc_counter::arm();
+  const double r1 = pen.overflow_ratio(p);
+  const double r2 = pen.overflow_ratio(p);
+  const size_t allocations = alloc_counter::drain();
+  set_global_threads(prev);
+  EXPECT_EQ(r1, r2);
+  // The pre-fix code performed dozens of allocations per call (five grid
+  // field vectors plus the blockage scan scratch, twice). The cached path's
+  // only heap traffic is the std::function wrapper around the deposit
+  // lambda.
+  EXPECT_LE(allocations, 4u)
+      << "overflow_ratio is rebuilding its DensityGrid again";
+}
+
+TEST(DensityPenalty, OffCoreCellsKeepTheirAreaAndAreCounted) {
+  // Pre-fix behavior: an off-core center produced an empty bins_touching
+  // window, the wsum guard dropped the cell's whole area, and the pile-up
+  // at the boundary was invisible to the penalty (value stayed 0).
+  Netlist nl = complx::testing::small_circuit(52, 60);
+  Placement p = nl.snapshot();
+  for (CellId id : nl.movable_cells()) {
+    p.x[id] = nl.core().xh + 500.0;  // far off the right edge
+    p.y[id] = nl.core().center().y;
+  }
+  DensityPenalty pen(nl, {});
+  Vec gx, gy;
+  const double value = pen.value_and_grad(p, gx, gy);
+  EXPECT_GT(value, 0.0)
+      << "area of off-core cells vanished from the density field";
+  EXPECT_EQ(pen.stats().clamped_cells, nl.num_movable());
+  // The clamped pile sits on the right edge: the gradient must push the
+  // cells back toward the core, not be silently zero.
+  double gsum = 0.0;
+  for (CellId id : nl.movable_cells()) {
+    EXPECT_TRUE(std::isfinite(gx[id]));
+    gsum += std::abs(gx[id]) + std::abs(gy[id]);
+  }
+  EXPECT_GT(gsum, 0.0);
+}
+
+TEST(DensityPenalty, NonFiniteCenterIsDefinedAndCounted) {
+  Netlist nl = complx::testing::small_circuit(53, 40);
+  Placement p = nl.snapshot();
+  const CellId sick = nl.movable_cells()[0];
+  p.x[sick] = std::numeric_limits<double>::quiet_NaN();
+  DensityPenalty pen(nl, {});
+  Vec gx, gy;
+  const double value = pen.value_and_grad(p, gx, gy);
+  EXPECT_TRUE(std::isfinite(value));
+  EXPECT_EQ(pen.stats().clamped_cells, 1u);
+  for (CellId id : nl.movable_cells()) {
+    EXPECT_TRUE(std::isfinite(gx[id]));
+    EXPECT_TRUE(std::isfinite(gy[id]));
+  }
+}
+
+TEST(DensityPenalty, GridOptionsReachTheInternalGrid) {
+  // The internal grid used to be constructed with default DensityOptions,
+  // silently ignoring use_prefix_sums=false ablation configs.
+  Netlist nl = complx::testing::small_circuit(54, 100);
+  DensityPenaltyOptions on;
+  on.grid.use_prefix_sums = true;
+  DensityPenaltyOptions off;
+  off.grid.use_prefix_sums = false;
+  DensityPenalty pen_on(nl, on);
+  DensityPenalty pen_off(nl, off);
+  EXPECT_TRUE(pen_on.grid().options().use_prefix_sums);
+  EXPECT_FALSE(pen_off.grid().options().use_prefix_sums);
+  // Both query paths agree on the metric itself.
+  const Placement p = nl.snapshot();
+  EXPECT_NEAR(pen_on.overflow_ratio(p), pen_off.overflow_ratio(p), 1e-12);
 }
 
 }  // namespace

