@@ -31,7 +31,7 @@ void apply_pl(Netlist& nl, const std::string& pl_path) {
     if (line[0] == '#' || std::strncmp(line, "UCLA", 4) == 0) continue;
     if (std::sscanf(line, "%255s %lf %lf", name, &x, &y) != 3) continue;
     const CellId id = nl.find_cell(name);
-    if (id >= nl.num_cells()) continue;
+    if (id == kInvalidCell) continue;
     Cell& c = nl.cell(id);
     if (!c.movable()) continue;
     c.x = x;

@@ -31,6 +31,15 @@
 //   --warm-start          probe the store; on an exact or topology hit the
 //                         solver resumes from the stored placement
 //   --save-experience     record this run's converged placement back
+//   --ml-threshold <n>    movable-cell count at which the multilevel
+//                         V-cycle replaces flat placement (default 1000000;
+//                         0 forces multilevel, a huge value forces flat)
+//   --eco-window <xl,yl,xh,yh>
+//                         incremental (ECO) mode: re-place ONLY the movable
+//                         cells whose centers lie inside the window,
+//                         holding every other cell bitwise fixed; reads the
+//                         incoming .pl positions as the baseline, skips
+//                         legalization/DP, writes the updated placement
 //
 // Exit-code contract (see README "Failure modes & exit codes"):
 //   0    success — including time-limited runs that returned the best-so-far
@@ -55,7 +64,9 @@
 
 #include "bookshelf/reader.h"
 #include "bookshelf/writer.h"
+#include "core/eco.h"
 #include "core/placer.h"
+#include "multilevel/auto.h"
 #include "io/experience.h"
 #include "util/parse_num.h"
 #include "core/trace.h"
@@ -80,7 +91,8 @@ void usage() {
                "[--simpl] [--lse] [--max-iters n] "
                "[--time-limit s] [--threads n] [--no-dp] [--orient] "
                "[--trace f.csv] [--stats] [--svg f.svg] [--quiet] "
-               "[--snapshot store.snap [--warm-start] [--save-experience]]\n");
+               "[--snapshot store.snap [--warm-start] [--save-experience]] "
+               "[--ml-threshold n] [--eco-window xl,yl,xh,yh]\n");
 }
 
 // SIGINT raises the cooperative cancel flag; the placer stops at the next
@@ -115,6 +127,8 @@ int main(int argc, char** argv) {
   bool simpl = false, lse = false, run_dp = true, quiet = false;
   bool orient = false, stats = false;
   bool warm_start = false, save_experience = false;
+  std::string eco_window_arg;
+  int64_t ml_threshold = 1000000;
   int max_iters = 0;
   int threads = 0;
   double time_limit = 0.0;
@@ -151,6 +165,9 @@ int main(int argc, char** argv) {
       else if (arg == "--snapshot") snapshot_path = next();
       else if (arg == "--warm-start") warm_start = true;
       else if (arg == "--save-experience") save_experience = true;
+      else if (arg == "--ml-threshold")
+        ml_threshold = parse_int64(arg, next(), 0, int64_t{1} << 40);
+      else if (arg == "--eco-window") eco_window_arg = next();
       else if (arg[0] == '-') {
         std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
         usage();
@@ -223,8 +240,55 @@ int main(int argc, char** argv) {
       if (warm_start) cfg.experience = experience.get();
     }
 
-    ComplxPlacer placer(nl, cfg);
-    const PlaceResult gp = placer.place();
+    if (!eco_window_arg.empty()) {
+      Rect window;
+      if (std::sscanf(eco_window_arg.c_str(), "%lf,%lf,%lf,%lf", &window.xl,
+                      &window.yl, &window.xh, &window.yh) != 4 ||
+          window.xh < window.xl || window.yh < window.yl) {
+        std::fprintf(stderr, "bad --eco-window (want xl,yl,xh,yh): %s\n",
+                     eco_window_arg.c_str());
+        return 1;
+      }
+      EcoOptions eopts;
+      eopts.window = window;
+      eopts.config = cfg;
+      const EcoResult eco = eco_replace(nl, eopts);
+      const Placement after = nl.snapshot();
+      std::printf("eco: %zu dirty / %zu frozen movables%s, %d iterations "
+                  "(%s), HPWL %.6g, %.1fs total\n",
+                  eco.dirty_cells, eco.frozen_cells,
+                  eco.full_solve ? " (full solve)" : "", eco.place.iterations,
+                  to_string(eco.place.stop), hpwl(nl, after),
+                  total.seconds());
+      if (eco.place.failed) {
+        std::fprintf(stderr, "error: %s\n", eco.place.failure.c_str());
+        return 3;
+      }
+      if (out_path.empty()) {
+        out_path = aux_path;
+        const size_t dot = out_path.find_last_of('.');
+        if (dot != std::string::npos) out_path.resize(dot);
+        out_path += ".complx.pl";
+      }
+      write_pl(nl, after, out_path);
+      std::printf("placement written to %s\n", out_path.c_str());
+      return 0;
+    }
+
+    AutoPlaceOptions aopts;
+    aopts.multilevel_threshold = static_cast<size_t>(ml_threshold);
+    AutoPlaceResult auto_result = place_auto(nl, cfg, aopts);
+    PlaceResult gp = std::move(auto_result.place);
+    if (auto_result.used_multilevel) {
+      // The V-cycle has no single solver trace; surface its shape instead
+      // and let the shared reporting below run on the final anchors.
+      gp.anchors = auto_result.anchors;
+      gp.lower_bound = auto_result.anchors;
+      std::printf("multilevel: %d level(s),", auto_result.levels);
+      for (const size_t cells : auto_result.level_sizes)
+        std::printf(" %zu", cells);
+      std::printf(" cells, %.1fs\n", auto_result.runtime_s);
+    }
     if (gp.warm_started)
       std::printf("warm start: resumed from experience store %s\n",
                   snapshot_path.c_str());

@@ -1,0 +1,318 @@
+// Faithful replica of the pre-SoA netlist layout, for honest A/B
+// measurement against the CSR/SoA hot paths.
+//
+// The refactor deleted this layout from the library, so the baseline the
+// BENCH_scale numbers compare against is reconstructed here, bench-only,
+// matching the seed's netlist.h field for field:
+//   * Cell and Net carry their names inline (std::string, 32 bytes of the
+//     struct even when SSO'd) — 80-byte cell records instead of 40,
+//     48-byte nets instead of 16;
+//   * pins are one global AoS vector of {cell, dx, dy} (24-byte records
+//     mixing the id with both axis offsets — every per-axis sweep drags
+//     the other axis through the cache);
+//   * per-cell adjacency is vector-of-vectors (cell_nets / cell_pins),
+//     two heap blocks per cell;
+//   * a std::unordered_map<std::string, CellId> name index — one heap
+//     node per cell, live for the whole placement run.
+// Construction uses push_back with no reserve, as the old add_cell did, so
+// capacity overshoot and allocator churn are reproduced too. The kernels
+// below mirror the real ones' arithmetic exactly (same spring weights,
+// same deposit windows) so the only measured difference is data layout.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "wl/b2b.h"
+
+namespace complx::bench {
+
+struct AosCell {
+  std::string name;
+  double width = 0.0, height = 0.0;
+  double x = 0.0, y = 0.0;
+  CellKind kind = CellKind::Movable;
+  RegionId region = kNoRegion;
+  bool flipped_x = false;
+};
+
+struct AosNet {
+  std::string name;
+  double weight = 1.0;
+  uint32_t first_pin = 0;
+  uint32_t num_pins = 0;
+};
+
+/// The historical layout: AoS records, vector-of-vectors adjacency, and the
+/// always-resident name hash.
+struct AosNetlist {
+  std::vector<AosCell> cells;
+  std::vector<AosNet> nets;
+  std::vector<Pin> pins;  ///< global AoS pin array
+  std::vector<std::vector<NetId>> cell_nets;
+  std::vector<std::vector<PinId>> cell_pins;
+  std::vector<CellId> movable;
+  std::unordered_map<std::string, CellId> name_index;
+
+  size_t memory_bytes() const {
+    size_t b = cells.capacity() * sizeof(AosCell);
+    for (const AosCell& c : cells)
+      if (c.name.capacity() > sizeof(std::string)) b += c.name.capacity();
+    b += nets.capacity() * sizeof(AosNet);
+    for (const AosNet& n : nets)
+      if (n.name.capacity() > sizeof(std::string)) b += n.name.capacity();
+    b += pins.capacity() * sizeof(Pin);
+    b += cell_nets.capacity() * sizeof(std::vector<NetId>);
+    for (const auto& v : cell_nets) b += v.capacity() * sizeof(NetId);
+    b += cell_pins.capacity() * sizeof(std::vector<PinId>);
+    for (const auto& v : cell_pins) b += v.capacity() * sizeof(PinId);
+    b += movable.capacity() * sizeof(CellId);
+    // libstdc++ node-based hash: per node a next pointer, the cached hash
+    // (strings are not fast-hashable) and the pair; plus the bucket array.
+    constexpr size_t kNode =
+        2 * sizeof(void*) +
+        ((sizeof(std::pair<const std::string, CellId>) + 7) / 8) * 8;
+    b += name_index.size() * kNode;
+    b += name_index.bucket_count() * sizeof(void*);
+    for (const auto& kv : name_index)
+      if (kv.first.capacity() > sizeof(std::string)) b += kv.first.capacity();
+    return b;
+  }
+};
+
+/// Rebuilds the old layout from a finalized SoA netlist, reproducing the
+/// historical construction pattern: per-element push_back, no reserve.
+inline AosNetlist to_aos(const Netlist& nl) {
+  AosNetlist aos;
+  for (CellId i = 0; i < nl.num_cells(); ++i) {
+    const Cell& c = nl.cell(i);
+    AosCell a;
+    a.name = std::string(nl.cell_name(i));
+    a.width = c.width;
+    a.height = c.height;
+    a.x = c.x;
+    a.y = c.y;
+    a.kind = c.kind;
+    a.region = c.region;
+    a.flipped_x = c.flipped_x;
+    aos.name_index.emplace(a.name, i);
+    aos.cells.push_back(std::move(a));
+  }
+  aos.cell_nets.resize(nl.num_cells());
+  aos.cell_pins.resize(nl.num_cells());
+  for (NetId e = 0; e < nl.num_nets(); ++e) {
+    const Net& net = nl.net(e);
+    AosNet a;
+    a.name = std::string(nl.net_name(e));
+    a.weight = net.weight;
+    a.first_pin = static_cast<uint32_t>(aos.pins.size());
+    a.num_pins = net.num_pins;
+    for (uint32_t k = 0; k < net.num_pins; ++k) {
+      const PinId q = net.first_pin + k;
+      const Pin pin = nl.pin(q);
+      aos.pins.push_back(pin);
+      // The historical back-reference build: push per pin, dedup nets by
+      // checking the last entry (pins of a net are consecutive).
+      if (aos.cell_nets[pin.cell].empty() ||
+          aos.cell_nets[pin.cell].back() != e)
+        aos.cell_nets[pin.cell].push_back(e);
+      aos.cell_pins[pin.cell].push_back(q);
+    }
+    aos.nets.push_back(std::move(a));
+  }
+  for (CellId i = 0; i < nl.num_cells(); ++i)
+    if (aos.cells[i].kind != CellKind::Fixed) aos.movable.push_back(i);
+  return aos;
+}
+
+// ---- replicated kernels -----------------------------------------------------
+// Arithmetic mirrors wl/b2b.cpp (build_b2b_range) and density/grid.cpp
+// (parallel_deposit) so the A/B difference is layout, not math. Serial on
+// purpose: both variants measure single-thread cache behaviour.
+
+/// B2B net-model assembly over all nets on one axis: the serial body of the
+/// seed's build_b2b_range, transcribed onto the AoS structures byte for
+/// byte — bound-pin scan re-deriving coord() at every comparison, the
+/// runtime axis select inside the lambda, degenerate-bound fixup, then
+/// spring emission with the min-separation clamp. Every coord() call is a
+/// 24-byte AoS Pin load plus a random position access. Returns a weight
+/// checksum so the work cannot be optimized away; `springs` is the
+/// caller-reused output buffer, like the workspace path in the QP builder.
+inline double b2b_assembly_aos(const AosNetlist& aos,
+                               const std::vector<double>& pos_x,
+                               const std::vector<double>& pos_y, bool x_axis,
+                               std::vector<PinSpring>& springs,
+                               double min_separation = 1.0) {
+  springs.clear();
+  for (const AosNet& net : aos.nets) {
+    const uint32_t deg = net.num_pins;
+    if (deg < 2) continue;
+    uint32_t lo = net.first_pin, hi = net.first_pin;
+    auto coord = [&](uint32_t k) {
+      const Pin& pin = aos.pins[k];
+      return x_axis ? pos_x[pin.cell] + pin.dx : pos_y[pin.cell] + pin.dy;
+    };
+    for (uint32_t k = net.first_pin + 1; k < net.first_pin + deg; ++k) {
+      if (coord(k) < coord(lo)) lo = k;
+      if (coord(k) > coord(hi)) hi = k;
+    }
+    if (lo == hi) hi = lo == net.first_pin ? lo + 1 : net.first_pin;
+    const double scale = net.weight / static_cast<double>(deg - 1);
+    auto emit = [&](uint32_t a, uint32_t b) {
+      const double sep =
+          std::max(std::abs(coord(a) - coord(b)), min_separation);
+      springs.push_back({a, b, scale / sep});
+    };
+    emit(lo, hi);
+    for (uint32_t k = net.first_pin; k < net.first_pin + deg; ++k) {
+      if (k == lo || k == hi) continue;
+      emit(k, lo);
+      emit(k, hi);
+    }
+  }
+  double acc = 0.0;
+  for (const PinSpring& s : springs) acc += s.weight;
+  return acc;
+}
+
+/// Same assembly over the SoA/CSR layout via NetlistView — the current
+/// build_b2b_range body: coord() reads the pin→cell array and ONE offset
+/// array (pin_dx, never pin_dy on an x sweep), and the bound coordinates
+/// ride in registers instead of being re-derived per comparison. Cached
+/// bounds equal coord(bound) exactly, so the output — and the checksum
+/// compared against the AoS leg — is bitwise identical.
+inline double b2b_assembly_soa(const NetlistView& v,
+                               const std::vector<double>& pos,
+                               std::vector<PinSpring>& springs,
+                               double min_separation = 1.0) {
+  springs.clear();
+  const double* px = pos.data();
+  for (size_t e = 0; e < v.num_nets; ++e) {
+    const Net& net = v.nets[e];
+    const uint32_t deg = net.num_pins;
+    if (deg < 2) continue;
+    auto coord = [&](uint32_t k) { return px[v.pin_cell[k]] + v.pin_dx[k]; };
+    uint32_t lo = net.first_pin, hi = net.first_pin;
+    double lo_c = coord(net.first_pin), hi_c = lo_c;
+    for (uint32_t k = net.first_pin + 1; k < net.first_pin + deg; ++k) {
+      const double c = coord(k);
+      if (c < lo_c) {
+        lo = k;
+        lo_c = c;
+      }
+      if (c > hi_c) {
+        hi = k;
+        hi_c = c;
+      }
+    }
+    if (lo == hi) {
+      hi = lo == net.first_pin ? lo + 1 : net.first_pin;
+      hi_c = coord(hi);
+    }
+    const double scale = net.weight / static_cast<double>(deg - 1);
+    auto emit = [&](uint32_t a, uint32_t b, double ca, double cb) {
+      const double sep = std::max(std::abs(ca - cb), min_separation);
+      springs.push_back({a, b, scale / sep});
+    };
+    emit(lo, hi, lo_c, hi_c);
+    for (uint32_t k = net.first_pin; k < net.first_pin + deg; ++k) {
+      if (k == lo || k == hi) continue;
+      const double c = coord(k);
+      emit(k, lo, c, lo_c);
+      emit(k, hi, c, hi_c);
+    }
+  }
+  double acc = 0.0;
+  for (const PinSpring& s : springs) acc += s.weight;
+  return acc;
+}
+
+/// Area deposit of all movable cells into a bins×bins grid over `core`
+/// (the density build's hot loop), AoS layout (80-byte cell records).
+///
+/// The seed's parallel_deposit took the per-cell deposit as a
+/// `const std::function&` — one type-erased indirect call per movable cell,
+/// a million opaque calls per density build at scale, and an inlining wall
+/// in front of the overlap arithmetic. Reproduced here (the lambda is
+/// invoked through a std::function, exactly as DensityGrid::build did) so
+/// the AoS leg pays what the old shipped loop paid; the SoA leg mirrors the
+/// new template parallel_deposit, where the body inlines.
+inline double density_deposit_aos(const AosNetlist& aos, const Rect& core,
+                                  size_t bins, std::vector<double>& grid) {
+  grid.assign(bins * bins, 0.0);
+  const double bw = core.width() / static_cast<double>(bins);
+  const double bh = core.height() / static_cast<double>(bins);
+  const std::function<void(size_t, std::vector<double>&)> dep =
+      [&](size_t m, std::vector<double>& f) {
+        const AosCell& c = aos.cells[aos.movable[m]];
+        const double xl = c.x, yl = c.y;
+        const double xh = xl + c.width, yh = yl + c.height;
+        const long i0 = std::max(0L, static_cast<long>((xl - core.xl) / bw));
+        const long i1 = std::min(static_cast<long>(bins) - 1,
+                                 static_cast<long>((xh - core.xl) / bw));
+        const long j0 = std::max(0L, static_cast<long>((yl - core.yl) / bh));
+        const long j1 = std::min(static_cast<long>(bins) - 1,
+                                 static_cast<long>((yh - core.yl) / bh));
+        for (long j = j0; j <= j1; ++j) {
+          const double oy =
+              std::min(yh, core.yl + static_cast<double>(j + 1) * bh) -
+              std::max(yl, core.yl + static_cast<double>(j) * bh);
+          for (long i = i0; i <= i1; ++i) {
+            const double ox =
+                std::min(xh, core.xl + static_cast<double>(i + 1) * bw) -
+                std::max(xl, core.xl + static_cast<double>(i) * bw);
+            if (ox > 0.0 && oy > 0.0)
+              f[static_cast<size_t>(j) * bins + static_cast<size_t>(i)] +=
+                  ox * oy;
+          }
+        }
+      };
+  for (size_t m = 0; m < aos.movable.size(); ++m) dep(m, grid);
+  double acc = 0.0;
+  for (const double g : grid) acc += g;
+  return acc;
+}
+
+/// Same deposit over the SoA layout (40-byte cells, movable id array), with
+/// the per-cell body inlined straight into the loop — what the template
+/// parallel_deposit compiles to now that the std::function wall is gone.
+inline double density_deposit_soa(const NetlistView& v, const Rect& core,
+                                  size_t bins, std::vector<double>& grid) {
+  grid.assign(bins * bins, 0.0);
+  const double bw = core.width() / static_cast<double>(bins);
+  const double bh = core.height() / static_cast<double>(bins);
+  for (size_t m = 0; m < v.num_movable; ++m) {
+    const Cell& c = v.cells[v.movable[m]];
+    const double xl = c.x, yl = c.y;
+    const double xh = xl + c.width, yh = yl + c.height;
+    const long i0 = std::max(0L, static_cast<long>((xl - core.xl) / bw));
+    const long i1 = std::min(static_cast<long>(bins) - 1,
+                             static_cast<long>((xh - core.xl) / bw));
+    const long j0 = std::max(0L, static_cast<long>((yl - core.yl) / bh));
+    const long j1 = std::min(static_cast<long>(bins) - 1,
+                             static_cast<long>((yh - core.yl) / bh));
+    for (long j = j0; j <= j1; ++j) {
+      const double oy =
+          std::min(yh, core.yl + static_cast<double>(j + 1) * bh) -
+          std::max(yl, core.yl + static_cast<double>(j) * bh);
+      for (long i = i0; i <= i1; ++i) {
+        const double ox =
+            std::min(xh, core.xl + static_cast<double>(i + 1) * bw) -
+            std::max(xl, core.xl + static_cast<double>(i) * bw);
+        if (ox > 0.0 && oy > 0.0)
+          grid[static_cast<size_t>(j) * bins + static_cast<size_t>(i)] +=
+              ox * oy;
+      }
+    }
+  }
+  double acc = 0.0;
+  for (const double g : grid) acc += g;
+  return acc;
+}
+
+}  // namespace complx::bench

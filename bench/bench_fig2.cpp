@@ -7,6 +7,8 @@
 //   * centroid alignment: |macro anchor − shred-cloud centroid|,
 //   * shape fidelity: shred-cloud bbox aspect vs macro aspect.
 // Shred geometry is written to fig2_shreds.csv for plotting.
+#include <string_view>
+
 #include "common.h"
 #include "projection/lal.h"
 #include "util/csv.h"
@@ -81,9 +83,10 @@ int main() {
     const double cloud_aspect =
         (yh - yl) > 1e-9 ? (xh - xl) / (yh - yl) : 0.0;
     const double macro_aspect = c.width / c.height;
-    std::printf("%-8s %10.1f %10.1f | %12zu %14.3f %12.2f (macro %.2f)\n",
-                c.name.c_str(), c.width, c.height, n, centroid_err,
-                cloud_aspect, macro_aspect);
+    const std::string_view nm = nl.cell_name(id);
+    std::printf("%-8.*s %10.1f %10.1f | %12zu %14.3f %12.2f (macro %.2f)\n",
+                static_cast<int>(nm.size()), nm.data(), c.width, c.height, n,
+                centroid_err, cloud_aspect, macro_aspect);
   }
   std::printf("\n%zu macros; max |macro anchor - shred centroid| = %.4f "
               "(should be ~0: the anchor IS the interpolated cloud)\n",

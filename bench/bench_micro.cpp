@@ -19,6 +19,8 @@
 #include "wl/hpwl.h"
 #include "wl/incremental.h"
 
+#include "aos_baseline.h"
+
 namespace complx {
 namespace {
 
@@ -383,6 +385,90 @@ void BM_IncrementalVsNaiveMoveEval(benchmark::State& state) {
 BENCHMARK(BM_IncrementalVsNaiveMoveEval)
     ->Arg(0)  // naive
     ->Arg(1);  // cached
+
+// --------------------------------------------------------------------------
+// AoS-vs-SoA layout benchmarks. bench/aos_baseline.h reconstructs the
+// pre-refactor layout (inline names, per-net pin vectors, vector-of-vectors
+// adjacency); the kernels are arithmetic-identical so the pair isolates the
+// data-layout effect that BENCH_scale.json reports at the 1M-cell scale.
+// --------------------------------------------------------------------------
+
+std::vector<double> x_positions(const Netlist& nl) {
+  const Placement p = nl.snapshot();
+  return p.x;
+}
+
+void BM_B2bAssemblyAos(benchmark::State& state) {
+  const Netlist nl = make_circuit(static_cast<size_t>(state.range(0)));
+  const bench::AosNetlist aos = bench::to_aos(nl);
+  const Placement snap = nl.snapshot();
+  std::vector<PinSpring> springs;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        bench::b2b_assembly_aos(aos, snap.x, snap.y, true, springs));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(nl.num_pins()));
+}
+BENCHMARK(BM_B2bAssemblyAos)->Arg(2000)->Arg(8000)->Arg(32000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_B2bAssemblySoa(benchmark::State& state) {
+  const Netlist nl = make_circuit(static_cast<size_t>(state.range(0)));
+  const NetlistView v = nl.view();
+  const std::vector<double> pos = x_positions(nl);
+  std::vector<PinSpring> springs;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(bench::b2b_assembly_soa(v, pos, springs));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(nl.num_pins()));
+}
+BENCHMARK(BM_B2bAssemblySoa)->Arg(2000)->Arg(8000)->Arg(32000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DensityDepositAos(benchmark::State& state) {
+  const Netlist nl = make_circuit(static_cast<size_t>(state.range(0)));
+  const bench::AosNetlist aos = bench::to_aos(nl);
+  std::vector<double> grid;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        bench::density_deposit_aos(aos, nl.core(), 256, grid));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(nl.num_movable()));
+}
+BENCHMARK(BM_DensityDepositAos)->Arg(2000)->Arg(8000)->Arg(32000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DensityDepositSoa(benchmark::State& state) {
+  const Netlist nl = make_circuit(static_cast<size_t>(state.range(0)));
+  const NetlistView v = nl.view();
+  std::vector<double> grid;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        bench::density_deposit_soa(v, nl.core(), 256, grid));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(nl.num_movable()));
+}
+BENCHMARK(BM_DensityDepositSoa)->Arg(2000)->Arg(8000)->Arg(32000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NetlistFinalize(benchmark::State& state) {
+  // Generator + finalize (CSR build, movable indexing, stats). The arena
+  // reservations in the generator make this allocation-light; this is the
+  // per-level cost the multilevel V-cycle pays on every coarse netlist.
+  const size_t cells = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    GenParams prm;
+    prm.name = "micro";
+    prm.num_cells = cells;
+    prm.seed = 4242;
+    prm.utilization = 0.65;
+    Netlist nl = generate_circuit(prm);
+    benchmark::DoNotOptimize(nl.num_pins());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(cells));
+}
+BENCHMARK(BM_NetlistFinalize)->Arg(2000)->Arg(8000)->Arg(32000)
+    ->Unit(benchmark::kMillisecond);
 
 // --------------------------------------------------------------------------
 // Thread-scaling benchmarks (Arg = thread count) on a 100k-cell design.

@@ -1,0 +1,158 @@
+// Scaling-trajectory bench behind BENCH_scale.json: builds a complx_gen
+// design at --cells N in either the library's SoA/CSR layout or the
+// reconstructed pre-refactor AoS layout (bench/aos_baseline.h), then times
+// the two hot kernels the refactor targeted — B2B net-model assembly and
+// density deposit — and reports netlist bytes plus process peak RSS.
+//
+//   bench_scale --cells 1000000 --layout soa [--reps 5] [--bins 512]
+//
+// Output is one JSON object on stdout, e.g.
+//   {"layout":"soa","cells":1000000,...,"b2b_assembly_s":0.012,...}
+// so scripts/run_scaling_smoke.sh can compose BENCH_scale.json from a
+// series of runs. Each layout runs in its own process on purpose: VmHWM is
+// a process-lifetime high-water mark, so AoS and SoA must not share one.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gen/generator.h"
+#include "netlist/netlist.h"
+#include "util/parse_num.h"
+
+#include "aos_baseline.h"
+
+namespace complx {
+namespace {
+
+double now_s() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+/// Peak resident set (VmHWM) of this process in bytes; 0 if unreadable.
+size_t peak_rss_bytes() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%zu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --cells N --layout aos|soa [--reps K] [--bins B] "
+               "[--seed S]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+}  // namespace complx
+
+int main(int argc, char** argv) {
+  using namespace complx;
+  size_t cells = 100000, reps = 5, bins = 512;
+  uint64_t seed = 4242;
+  std::string layout = "soa";
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::invalid_argument(a + " needs a value");
+        return argv[++i];
+      };
+      if (a == "--cells")
+        cells = static_cast<size_t>(parse_int64(a, next(), 1, int64_t{1} << 32));
+      else if (a == "--layout")
+        layout = next();
+      else if (a == "--reps")
+        reps = static_cast<size_t>(parse_int64(a, next(), 1, 1000));
+      else if (a == "--bins")
+        bins = static_cast<size_t>(parse_int64(a, next(), 1, 1 << 14));
+      else if (a == "--seed")
+        seed = static_cast<uint64_t>(parse_int64(a, next(), 0, INT64_MAX));
+      else
+        return usage(argv[0]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_scale: %s\n", e.what());
+    return 2;
+  }
+  if (layout != "aos" && layout != "soa") return usage(argv[0]);
+
+  GenParams prm;
+  prm.name = "scale";
+  prm.num_cells = cells;
+  prm.seed = seed;
+  prm.utilization = 0.65;
+
+  const double t_build0 = now_s();
+  Netlist nl = generate_circuit(prm);
+  const double build_s = now_s() - t_build0;
+
+  const Placement snap = nl.snapshot();
+  const std::vector<double>& pos = snap.x;
+  const std::vector<double>& pos_y = snap.y;
+  const Rect core = nl.core();
+
+  double layout_s = 0.0, checksum = 0.0;
+  double b2b_s = 1e300, dep_s = 1e300;  // min over reps: noise rejection
+  size_t netlist_bytes = 0;
+  std::vector<double> grid;
+  std::vector<PinSpring> springs;
+
+  if (layout == "aos") {
+    const double t0 = now_s();
+    const bench::AosNetlist aos = bench::to_aos(nl);
+    layout_s = now_s() - t0;
+    netlist_bytes = aos.memory_bytes();
+    // Timed region reads only the AoS structures; the SoA netlist stays
+    // resident (it was needed to build the replica), which only *helps*
+    // AoS VmHWM look worse — so report the layout-local bytes, and peak
+    // RSS as the honest upper bound for this process.
+    for (size_t r = 0; r < reps; ++r) {
+      const double t1 = now_s();
+      checksum += bench::b2b_assembly_aos(aos, pos, pos_y, true, springs);
+      b2b_s = std::min(b2b_s, now_s() - t1);
+      const double t2 = now_s();
+      checksum += bench::density_deposit_aos(aos, core, bins, grid);
+      dep_s = std::min(dep_s, now_s() - t2);
+    }
+  } else {
+    const double t0 = now_s();
+    const NetlistView v = nl.view();
+    layout_s = now_s() - t0;
+    netlist_bytes = nl.memory_bytes();
+    for (size_t r = 0; r < reps; ++r) {
+      const double t1 = now_s();
+      checksum += bench::b2b_assembly_soa(v, pos, springs);
+      b2b_s = std::min(b2b_s, now_s() - t1);
+      const double t2 = now_s();
+      checksum += bench::density_deposit_soa(v, core, bins, grid);
+      dep_s = std::min(dep_s, now_s() - t2);
+    }
+  }
+
+  std::printf(
+      "{\"layout\":\"%s\",\"cells\":%zu,\"nets\":%zu,\"pins\":%zu,"
+      "\"reps\":%zu,\"bins\":%zu,"
+      "\"build_s\":%.6f,\"layout_s\":%.6f,"
+      "\"b2b_assembly_s\":%.6f,\"density_deposit_s\":%.6f,"
+      "\"netlist_bytes\":%zu,\"peak_rss_bytes\":%zu,"
+      "\"checksum\":%.17g}\n",
+      layout.c_str(), nl.num_cells(), nl.num_nets(), nl.num_pins(), reps,
+      bins, build_s, layout_s, b2b_s, dep_s, netlist_bytes, peak_rss_bytes(),
+      checksum);
+  return 0;
+}

@@ -27,14 +27,14 @@ Netlist perturb(const Netlist& raw, const Placement& positions, size_t extra,
       c.x = positions.x[id] - c.width / 2.0;
       c.y = positions.y[id] - c.height / 2.0;
     }
-    nl.add_cell(c);
+    nl.add_cell(c, raw.cell_name(id));
   }
   for (NetId e = 0; e < raw.num_nets(); ++e) {
     const Net& n = raw.net(e);
     std::vector<Pin> pins;
     for (uint32_t k = 0; k < n.num_pins; ++k)
       pins.push_back(raw.pin(n.first_pin + k));
-    nl.add_net(n.name, n.weight, pins);
+    nl.add_net(raw.net_name(e), n.weight, pins);
   }
   const std::vector<CellId>& movable = raw.movable_cells();
   for (size_t k = 0; k < extra; ++k) {

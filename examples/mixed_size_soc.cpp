@@ -6,6 +6,7 @@
 //   * exporting the result in Bookshelf format.
 #include <cstdio>
 #include <filesystem>
+#include <string_view>
 
 #include "bookshelf/writer.h"
 #include "core/placer.h"
@@ -55,9 +56,10 @@ int main() {
   for (CellId id : netlist.movable_cells()) {
     const Cell& c = netlist.cell(id);
     if (!c.is_macro()) continue;
-    std::printf("  macro %-6s %4.0fx%-4.0f at (%7.1f, %7.1f)\n",
-                c.name.c_str(), c.width, c.height, gp.anchors.x[id],
-                gp.anchors.y[id]);
+    const std::string_view nm = netlist.cell_name(id);
+    std::printf("  macro %-6.*s %4.0fx%-4.0f at (%7.1f, %7.1f)\n",
+                static_cast<int>(nm.size()), nm.data(), c.width, c.height,
+                gp.anchors.x[id], gp.anchors.y[id]);
   }
 
   Placement placement = gp.anchors;

@@ -28,14 +28,14 @@ Netlist constrain(const Netlist& raw, const Rect& box, size_t stride) {
       c.region = region;
       ++constrained;
     }
-    nl.add_cell(c);
+    nl.add_cell(c, raw.cell_name(id));
   }
   for (NetId e = 0; e < raw.num_nets(); ++e) {
     const Net& n = raw.net(e);
     std::vector<Pin> pins;
     for (uint32_t k = 0; k < n.num_pins; ++k)
       pins.push_back(raw.pin(n.first_pin + k));
-    nl.add_net(n.name, n.weight, pins);
+    nl.add_net(raw.net_name(e), n.weight, pins);
   }
   nl.set_core(raw.core());
   nl.set_target_density(raw.target_density());

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Scaling-trajectory smoke: runs bench_scale (AoS replica vs the library's
+# SoA/CSR layout) at a ladder of design sizes, each layout in its own
+# process (VmHWM is a process-lifetime high-water mark), optionally folds in
+# the 1M-cell bench_micro CPU-time A/B, and composes BENCH_scale.json.
+#
+# Derived ratios are computed from the measured numbers, nothing else; the
+# JSON records exactly what the binaries printed. Wall-clock kernel times on
+# shared/1-vCPU runners are noisy — bench_scale already takes the min over
+# --reps runs, and the bench_micro section (steal-resistant CPU time) is the
+# authoritative speedup number when present.
+#
+# Usage: scripts/run_scaling_smoke.sh [build-dir] [out.json]
+#   SIZES="50000 200000 1000000"  size ladder (cells)
+#   REPS=7                        kernel repetitions per bench_scale run
+#   WITH_MICRO=1                  also run bench_micro at 1M (CPU time)
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-"$repo_root/build"}
+out=${2:-"$repo_root/BENCH_scale.json"}
+sizes=${SIZES:-"50000 200000 1000000"}
+reps=${REPS:-7}
+with_micro=${WITH_MICRO:-1}
+
+scale_bin="$build/bench/bench_scale"
+micro_bin="$build/bench/bench_micro"
+[ -x "$scale_bin" ] || { echo "run_scaling_smoke: $scale_bin not built" >&2; exit 2; }
+
+runs_file=$(mktemp)
+micro_file=$(mktemp)
+trap 'rm -f "$runs_file" "$micro_file"' EXIT
+
+for n in $sizes; do
+  for layout in aos soa; do
+    echo "bench_scale --cells $n --layout $layout --reps $reps" >&2
+    "$scale_bin" --cells "$n" --layout "$layout" --reps "$reps" >> "$runs_file"
+  done
+done
+
+if [ "$with_micro" = "1" ] && [ -x "$micro_bin" ]; then
+  echo "bench_micro A/B at 1M cells (CPU time, 5 repetitions)" >&2
+  "$micro_bin" \
+    --benchmark_filter='(B2bAssembly|DensityDeposit)(Aos|Soa)/1000000' \
+    --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+    --benchmark_format=json > "$micro_file"
+fi
+
+python3 - "$runs_file" "$micro_file" "$out" <<'PY'
+import json, sys
+
+runs_path, micro_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+runs = [json.loads(line) for line in open(runs_path) if line.strip()]
+
+doc = {
+    "bench": "netlist scaling trajectory: AoS baseline replica vs SoA/CSR",
+    "kernels": "B2B net-model assembly (x axis) + density deposit",
+    "method": (
+        "bench_scale: min kernel time over --reps runs, one process per "
+        "layout; netlist_bytes is allocator-charged capacity; bench_micro: "
+        "google-benchmark CPU time, mean over 5 repetitions"
+    ),
+    "runs": runs,
+}
+
+by_key = {(r["layout"], r["cells"]): r for r in runs}
+ratios = []
+for layout, cells in sorted(by_key):
+    if layout != "aos" or ("soa", cells) not in by_key:
+        continue
+    aos, soa = by_key[("aos", cells)], by_key[("soa", cells)]
+    kern_aos = aos["b2b_assembly_s"] + aos["density_deposit_s"]
+    kern_soa = soa["b2b_assembly_s"] + soa["density_deposit_s"]
+    ratios.append({
+        "cells": cells,
+        "checksums_bitwise_equal": aos["checksum"] == soa["checksum"],
+        "netlist_bytes_ratio": round(aos["netlist_bytes"] / soa["netlist_bytes"], 3),
+        "peak_rss_ratio": round(aos["peak_rss_bytes"] / soa["peak_rss_bytes"], 3)
+        if soa["peak_rss_bytes"] else None,
+        "b2b_assembly_speedup_wall": round(aos["b2b_assembly_s"] / soa["b2b_assembly_s"], 3),
+        "density_deposit_speedup_wall": round(aos["density_deposit_s"] / soa["density_deposit_s"], 3),
+        "combined_kernel_speedup_wall": round(kern_aos / kern_soa, 3),
+    })
+doc["ratios_aos_over_soa"] = ratios
+
+try:
+    micro = json.load(open(micro_path))
+except (ValueError, OSError):
+    micro = None
+if micro:
+    means = {
+        b["run_name"]: b["cpu_time"]
+        for b in micro.get("benchmarks", [])
+        if b.get("aggregate_name") == "mean"
+    }
+    def mean(name):
+        return means.get(f"BM_{name}/1000000")
+    b2b_aos, b2b_soa = mean("B2bAssemblyAos"), mean("B2bAssemblySoa")
+    dep_aos, dep_soa = mean("DensityDepositAos"), mean("DensityDepositSoa")
+    if None not in (b2b_aos, b2b_soa, dep_aos, dep_soa):
+        doc["micro_1m_cpu"] = {
+            "unit": micro["benchmarks"][0].get("time_unit", "ms"),
+            "b2b_assembly_aos": round(b2b_aos, 3),
+            "b2b_assembly_soa": round(b2b_soa, 3),
+            "density_deposit_aos": round(dep_aos, 3),
+            "density_deposit_soa": round(dep_soa, 3),
+            "b2b_assembly_speedup": round(b2b_aos / b2b_soa, 3),
+            "density_deposit_speedup": round(dep_aos / dep_soa, 3),
+            "combined_kernel_speedup": round((b2b_aos + dep_aos) / (b2b_soa + dep_soa), 3),
+        }
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+PY

@@ -281,7 +281,6 @@ BookshelfDesign read_bookshelf_files(const std::string& nodes_path,
 
   for (const auto& [name, e] : nodes.nodes) {
     Cell c;
-    c.name = name;
     c.width = e.w;
     c.height = e.h;
     const auto it = pl.at.find(name);
@@ -298,7 +297,7 @@ BookshelfDesign read_bookshelf_files(const std::string& nodes_path,
     } else {
       c.kind = CellKind::Movable;
     }
-    nl.add_cell(std::move(c));
+    nl.add_cell(c, name);
   }
 
   for (const auto& net : nets.nets) {
@@ -308,7 +307,7 @@ BookshelfDesign read_bookshelf_files(const std::string& nodes_path,
       const CellId id = nl.find_cell(pr.cell);
       // A dangling reference means the .nodes/.nets pair is inconsistent;
       // silently dropping the net would corrupt the connectivity model.
-      if (id >= nl.num_cells())
+      if (id == kInvalidCell)
         throw std::runtime_error(
             nets.path + ":" + std::to_string(pr.line) + ": net '" + net.name +
             "' pin references unknown node '" + pr.cell + "'");

@@ -31,7 +31,7 @@ void write_pl(const Netlist& nl, const Placement& p,
     const Cell& c = nl.cell(i);
     const double x = p.x[i] - c.width / 2.0;
     const double y = p.y[i] - c.height / 2.0;
-    out << c.name << '\t' << x << '\t' << y << "\t: "
+    out << nl.cell_name(i) << '\t' << x << '\t' << y << "\t: "
         << (c.flipped_x ? "FN" : "N");
     if (!c.movable()) out << " /FIXED";
     out << '\n';
@@ -59,8 +59,9 @@ void write_bookshelf(const Netlist& nl, const std::string& dir,
       if (!c.movable()) ++terminals;
     out << "NumNodes : " << nl.num_cells() << "\n";
     out << "NumTerminals : " << terminals << "\n";
-    for (const Cell& c : nl.cells()) {
-      out << '\t' << c.name << '\t' << c.width << '\t' << c.height;
+    for (CellId i = 0; i < nl.num_cells(); ++i) {
+      const Cell& c = nl.cell(i);
+      out << '\t' << nl.cell_name(i) << '\t' << c.width << '\t' << c.height;
       if (!c.movable()) out << "\tterminal";
       out << '\n';
     }
@@ -72,11 +73,12 @@ void write_bookshelf(const Netlist& nl, const std::string& dir,
     out << "UCLA nets 1.0\n\n";
     out << "NumNets : " << nl.num_nets() << "\n";
     out << "NumPins : " << nl.num_pins() << "\n";
-    for (const Net& n : nl.nets()) {
-      out << "NetDegree : " << n.num_pins << "  " << n.name << '\n';
+    for (NetId e = 0; e < nl.num_nets(); ++e) {
+      const Net& n = nl.net(e);
+      out << "NetDegree : " << n.num_pins << "  " << nl.net_name(e) << '\n';
       for (uint32_t k = 0; k < n.num_pins; ++k) {
-        const Pin& pin = nl.pin(n.first_pin + k);
-        out << '\t' << nl.cell(pin.cell).name << "  B  : " << pin.dx << ' '
+        const Pin pin = nl.pin(n.first_pin + k);
+        out << '\t' << nl.cell_name(pin.cell) << "  B  : " << pin.dx << ' '
             << pin.dy << '\n';
       }
     }
@@ -86,7 +88,8 @@ void write_bookshelf(const Netlist& nl, const std::string& dir,
     AtomicFileWriter writer = open_writer(base + ".wts");
     std::ostream& out = writer.stream();
     out << "UCLA wts 1.0\n\n";
-    for (const Net& n : nl.nets()) out << n.name << '\t' << n.weight << '\n';
+    for (NetId e = 0; e < nl.num_nets(); ++e)
+      out << nl.net_name(e) << '\t' << nl.net(e).weight << '\n';
     writer.commit();
   }
   write_pl(nl, nl.snapshot(), base + ".pl");

@@ -1,0 +1,59 @@
+// Incremental (ECO) re-placement: re-solve only the cells inside a dirty
+// window, holding everything else bit-exact.
+//
+// Physical-synthesis flows perturb a tiny fraction of a signed-off
+// placement (buffer insertion, gate resizing, a re-synthesized island) and
+// cannot afford — or tolerate — a full re-place: even a perfectly stable
+// placer moves every cell a little, and every moved cell re-opens timing.
+// eco_replace() freezes all movable cells OUTSIDE the window at their
+// current positions (temporarily marking them Fixed), warm-starts the
+// ComPLx loop from the stored placement, and commits new coordinates ONLY
+// for the dirty cells. Frozen cells are never written at all: re-deriving
+// a lower-left corner from a center (x + w/2 − w/2) is not an identity in
+// floating point, so the only way to guarantee outside cells are bitwise
+// untouched is to not touch them.
+//
+// When the window covers every movable cell the code path IS a full solve
+// (plain ComplxPlacer::place()) — not an approximation of one — so
+// eco(everything) equals place() bitwise by construction; a regression
+// test pins this. The solve reuses the caches a full solve would: the B2B
+// sparsity-pattern cache keyed by the (temporarily re-finalized) netlist
+// and the projection's summed-area capacity tables.
+#pragma once
+
+#include "core/placer.h"
+#include "util/geom.h"
+
+namespace complx {
+
+struct EcoOptions {
+  /// Dirty window in core coordinates. A movable cell is dirty iff its
+  /// CENTER lies inside (boundary-inclusive, Rect::contains semantics).
+  Rect window;
+
+  /// Placer configuration for the re-solve. warm_start is forced on for
+  /// partial windows (an ECO that collapses the dirty cells to the core
+  /// center would throw away the very stability ECO exists for).
+  ComplxConfig config;
+
+  /// Commit the re-solved anchor positions of the dirty cells back into
+  /// the netlist. When false the result carries the positions but the
+  /// netlist is left exactly as it was.
+  bool apply = true;
+};
+
+struct EcoResult {
+  PlaceResult place;        ///< underlying solver result (empty if no dirty cells)
+  size_t dirty_cells = 0;   ///< movable cells inside the window
+  size_t frozen_cells = 0;  ///< movable cells temporarily fixed
+  bool full_solve = false;  ///< window covered every movable → plain place()
+};
+
+/// Re-places the movable cells inside opts.window. The netlist is
+/// temporarily re-finalized with outside movables frozen and restored
+/// before returning (strong exception guarantee on the kind flips). Cells
+/// outside the window are bitwise untouched — positions, kinds and pin
+/// offsets compare equal byte for byte.
+EcoResult eco_replace(Netlist& nl, const EcoOptions& opts);
+
+}  // namespace complx

@@ -44,44 +44,15 @@ void DensityGrid::deposit(const Rect& r, double scale,
       field[idx(i, j)] += scale * bin_rect(i, j).overlap_area(clipped);
 }
 
-void DensityGrid::parallel_deposit(
-    size_t n, const std::function<void(size_t, std::vector<double>&)>& dep,
-    std::vector<double>& field) {
-  field.assign(bx_ * by_, 0.0);
-  const Partition part = partition_range(n, 1024, 32);
-  if (part.parts <= 1) {  // small designs: exactly the historical loop
-    for (size_t k = 0; k < n; ++k) dep(k, field);
-    return;
-  }
-  // Per-block partial grids. Block boundaries depend only on n, and bins
-  // merge their partials in block order, so the grid is bitwise identical
-  // at any thread count.
-  std::vector<std::vector<double>> partial(part.parts);
-  parallel_for(
-      n,
-      [&](size_t begin, size_t end) {
-        std::vector<double>& f = partial[begin / part.chunk];
-        f.assign(bx_ * by_, 0.0);
-        for (size_t k = begin; k < end; ++k) dep(k, f);
-      },
-      part.chunk);
-  parallel_for(bx_ * by_, [&](size_t b0, size_t b1) {
-    for (size_t b = b0; b < b1; ++b) {
-      double s = 0.0;
-      for (const std::vector<double>& f : partial)
-        if (!f.empty()) s += f[b];
-      field[b] = s;
-    }
-  });
-}
-
 void DensityGrid::build(const Placement& p) {
-  const std::vector<CellId>& movable = nl_.movable_cells();
+  // Raw-array deposit loop: per movable cell, two coordinate loads and the
+  // 40-byte hot Cell record — no name or adjacency data enters the cache.
+  const NetlistView v = nl_.view();
   parallel_deposit(
-      movable.size(),
+      v.num_movable,
       [&](size_t k, std::vector<double>& f) {
-        const CellId id = movable[k];
-        const Cell& c = nl_.cell(id);
+        const CellId id = v.movable[k];
+        const Cell& c = v.cells[id];
         const Rect r = {p.x[id] - c.width / 2.0, p.y[id] - c.height / 2.0,
                         p.x[id] + c.width / 2.0, p.y[id] + c.height / 2.0};
         deposit(r, f);

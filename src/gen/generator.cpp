@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "util/rng.h"
@@ -37,16 +39,38 @@ Netlist generate_circuit(const GenParams& prm) {
   Rng rng(prm.seed);
   Netlist nl;
 
+  // Arena-style pre-sizing: one reservation per flat array up front, so a
+  // multi-million-cell build never reallocates mid-construction. Net/pin
+  // counts are estimates (nets_per_cell draws, degree ~<= 4 + pad/macro
+  // fan-in); a slight overshoot is cheap, a reallocation storm is not.
+  {
+    const size_t est_cells = prm.num_cells + prm.num_movable_macros +
+                             prm.num_fixed_macros + prm.num_pads;
+    const size_t est_nets = static_cast<size_t>(
+        static_cast<double>(prm.num_cells) * prm.nets_per_cell) +
+        prm.num_pads + 16;
+    nl.reserve(est_cells, est_nets, 4 * est_nets);
+  }
+
+  // Stack-buffer name formatting: "c"/"mm"/"fm"/"p"/"n" + decimal index,
+  // straight into the netlist's NamePool arena — no temporary std::string
+  // per object.
+  char name_buf[32];
+  auto fmt_name = [&name_buf](const char* prefix, size_t i) {
+    const int len = std::snprintf(name_buf, sizeof(name_buf), "%s%zu",
+                                  prefix, i);
+    return std::string_view(name_buf, static_cast<size_t>(len));
+  };
+
   // ---- movable standard cells ------------------------------------------
   double movable_area = 0.0;
   for (size_t i = 0; i < prm.num_cells; ++i) {
     Cell c;
-    c.name = "c" + std::to_string(i);
     c.width = std::round(rng.uniform(prm.cell_width_min, prm.cell_width_max));
     c.height = prm.row_height;
     c.kind = CellKind::Movable;
     movable_area += c.area();
-    nl.add_cell(std::move(c));
+    nl.add_cell(c, fmt_name("c", i));
   }
 
   // ---- macros ------------------------------------------------------------
@@ -57,22 +81,20 @@ Netlist generate_circuit(const GenParams& prm) {
   std::vector<CellId> movable_macros, fixed_macros;
   for (size_t i = 0; i < prm.num_movable_macros; ++i) {
     Cell c;
-    c.name = "mm" + std::to_string(i);
     c.width = macro_edge();
     c.height = macro_edge();
     c.kind = CellKind::MovableMacro;
     movable_area += c.area();
-    movable_macros.push_back(nl.add_cell(std::move(c)));
+    movable_macros.push_back(nl.add_cell(c, fmt_name("mm", i)));
   }
   double fixed_macro_area = 0.0;
   for (size_t i = 0; i < prm.num_fixed_macros; ++i) {
     Cell c;
-    c.name = "fm" + std::to_string(i);
     c.width = macro_edge();
     c.height = macro_edge();
     c.kind = CellKind::Fixed;
     fixed_macro_area += c.area();
-    fixed_macros.push_back(nl.add_cell(std::move(c)));
+    fixed_macros.push_back(nl.add_cell(c, fmt_name("fm", i)));
   }
 
   // ---- core area and rows -------------------------------------------------
@@ -127,7 +149,6 @@ Netlist generate_circuit(const GenParams& prm) {
   const double pad_sz = prm.row_height;
   for (size_t i = 0; i < prm.num_pads; ++i) {
     Cell c;
-    c.name = "p" + std::to_string(i);
     c.width = pad_sz;
     c.height = pad_sz;
     c.kind = CellKind::Fixed;
@@ -148,7 +169,7 @@ Netlist generate_circuit(const GenParams& prm) {
       c.x = core.xl - pad_sz;
       c.y = core.yh - (d - 3 * side);
     }
-    pads.push_back(nl.add_cell(std::move(c)));
+    pads.push_back(nl.add_cell(c, fmt_name("p", i)));
   }
 
   // ---- cluster assignment ---------------------------------------------------
@@ -222,7 +243,7 @@ Netlist generate_circuit(const GenParams& prm) {
       continue;
     }
     orient(pins);
-    nl.add_net("n" + std::to_string(net_counter++), 1.0, pins);
+    nl.add_net(fmt_name("n", net_counter++), 1.0, pins);
   }
 
   // ---- pad nets: each pad drives a small net into the cluster nearest its
@@ -249,7 +270,7 @@ Netlist generate_circuit(const GenParams& prm) {
     }
     if (pins.size() >= 2) {
       orient(pins);
-      nl.add_net("n" + std::to_string(net_counter++), 1.0, pins);
+      nl.add_net(fmt_name("n", net_counter++), 1.0, pins);
     }
   }
 
@@ -282,7 +303,7 @@ Netlist generate_circuit(const GenParams& prm) {
       }
       if (pins.size() >= 2) {
         orient(pins);
-        nl.add_net("n" + std::to_string(net_counter++), 1.0, pins);
+        nl.add_net(fmt_name("n", net_counter++), 1.0, pins);
       }
     }
   };

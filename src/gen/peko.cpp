@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "util/rng.h"
@@ -164,6 +166,20 @@ PekoDesign generate_peko(const PekoParams& prm) {
   }
   nl.set_target_density(prm.target_density);
 
+  // Pre-size the flat arrays (arena construction; see generator.cpp) and
+  // format names into a stack buffer, straight into the NamePool.
+  {
+    const size_t est_nets = static_cast<size_t>(std::llround(
+        static_cast<double>(total) * std::max(1.0, prm.nets_per_cell)));
+    nl.reserve(total + macro_dims.size(), est_nets + total, 4 * est_nets);
+  }
+  char name_buf[32];
+  auto fmt_name = [&name_buf](const char* prefix, size_t i) {
+    const int len = std::snprintf(name_buf, sizeof(name_buf), "%s%zu",
+                                  prefix, i);
+    return std::string_view(name_buf, static_cast<size_t>(len));
+  };
+
   // ---- cells at their certified-optimal positions --------------------------
   // Patch p sits at super-grid slot (p % g, p / g); its origin is the slot
   // center snapped DOWN to the W grid, which keeps every coordinate an exact
@@ -181,7 +197,6 @@ PekoDesign generate_peko(const PekoParams& prm) {
     for (size_t j = 0; j < side; ++j) {
       for (size_t i = 0; i < side; ++i) {
         Cell c;
-        c.name = "c" + std::to_string(p * per_patch + j * side + i);
         c.width = W;
         c.height = W;
         c.x = x0 + static_cast<double>(i) * W;
@@ -191,7 +206,7 @@ PekoDesign generate_peko(const PekoParams& prm) {
         // cannot change the optimum — fixing a cell where the optimal
         // placement already puts it only shrinks the feasible set.
         c.kind = (i == 0 && j == 0) ? CellKind::Fixed : CellKind::Movable;
-        nl.add_cell(std::move(c));
+        nl.add_cell(c, fmt_name("c", p * per_patch + j * side + i));
       }
     }
   }
@@ -214,13 +229,12 @@ PekoDesign generate_peko(const PekoParams& prm) {
         if (clash || r.overlaps(cand)) { clash = true; break; }
       if (clash) continue;
       Cell c;
-      c.name = "fm" + std::to_string(m);
       c.width = mw;
       c.height = mh;
       c.x = x;
       c.y = y;
       c.kind = CellKind::Fixed;
-      nl.add_cell(std::move(c));
+      nl.add_cell(c, fmt_name("fm", m));
       macro_rects.push_back(cand);
       placed = true;
     }
@@ -247,8 +261,8 @@ PekoDesign generate_peko(const PekoParams& prm) {
         const size_t i = (j % 2 == 0) ? step : side - 1 - step;
         const CellId cur = cell_of(p, i, j);
         if (cur == prev) continue;
-        nl.add_net("n" + std::to_string(net_counter++), 1.0,
-                   {{prev, 0.0, 0.0}, {cur, 0.0, 0.0}});
+        nl.add_net(fmt_name("n", net_counter++),
+                   1.0, {{prev, 0.0, 0.0}, {cur, 0.0, 0.0}});
         optimum += peko_net_optimum(2, W);
         prev = cur;
       }
@@ -277,7 +291,7 @@ PekoDesign generate_peko(const PekoParams& prm) {
     pins.reserve(window.size());
     for (const auto& [i, j] : window)
       pins.push_back({cell_of(patch, i, j), 0.0, 0.0});
-    nl.add_net("n" + std::to_string(net_counter++), 1.0, pins);
+    nl.add_net(fmt_name("n", net_counter++), 1.0, pins);
     optimum += peko_net_optimum(static_cast<int>(window.size()), W);
   }
 

@@ -233,7 +233,9 @@ LegalizeResult AbacusLegalizer::legalize(Placement& p) const {
 
     if (best_row < 0) {
       ++result.failed;
-      log_warn("abacus: no segment for cell %s", c.name.c_str());
+      const std::string_view nm = nl_.cell_name(id);
+      log_warn("abacus: no segment for cell %.*s", static_cast<int>(nm.size()),
+               nm.data());
       continue;
     }
     segs[static_cast<size_t>(best_row)][best_seg].append(id, c.width, tx,

@@ -202,7 +202,9 @@ LegalizeResult TetrisLegalizer::legalize(Placement& p) const {
     }
     if (!placed) {
       ++result.failed;
-      log_warn("legalizer: macro %s could not be placed", c.name.c_str());
+      const std::string_view nm = nl_.cell_name(id);
+      log_warn("legalizer: macro %.*s could not be placed",
+               static_cast<int>(nm.size()), nm.data());
       continue;
     }
     placed_macros.push_back(spot);
@@ -255,7 +257,9 @@ LegalizeResult TetrisLegalizer::legalize(Placement& p) const {
 
     if (best_row < 0) {
       ++result.failed;
-      log_warn("legalizer: no spot for cell %s", c.name.c_str());
+      const std::string_view nm = nl_.cell_name(id);
+      log_warn("legalizer: no spot for cell %.*s", static_cast<int>(nm.size()),
+               nm.data());
       continue;
     }
     const Row& row = rows[static_cast<size_t>(best_row)];

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
+#include <string_view>
 
 #include "util/fpcmp.h"
 #include "util/rng.h"
@@ -81,6 +83,7 @@ CoarseLevel coarsen(const Netlist& fine, const ClusterOptions& opts) {
   level.fine_to_coarse.assign(n, 0);
   Netlist& coarse = level.netlist;
 
+  std::string merged_name;
   for (CellId id = 0; id < n; ++id) {
     const Cell& c = fine.cell(id);
     const CellId partner = match[id];
@@ -90,29 +93,34 @@ CoarseLevel coarsen(const Netlist& fine, const ClusterOptions& opts) {
       continue;
     }
     Cell cc = c;
+    std::string_view cc_name = fine.cell_name(id);
     if (partner != std::numeric_limits<CellId>::max() && partner > id) {
       // Cluster representative: combined area at row height, centered at
       // the members' mean position.
       const Cell& pc = fine.cell(partner);
-      cc.name = c.name + "+" + pc.name;
+      merged_name.assign(fine.cell_name(id));
+      merged_name += '+';
+      merged_name += fine.cell_name(partner);
+      cc_name = merged_name;
       cc.height = fine.row_height();
       cc.width = (c.area() + pc.area()) / cc.height;
       cc.x = (c.cx() + pc.cx()) / 2.0 - cc.width / 2.0;
       cc.y = (c.cy() + pc.cy()) / 2.0 - cc.height / 2.0;
       cc.region = c.region != kNoRegion ? c.region : pc.region;
     }
-    level.fine_to_coarse[id] = coarse.add_cell(std::move(cc));
+    level.fine_to_coarse[id] = coarse.add_cell(cc, cc_name);
   }
 
   // Nets: re-target pins; drop single-cluster nets; dedupe per-net pins to
   // one pin per coarse cell (offsets dropped — coarse placement is about
   // global structure).
   std::vector<CellId> seen;
+  std::vector<Pin> pins;  // reused across nets (capacity survives clear())
   for (NetId e = 0; e < fine.num_nets(); ++e) {
     const Net& net = fine.net(e);
     if (net.num_pins < 2) continue;
     seen.clear();
-    std::vector<Pin> pins;
+    pins.clear();
     for (uint32_t k = 0; k < net.num_pins; ++k) {
       const CellId cc = level.fine_to_coarse[fine.pin(net.first_pin + k).cell];
       if (std::find(seen.begin(), seen.end(), cc) != seen.end()) continue;
@@ -120,7 +128,7 @@ CoarseLevel coarsen(const Netlist& fine, const ClusterOptions& opts) {
       pins.push_back({cc, 0.0, 0.0});
     }
     if (pins.size() < 2) continue;  // internal to one cluster
-    coarse.add_net(net.name, net.weight, pins);
+    coarse.add_net(fine.net_name(e), net.weight, pins);
   }
 
   for (const Region& r : fine.regions()) coarse.add_region(r);

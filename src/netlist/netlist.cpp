@@ -1,33 +1,49 @@
 #include "netlist/netlist.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace complx {
 
-CellId Netlist::add_cell(Cell c) {
+void Netlist::reserve(size_t cells, size_t nets, size_t pins,
+                      size_t avg_name_chars) {
+  cells_.reserve(cells);
+  nets_.reserve(nets);
+  pin_cell_.reserve(pins);
+  pin_dx_.reserve(pins);
+  pin_dy_.reserve(pins);
+  cell_names_.reserve(cells, avg_name_chars);
+  net_names_.reserve(nets, avg_name_chars);
+}
+
+CellId Netlist::add_cell(Cell c, std::string_view name) {
   if (finalized_) throw std::logic_error("add_cell after finalize");
   const CellId id = static_cast<CellId>(cells_.size());
-  name_index_.emplace(c.name, id);
-  cells_.push_back(std::move(c));
+  cell_names_.add(name);
+  cells_.push_back(c);
+  name_index_dirty_ = true;
   return id;
 }
 
-NetId Netlist::add_net(std::string name, double weight,
+NetId Netlist::add_net(std::string_view name, double weight,
                        const std::vector<Pin>& pins) {
   if (finalized_) throw std::logic_error("add_net after finalize");
   Net n;
-  n.name = std::move(name);
   n.weight = weight;
-  n.first_pin = static_cast<uint32_t>(pins_.size());
+  n.first_pin = static_cast<uint32_t>(pin_cell_.size());
   n.num_pins = static_cast<uint32_t>(pins.size());
   for (const Pin& p : pins) {
     if (p.cell >= cells_.size())
       throw std::out_of_range("pin references unknown cell");
-    pins_.push_back(p);
+    pin_cell_.push_back(p.cell);
+    pin_dx_.push_back(p.dx);
+    pin_dy_.push_back(p.dy);
   }
   const NetId id = static_cast<NetId>(nets_.size());
-  nets_.push_back(std::move(n));
+  net_names_.add(name);
+  nets_.push_back(n);
   return id;
 }
 
@@ -42,10 +58,7 @@ void Netlist::set_rows(std::vector<Row> rows) {
   if (!rows_.empty()) row_height_ = rows_.front().height;
 }
 
-void Netlist::finalize() {
-  if (finalized_) return;
-  finalized_ = true;
-
+void Netlist::compute_movable_stats() {
   movable_.clear();
   movable_area_ = 0.0;
   fixed_area_in_core_ = 0.0;
@@ -66,18 +79,55 @@ void Netlist::finalize() {
   }
   avg_movable_width_ = std_count ? width_sum / static_cast<double>(std_count)
                                  : row_height_;
+}
 
-  cell_nets_.assign(cells_.size(), {});
-  cell_pins_.assign(cells_.size(), {});
+void Netlist::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+
+  compute_movable_stats();
+
+  // ---- CSR adjacency (two counting passes; no per-cell vectors) ----------
+  // A net may touch the same cell through several pins; it is recorded once
+  // per cell. Pins of a net are contiguous, so a per-cell "last net seen"
+  // marker dedups exactly like the historical consecutive-duplicate check.
+  const size_t n = cells_.size();
+  constexpr NetId kNoNet = std::numeric_limits<NetId>::max();
+  cell_net_off_.assign(n + 1, 0);
+  cell_pin_off_.assign(n + 1, 0);
+  std::vector<NetId> last_net(n, kNoNet);
   for (NetId e = 0; e < nets_.size(); ++e) {
-    const Net& n = nets_[e];
-    for (uint32_t k = 0; k < n.num_pins; ++k) {
-      const PinId pid = n.first_pin + k;
-      const CellId c = pins_[pid].cell;
-      cell_pins_[c].push_back(pid);
-      // A net may touch the same cell through several pins; record once.
-      if (cell_nets_[c].empty() || cell_nets_[c].back() != e)
-        cell_nets_[c].push_back(e);
+    const Net& net = nets_[e];
+    for (uint32_t k = 0; k < net.num_pins; ++k) {
+      const CellId c = pin_cell_[net.first_pin + k];
+      ++cell_pin_off_[c + 1];
+      if (last_net[c] != e) {
+        last_net[c] = e;
+        ++cell_net_off_[c + 1];
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    cell_net_off_[i + 1] += cell_net_off_[i];
+    cell_pin_off_[i + 1] += cell_pin_off_[i];
+  }
+  cell_net_ids_.resize(cell_net_off_[n]);
+  cell_pin_ids_.resize(cell_pin_off_[n]);
+  std::vector<uint32_t> net_cursor(cell_net_off_.begin(),
+                                   cell_net_off_.end() - 1);
+  std::vector<uint32_t> pin_cursor(cell_pin_off_.begin(),
+                                   cell_pin_off_.end() - 1);
+  std::fill(last_net.begin(), last_net.end(), kNoNet);
+  for (NetId e = 0; e < nets_.size(); ++e) {
+    const Net& net = nets_[e];
+    for (uint32_t k = 0; k < net.num_pins; ++k) {
+      const PinId pid = net.first_pin + k;
+      const CellId c = pin_cell_[pid];
+      cell_pin_ids_[pin_cursor[c]++] = pid;
+      if (last_net[c] != e) {
+        last_net[c] = e;
+        cell_net_ids_[net_cursor[c]++] = e;
+      }
     }
   }
 
@@ -102,18 +152,111 @@ void Netlist::finalize() {
       rows.push_back({y, h, core_.xl, core_.xh, 1.0});
     rows_ = std::move(rows);
   }
+
+  // ---- row validation ------------------------------------------------------
+  // Degenerate rows historically slipped through and surfaced as a garbage
+  // (or UB) num_sites() deep inside the legalizer / .scl writer. Reject them
+  // here, at the one place every construction path funnels through.
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    const Row& row = rows_[r];
+    const bool finite = std::isfinite(row.y) && std::isfinite(row.height) &&
+                        std::isfinite(row.xl) && std::isfinite(row.xh) &&
+                        std::isfinite(row.site_width);
+    if (!finite || row.height <= 0.0 || row.site_width <= 0.0 ||
+        row.xh < row.xl)
+      throw std::invalid_argument(
+          "netlist row " + std::to_string(r) +
+          " is degenerate (need finite geometry, height > 0, "
+          "site_width > 0, xh >= xl)");
+  }
+
+  // ---- capacity trim -----------------------------------------------------
+  // Construction reserves are estimates (readers and generators guess pin
+  // and name counts before seeing them), and geometric push_back growth can
+  // overshoot by ~50%. The arrays are frozen from here on, so return the
+  // slack now: at 10M cells this is hundreds of MB of allocator charge that
+  // would otherwise ride along for the whole solve. Each call is a no-op
+  // when capacity already equals size, so ECO-era refinalize paths cost
+  // nothing extra.
+  cells_.shrink_to_fit();
+  nets_.shrink_to_fit();
+  pin_cell_.shrink_to_fit();
+  pin_dx_.shrink_to_fit();
+  pin_dy_.shrink_to_fit();
+  cell_names_.shrink_to_fit();
+  net_names_.shrink_to_fit();
+  regions_.shrink_to_fit();
+  rows_.shrink_to_fit();
+  movable_.shrink_to_fit();
+}
+
+void Netlist::refinalize() {
+  if (!finalized_) throw std::logic_error("refinalize before finalize");
+  compute_movable_stats();
+}
+
+NetlistView Netlist::view() const {
+  if (!finalized_) throw std::logic_error("view() before finalize");
+  NetlistView v;
+  v.num_cells = cells_.size();
+  v.num_nets = nets_.size();
+  v.num_pins = pin_cell_.size();
+  v.num_movable = movable_.size();
+  v.cells = cells_.data();
+  v.nets = nets_.data();
+  v.movable = movable_.data();
+  v.pin_cell = pin_cell_.data();
+  v.pin_dx = pin_dx_.data();
+  v.pin_dy = pin_dy_.data();
+  v.cell_net_off = cell_net_off_.data();
+  v.cell_net_ids = cell_net_ids_.data();
+  v.cell_pin_off = cell_pin_off_.data();
+  v.cell_pin_ids = cell_pin_ids_.data();
+  return v;
 }
 
 void Netlist::flip_horizontal(CellId id) {
   Cell& c = cells_[id];
   c.flipped_x = !c.flipped_x;
-  for (PinId pid : cell_pins_[id]) pins_[pid].dx = -pins_[pid].dx;
+  for (PinId pid : pins_of_cell(id)) pin_dx_[pid] = -pin_dx_[pid];
 }
 
-CellId Netlist::find_cell(const std::string& name) const {
-  const auto it = name_index_.find(name);
-  return it == name_index_.end() ? static_cast<CellId>(cells_.size())
-                                 : it->second;
+CellId Netlist::find_cell(std::string_view name) const {
+  if (name_index_dirty_) {
+    name_order_.resize(cells_.size());
+    for (CellId i = 0; i < cells_.size(); ++i) name_order_[i] = i;
+    std::sort(name_order_.begin(), name_order_.end(),
+              [this](CellId a, CellId b) {
+                const std::string_view na = cell_names_[a];
+                const std::string_view nb = cell_names_[b];
+                return na != nb ? na < nb : a < b;
+              });
+    name_index_dirty_ = false;
+  }
+  const auto it = std::lower_bound(
+      name_order_.begin(), name_order_.end(), name,
+      [this](CellId id, std::string_view key) { return cell_names_[id] < key; });
+  if (it == name_order_.end() || cell_names_[*it] != name) return kInvalidCell;
+  return *it;
+}
+
+size_t Netlist::memory_bytes() const {
+  size_t b = 0;
+  b += cells_.capacity() * sizeof(Cell);
+  b += nets_.capacity() * sizeof(Net);
+  b += pin_cell_.capacity() * sizeof(CellId);
+  b += pin_dx_.capacity() * sizeof(double);
+  b += pin_dy_.capacity() * sizeof(double);
+  b += cell_names_.memory_bytes() + net_names_.memory_bytes();
+  b += regions_.capacity() * sizeof(Region);
+  b += rows_.capacity() * sizeof(Row);
+  b += movable_.capacity() * sizeof(CellId);
+  b += cell_net_off_.capacity() * sizeof(uint32_t);
+  b += cell_net_ids_.capacity() * sizeof(NetId);
+  b += cell_pin_off_.capacity() * sizeof(uint32_t);
+  b += cell_pin_ids_.capacity() * sizeof(PinId);
+  b += name_order_.capacity() * sizeof(CellId);
+  return b;
 }
 
 Placement Netlist::snapshot() const {

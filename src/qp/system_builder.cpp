@@ -18,7 +18,11 @@ SystemBuilder::SystemBuilder(const Netlist& nl, const VarMap& vars, Axis axis,
       axis_(axis),
       point_(&linearization_point),
       trip_(vars.num_vars()),
-      rhs_(vars.num_vars(), 0.0) {}
+      rhs_(vars.num_vars(), 0.0) {
+  const NetlistView v = nl.view();
+  pin_cell_ = v.pin_cell;
+  pin_off_ = axis == Axis::X ? v.pin_dx : v.pin_dy;
+}
 
 void SystemBuilder::reset(const Placement& linearization_point) {
   point_ = &linearization_point;
@@ -27,19 +31,15 @@ void SystemBuilder::reset(const Placement& linearization_point) {
 }
 
 double SystemBuilder::pin_coord(PinId k) const {
-  const Pin& pin = nl_.pin(k);
-  return axis_ == Axis::X ? point_->x[pin.cell] + pin.dx
-                          : point_->y[pin.cell] + pin.dy;
+  const Vec& pos = axis_ == Axis::X ? point_->x : point_->y;
+  return pos[pin_cell_[k]] + pin_off_[k];
 }
 
-double SystemBuilder::pin_offset(PinId k) const {
-  const Pin& pin = nl_.pin(k);
-  return axis_ == Axis::X ? pin.dx : pin.dy;
-}
+double SystemBuilder::pin_offset(PinId k) const { return pin_off_[k]; }
 
 void SystemBuilder::add_pin_springs(const std::vector<PinSpring>& springs) {
   for (const PinSpring& s : springs) {
-    const CellId ca = nl_.pin(s.p).cell, cb = nl_.pin(s.q).cell;
+    const CellId ca = pin_cell_[s.p], cb = pin_cell_[s.q];
     const size_t va = vars_.var_of_cell[ca], vb = vars_.var_of_cell[cb];
     const double oa = pin_offset(s.p), ob = pin_offset(s.q);
 
@@ -60,7 +60,7 @@ void SystemBuilder::add_pin_springs(const std::vector<PinSpring>& springs) {
 
 void SystemBuilder::add_star_springs(const std::vector<StarSpring>& springs) {
   for (const StarSpring& s : springs) {
-    const CellId c = nl_.pin(s.p).cell;
+    const CellId c = pin_cell_[s.p];
     const size_t v = vars_.var_of_cell[c];
     if (v == VarMap::kFixed) continue;
     trip_.add_diag(v, s.weight);

@@ -87,6 +87,10 @@ class SystemBuilder {
   const Netlist& nl_;
   const VarMap& vars_;
   Axis axis_;
+  // Raw pin arrays for this axis (netlist view): spring stamping resolves
+  // pins through two flat loads instead of materializing Pin records.
+  const CellId* pin_cell_;
+  const double* pin_off_;
   const Placement* point_;  ///< current linearization point (rebindable)
   TripletList trip_;
   Vec rhs_;

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/parallel.h"
-#include "wl/hpwl.h"
 
 namespace complx {
 
@@ -42,11 +42,28 @@ size_t CongestionMap::bin_y_of(double y) const {
 void CongestionMap::deposit_net_range(const Placement& p, size_t begin,
                                       size_t end, std::vector<double>& h_out,
                                       std::vector<double>& v_out) const {
+  const NetlistView v = nl_.view();
   const double min_ext = opts_.min_extent_rows * nl_.row_height();
   for (size_t e = begin; e < end; ++e) {
-    const Net& net = nl_.net(static_cast<NetId>(e));
+    const Net& net = v.nets[e];
     if (net.num_pins < 2) continue;
-    Rect bb = net_bbox(nl_, p, static_cast<NetId>(e));
+    // Inline bbox over the pin SoA arrays (same arithmetic as net_bbox).
+    Rect bb;
+    {
+      double xl = std::numeric_limits<double>::infinity(), xh = -xl;
+      double yl = xl, yh = -xl;
+      for (uint32_t k = net.first_pin; k < net.first_pin + net.num_pins;
+           ++k) {
+        const CellId c = v.pin_cell[k];
+        const double px = p.x[c] + v.pin_dx[k];
+        const double py = p.y[c] + v.pin_dy[k];
+        xl = std::min(xl, px);
+        xh = std::max(xh, px);
+        yl = std::min(yl, py);
+        yh = std::max(yh, py);
+      }
+      bb = {xl, yl, xh, yh};
+    }
     // Degenerate boxes still consume local routing resources.
     if (bb.width() < min_ext) {
       const double c = (bb.xl + bb.xh) / 2.0;

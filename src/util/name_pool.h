@@ -1,0 +1,64 @@
+// Arena storage for object names: all strings live back-to-back in one char
+// blob, addressed by a 32-bit start offset per entry. Compared to a
+// std::vector<std::string> this removes the 32-byte string header and any
+// per-name heap block — at 10M cells the name table costs ~1 byte per name
+// character plus 4 bytes of offset, and construction performs O(1) amortized
+// appends into two flat vectors instead of one allocation per name.
+//
+// Append-only by design: entry i's extent is [offsets_[i], offsets_[i+1]),
+// so names can never be edited in place. That is exactly the netlist's
+// contract — names identify objects, they are not mutable state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+namespace complx {
+
+class NamePool {
+ public:
+  /// Appends a name and returns its index (== size() before the call).
+  uint32_t add(std::string_view s) {
+    if (chars_.size() + s.size() > std::numeric_limits<uint32_t>::max())
+      throw std::length_error("NamePool: character arena exceeds 4 GiB");
+    const uint32_t id = static_cast<uint32_t>(offsets_.size() - 1);
+    chars_.insert(chars_.end(), s.begin(), s.end());
+    offsets_.push_back(static_cast<uint32_t>(chars_.size()));
+    return id;
+  }
+
+  std::string_view operator[](uint32_t i) const {
+    return {chars_.data() + offsets_[i],
+            static_cast<size_t>(offsets_[i + 1] - offsets_[i])};
+  }
+
+  size_t size() const { return offsets_.size() - 1; }
+  bool empty() const { return size() == 0; }
+
+  /// Pre-sizes the arena: `count` names of ~`avg_chars` characters each.
+  void reserve(size_t count, size_t avg_chars) {
+    offsets_.reserve(count + 1);
+    chars_.reserve(count * avg_chars);
+  }
+
+  /// Returns excess reserve capacity to the allocator (no-op when tight).
+  void shrink_to_fit() {
+    chars_.shrink_to_fit();
+    offsets_.shrink_to_fit();
+  }
+
+  /// Bytes held by the pool (capacity, i.e. what the allocator charged us).
+  size_t memory_bytes() const {
+    return chars_.capacity() * sizeof(char) +
+           offsets_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  std::vector<char> chars_;
+  std::vector<uint32_t> offsets_ = {0};  ///< n+1 fenceposts
+};
+
+}  // namespace complx

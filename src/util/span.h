@@ -1,0 +1,32 @@
+// Minimal non-owning contiguous view, the return type of the netlist's CSR
+// adjacency accessors. Intentionally tiny (pointer + length): the placer
+// targets C++20 but keeps its hot-path vocabulary types trivially copyable
+// and free of the bounds-checking/ranges machinery of std::span so that the
+// adjacency loops compile to plain pointer arithmetic everywhere.
+#pragma once
+
+#include <cstddef>
+
+namespace complx {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const T& operator[](size_t i) const { return data_[i]; }
+  constexpr const T& front() const { return data_[0]; }
+  constexpr const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace complx

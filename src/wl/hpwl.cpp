@@ -7,21 +7,32 @@
 
 namespace complx {
 
-Rect net_bbox(const Netlist& nl, const Placement& p, NetId e) {
-  const Net& n = nl.net(e);
+namespace {
+
+/// Bounding box of net e out of the raw-array view — the hot-loop body
+/// shared by the totals below (per-pin: one id load + two coordinate loads
+/// per axis, no Pin materialization).
+inline Rect net_bbox_view(const NetlistView& v, const Placement& p, NetId e) {
+  const Net& n = v.nets[e];
   if (n.num_pins == 0) return {};
   double xl = std::numeric_limits<double>::infinity(), xh = -xl;
   double yl = xl, yh = -xl;
-  for (uint32_t k = 0; k < n.num_pins; ++k) {
-    const Pin& pin = nl.pin(n.first_pin + k);
-    const double px = p.x[pin.cell] + pin.dx;
-    const double py = p.y[pin.cell] + pin.dy;
+  for (uint32_t k = n.first_pin; k < n.first_pin + n.num_pins; ++k) {
+    const CellId c = v.pin_cell[k];
+    const double px = p.x[c] + v.pin_dx[k];
+    const double py = p.y[c] + v.pin_dy[k];
     xl = std::min(xl, px);
     xh = std::max(xh, px);
     yl = std::min(yl, py);
     yh = std::max(yh, py);
   }
   return {xl, yl, xh, yh};
+}
+
+}  // namespace
+
+Rect net_bbox(const Netlist& nl, const Placement& p, NetId e) {
+  return net_bbox_view(nl.view(), p, e);
 }
 
 double net_hpwl(const Netlist& nl, const Placement& p, NetId e) {
@@ -34,20 +45,24 @@ double net_hpwl(const Netlist& nl, const Placement& p, NetId e) {
 // any thread count, and identical to the old serial loop for designs with
 // at most kReduceChunk nets.
 double hpwl(const Netlist& nl, const Placement& p) {
-  return parallel_sum(nl.num_nets(), [&](size_t begin, size_t end) {
+  const NetlistView v = nl.view();
+  return parallel_sum(v.num_nets, [&](size_t begin, size_t end) {
     double s = 0.0;
-    for (size_t e = begin; e < end; ++e)
-      s += net_hpwl(nl, p, static_cast<NetId>(e));
+    for (size_t e = begin; e < end; ++e) {
+      const Rect b = net_bbox_view(v, p, static_cast<NetId>(e));
+      s += (b.xh - b.xl) + (b.yh - b.yl);
+    }
     return s;
   });
 }
 
 double weighted_hpwl(const Netlist& nl, const Placement& p) {
-  return parallel_sum(nl.num_nets(), [&](size_t begin, size_t end) {
+  const NetlistView v = nl.view();
+  return parallel_sum(v.num_nets, [&](size_t begin, size_t end) {
     double s = 0.0;
     for (size_t e = begin; e < end; ++e) {
-      const NetId id = static_cast<NetId>(e);
-      s += nl.net(id).weight * net_hpwl(nl, p, id);
+      const Rect b = net_bbox_view(v, p, static_cast<NetId>(e));
+      s += v.nets[e].weight * ((b.xh - b.xl) + (b.yh - b.yl));
     }
     return s;
   });

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <ios>
 #include <string>
 #include <vector>
@@ -13,6 +15,15 @@
 #include "netlist/netlist.h"
 
 namespace complx::testing {
+
+/// Raw IEEE-754 bit pattern of a double, for byte-exactness assertions
+/// where even -0.0 vs 0.0 must be told apart (frozen-cell ECO contract,
+/// coarse-netlist reproducibility).
+inline uint64_t bits(double v) {
+  uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
 
 /// Asserts two coordinate vectors are identical to the last bit. Doubles are
 /// compared by value with == (not memcmp) so that, e.g., -0.0 == 0.0 — what
@@ -43,26 +54,22 @@ inline void expect_placements_bitwise_equal(const Placement& a,
 inline Netlist two_cell_chain() {
   Netlist nl;
   Cell pad0;
-  pad0.name = "pad0";
   pad0.width = pad0.height = 0.0;
   pad0.x = 0.0;
   pad0.y = 6.0;
   pad0.kind = CellKind::Fixed;
-  const CellId p0 = nl.add_cell(pad0);
+  const CellId p0 = nl.add_cell(pad0, "pad0");
 
   Cell pad1 = pad0;
-  pad1.name = "pad1";
   pad1.x = 30.0;
-  const CellId p1 = nl.add_cell(pad1);
+  const CellId p1 = nl.add_cell(pad1, "pad1");
 
   Cell c;
-  c.name = "c0";
   c.width = 2.0;
   c.height = 12.0;
   c.kind = CellKind::Movable;
-  const CellId c0 = nl.add_cell(c);
-  c.name = "c1";
-  const CellId c1 = nl.add_cell(c);
+  const CellId c0 = nl.add_cell(c, "c0");
+  const CellId c1 = nl.add_cell(c, "c1");
 
   nl.add_net("e0", 1.0, {{p0, 0, 0}, {c0, 0, 0}});
   nl.add_net("e1", 1.0, {{c0, 0, 0}, {c1, 0, 0}});
@@ -83,14 +90,13 @@ inline Netlist mesh_netlist(int k, double cell_w = 4.0, double row_h = 12.0,
   for (int j = 0; j < k; ++j) {
     for (int i = 0; i < k; ++i) {
       Cell c;
-      c.name = "g" + std::to_string(i) + "_" + std::to_string(j);
       c.width = cell_w;
       c.height = row_h;
       c.kind = CellKind::Movable;
       // Start on the ideal grid so mesh tests have meaningful geometry.
       c.x = (i + 1) * spacing - cell_w / 2.0;
       c.y = (j + 1) * spacing - row_h / 2.0;
-      ids.push_back(nl.add_cell(c));
+      ids.push_back(nl.add_cell(c, "g" + std::to_string(i) + "_" + std::to_string(j)));
     }
   }
   // Corner pads.
@@ -98,12 +104,11 @@ inline Netlist mesh_netlist(int k, double cell_w = 4.0, double row_h = 12.0,
   const double pos[4][2] = {{0, 0}, {side, 0}, {0, side}, {side, side}};
   for (int t = 0; t < 4; ++t) {
     Cell p;
-    p.name = "pad" + std::to_string(t);
     p.width = p.height = 0.0;
     p.x = pos[t][0];
     p.y = pos[t][1];
     p.kind = CellKind::Fixed;
-    pads.push_back(nl.add_cell(p));
+    pads.push_back(nl.add_cell(p, "pad" + std::to_string(t)));
   }
   auto at = [&](int i, int j) { return ids[static_cast<size_t>(j * k + i)]; };
   int net_id = 0;
@@ -132,7 +137,6 @@ inline Netlist small_circuit(uint64_t seed = 7, size_t cells = 2000,
                              size_t movable_macros = 0,
                              double target_density = 1.0) {
   GenParams p;
-  p.name = "test";
   p.seed = seed;
   p.num_cells = cells;
   p.num_movable_macros = movable_macros;

@@ -43,10 +43,9 @@ TEST(Abacus, ClusterCollapseSharesDisplacement) {
   Netlist nl;
   for (int i = 0; i < 3; ++i) {
     Cell c;
-    c.name = "c" + std::to_string(i);
     c.width = 10;
     c.height = 12;
-    nl.add_cell(c);
+    nl.add_cell(c, "c" + std::to_string(i));
   }
   nl.set_core({0, 0, 100, 12});
   nl.finalize();

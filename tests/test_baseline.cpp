@@ -33,7 +33,7 @@ TEST(FastPlaceStyle, CellsStayInCore) {
   for (CellId id : nl.movable_cells()) {
     EXPECT_TRUE(nl.core().contains(
         Point{res.placement.x[id], res.placement.y[id]}))
-        << nl.cell(id).name;
+        << nl.cell_name(id);
   }
 }
 

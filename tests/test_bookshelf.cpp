@@ -45,8 +45,8 @@ TEST_F(BookshelfRoundTrip, PreservesTopologyAndGeometry) {
   // Cell geometry survives by name.
   for (CellId i = 0; i < original.num_cells(); ++i) {
     const Cell& a = original.cell(i);
-    const CellId j = nl.find_cell(a.name);
-    ASSERT_LT(j, nl.num_cells()) << a.name;
+    const CellId j = nl.find_cell(original.cell_name(i));
+    ASSERT_NE(j, kInvalidCell) << original.cell_name(i);
     const Cell& b = nl.cell(j);
     EXPECT_DOUBLE_EQ(a.width, b.width);
     EXPECT_DOUBLE_EQ(a.height, b.height);
@@ -98,9 +98,9 @@ TEST_F(BookshelfRoundTrip, WriteReadWriteIsBitwiseLossless) {
   for (CellId i = 0; i < original.num_cells(); ++i) {
     const Cell& a = original.cell(i);
     const Cell& b = nl1.cell(i);
-    ASSERT_EQ(a.name, b.name);
-    EXPECT_EQ(bits(a.width), bits(b.width)) << a.name;
-    EXPECT_EQ(bits(a.height), bits(b.height)) << a.name;
+    ASSERT_EQ(original.cell_name(i), nl1.cell_name(i));
+    EXPECT_EQ(bits(a.width), bits(b.width)) << original.cell_name(i);
+    EXPECT_EQ(bits(a.height), bits(b.height)) << original.cell_name(i);
   }
   for (PinId k = 0; k < original.num_pins(); ++k) {
     EXPECT_EQ(bits(original.pin(k).dx), bits(nl1.pin(k).dx)) << "pin " << k;
@@ -139,7 +139,7 @@ TEST_F(BookshelfRoundTrip, OrientationFlagRoundTrips) {
   for (CellId id : original.movable_cells()) {
     if (id % 7 == 0) {
       original.flip_horizontal(id);
-      flipped_names.push_back(original.cell(id).name);
+      flipped_names.push_back(std::string(original.cell_name(id)));
     }
   }
   ASSERT_FALSE(flipped_names.empty());

@@ -121,26 +121,22 @@ SnapshotRecord make_record(uint64_t key, size_t cells) {
 Netlist chain_variant(double pad_x) {
   Netlist nl;
   Cell pad0;
-  pad0.name = "pad0";
   pad0.width = pad0.height = 0.0;
   pad0.x = 0.0;
   pad0.y = 6.0;
   pad0.kind = CellKind::Fixed;
-  const CellId p0 = nl.add_cell(pad0);
+  const CellId p0 = nl.add_cell(pad0, "pad0");
 
   Cell pad1 = pad0;
-  pad1.name = "pad1";
   pad1.x = pad_x;
-  const CellId p1 = nl.add_cell(pad1);
+  const CellId p1 = nl.add_cell(pad1, "pad1");
 
   Cell c;
-  c.name = "c0";
   c.width = 2.0;
   c.height = 12.0;
   c.kind = CellKind::Movable;
-  const CellId c0 = nl.add_cell(c);
-  c.name = "c1";
-  const CellId c1 = nl.add_cell(c);
+  const CellId c0 = nl.add_cell(c, "c0");
+  const CellId c1 = nl.add_cell(c, "c1");
 
   nl.add_net("e0", 1.0, {{p0, 0, 0}, {c0, 0, 0}});
   nl.add_net("e1", 1.0, {{c0, 0, 0}, {c1, 0, 0}});

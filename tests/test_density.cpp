@@ -52,12 +52,11 @@ namespace {
 Netlist one_cell_core() {
   Netlist nl;
   Cell c;
-  c.name = "a";
   c.width = 10;
   c.height = 10;
   c.x = 0;
   c.y = 0;
-  nl.add_cell(c);
+  nl.add_cell(c, "a");
   nl.set_core({0, 0, 100, 100});
   nl.finalize();
   return nl;
@@ -75,18 +74,16 @@ TEST(DensityGrid, CapacityIsBinAreaWithoutBlockage) {
 TEST(DensityGrid, FixedBlockageReducesCapacity) {
   Netlist nl;
   Cell blk;
-  blk.name = "blk";
   blk.width = 10;
   blk.height = 10;
   blk.x = 0;
   blk.y = 0;
   blk.kind = CellKind::Fixed;
-  nl.add_cell(blk);
+  nl.add_cell(blk, "blk");
   Cell c;
-  c.name = "a";
   c.width = 2;
   c.height = 2;
-  nl.add_cell(c);
+  nl.add_cell(c, "a");
   nl.set_core({0, 0, 100, 100});
   nl.finalize();
   DensityGrid g(nl, 10, 10);

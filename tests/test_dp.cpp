@@ -102,10 +102,9 @@ TEST(Detailed, EachPassClassHelpsAlone) {
 TEST(Detailed, RunsOnRowlessNetlistGracefully) {
   Netlist nl;
   Cell c;
-  c.name = "c";
   c.width = 2;
   c.height = 2;
-  nl.add_cell(c);
+  nl.add_cell(c, "c");
   nl.set_core({0, 0, 0, 0});  // empty core -> no synthesized rows
   nl.finalize();
   Placement p = nl.snapshot();

@@ -107,7 +107,7 @@ TEST_P(GeneratorSweep, PadsOutsideCore) {
   for (const Cell& c : nl.cells()) {
     if (c.movable() || c.width > 2 * nl.row_height()) continue;  // pads only
     EXPECT_FALSE(nl.core().contains(c.bounds().center()))
-        << c.name << " should ring the core";
+        << " pad should ring the core";
   }
 }
 
@@ -115,7 +115,7 @@ TEST_P(GeneratorSweep, MovableCellsStartInsideCore) {
   const Netlist nl = make();
   for (CellId id : nl.movable_cells()) {
     EXPECT_TRUE(nl.core().contains(Point{nl.cell(id).cx(), nl.cell(id).cy()}))
-        << nl.cell(id).name;
+        << nl.cell_name(id);
   }
 }
 
@@ -247,10 +247,10 @@ TEST_P(PekoConstruction, ConstructedPlacementIsLegal) {
   // Every placeable cell (and macro) sits fully inside the core.
   for (const Cell& c : nl.cells()) {
     const Rect b = c.bounds();
-    EXPECT_GE(b.xl, nl.core().xl - 1e-9) << c.name;
-    EXPECT_GE(b.yl, nl.core().yl - 1e-9) << c.name;
-    EXPECT_LE(b.xh, nl.core().xh + 1e-9) << c.name;
-    EXPECT_LE(b.yh, nl.core().yh + 1e-9) << c.name;
+    EXPECT_GE(b.xl, nl.core().xl - 1e-9);
+    EXPECT_GE(b.yl, nl.core().yl - 1e-9);
+    EXPECT_LE(b.xh, nl.core().xh + 1e-9);
+    EXPECT_LE(b.yh, nl.core().yh + 1e-9);
   }
 }
 
@@ -284,7 +284,7 @@ TEST_P(PekoConstruction, DeterministicBySeed) {
   for (CellId i = 0; i < a.netlist.num_cells(); ++i) {
     EXPECT_EQ(a.netlist.cell(i).x, b.netlist.cell(i).x) << i;
     EXPECT_EQ(a.netlist.cell(i).y, b.netlist.cell(i).y) << i;
-    EXPECT_EQ(a.netlist.cell(i).name, b.netlist.cell(i).name) << i;
+    EXPECT_EQ(a.netlist.cell_name(i), b.netlist.cell_name(i)) << i;
   }
 }
 
@@ -347,8 +347,11 @@ TEST(Peko, AnchorsAreFixedAtOptimalPositions) {
   p.seed = 5;
   const PekoDesign d = generate_peko(p);
   size_t fixed_cells = 0;
-  for (const Cell& c : d.netlist.cells())
-    if (!c.movable() && !c.is_macro() && c.name[0] == 'c') ++fixed_cells;
+  for (CellId id = 0; id < d.netlist.num_cells(); ++id) {
+    const Cell& c = d.netlist.cell(id);
+    if (!c.movable() && !c.is_macro() && d.netlist.cell_name(id)[0] == 'c')
+      ++fixed_cells;
+  }
   EXPECT_EQ(fixed_cells, d.anchors);
   EXPECT_GT(d.anchors, 0u);
 }

@@ -13,6 +13,7 @@
 #include "gen/fleet.h"
 #include "helpers.h"
 #include "legal/abacus.h"
+#include "multilevel/cluster.h"
 #include "legal/tetris.h"
 #include "projection/lal.h"
 #include "projection/spreader.h"
@@ -226,10 +227,9 @@ TEST(GoldenDeterminism, ProjectionThreadCountBitwiseInvariant) {
 TEST(GoldenDeterminism, BoundaryMotesSpreadExactlyOnce) {
   Netlist nl;
   Cell d;
-  d.name = "dummy";
   d.width = 1;
   d.height = 1;
-  nl.add_cell(d);
+  nl.add_cell(d, "dummy");
   nl.set_core({0, 0, 100, 100});
   nl.finalize();
 
@@ -351,7 +351,6 @@ TEST(GoldenDeterminism, BoundaryMotesSpreadExactlyOnce) {
 // contract via record_timing=false (the one nondeterministic field).
 TEST(GoldenDeterminism, FleetRecordThreadInvariant) {
   PekoParams params;
-  params.name = "fleet_det";
   params.num_cells = 256;
   params.utilization = 0.7;
   params.num_fixed_macros = 2;
@@ -431,6 +430,50 @@ TEST(GoldenDeterminism, MacroDesignWithRoutability) {
   cfg.routability.enabled = true;
   cfg.routability.period = 3;
   run_and_compare(nl, cfg);
+}
+
+TEST(GoldenDeterminism, CoarsenThreadInvariant) {
+  // coarsen() must produce byte-identical coarse netlists at any thread
+  // count: the seeded visit order and the dense-scratch affinity scan are
+  // its only orderings, and neither may depend on the parallel runtime.
+  // (Audit notes: the matching pass uses a dense per-cell scratch instead
+  // of a hash map and breaks affinity ties to the smallest id, so no D1
+  // iteration-order hazard; the net rebuild walks nets in id order.)
+  ThreadGuard guard;
+  const Netlist fine = testing::small_circuit(17, 2000, /*movable_macros=*/1);
+  ClusterOptions copts;
+  copts.seed = 99;
+
+  std::vector<CoarseLevel> levels;
+  for (const size_t threads : {1u, 2u, 8u}) {
+    set_global_threads(threads);
+    levels.push_back(coarsen(fine, copts));
+  }
+  const Netlist& a = levels[0].netlist;
+  for (size_t k = 1; k < levels.size(); ++k) {
+    const Netlist& b = levels[k].netlist;
+    ASSERT_EQ(a.num_cells(), b.num_cells()) << "run " << k;
+    ASSERT_EQ(a.num_nets(), b.num_nets()) << "run " << k;
+    ASSERT_EQ(a.num_pins(), b.num_pins()) << "run " << k;
+    EXPECT_EQ(levels[0].fine_to_coarse, levels[k].fine_to_coarse)
+        << "run " << k;
+    for (CellId i = 0; i < a.num_cells(); ++i) {
+      EXPECT_EQ(testing::bits(a.cell(i).x), testing::bits(b.cell(i).x)) << i;
+      EXPECT_EQ(testing::bits(a.cell(i).y), testing::bits(b.cell(i).y)) << i;
+      EXPECT_EQ(testing::bits(a.cell(i).width), testing::bits(b.cell(i).width))
+          << i;
+      EXPECT_EQ(a.cell(i).kind, b.cell(i).kind) << i;
+      EXPECT_EQ(a.cell_name(i), b.cell_name(i)) << i;
+    }
+    for (NetId e = 0; e < a.num_nets(); ++e) {
+      EXPECT_EQ(a.net(e).first_pin, b.net(e).first_pin) << e;
+      EXPECT_EQ(a.net(e).num_pins, b.net(e).num_pins) << e;
+      EXPECT_EQ(testing::bits(a.net(e).weight), testing::bits(b.net(e).weight))
+          << e;
+    }
+    for (PinId q = 0; q < a.num_pins(); ++q)
+      EXPECT_EQ(a.pin(q).cell, b.pin(q).cell) << q;
+  }
 }
 
 }  // namespace

@@ -83,12 +83,10 @@ TEST(IncrementalHpwl, PairIncidentDeduplicatesSharedNets) {
   Cell c;
   c.width = 2;
   c.height = 2;
-  c.name = "a";
   c.x = 0;
-  const CellId a = nl.add_cell(c);
-  c.name = "b";
+  const CellId a = nl.add_cell(c, "a");
   c.x = 10;
-  const CellId b = nl.add_cell(c);
+  const CellId b = nl.add_cell(c, "b");
   nl.add_net("shared", 1.0, {{a, 0, 0}, {b, 0, 0}});
   nl.set_core({0, 0, 100, 100});
   nl.finalize();

@@ -116,14 +116,14 @@ TEST(Flow, RegionConstraintSatisfiedEndToEnd) {
     for (CellId id = 0; id < raw.num_cells(); ++id) {
       Cell c = raw.cell(id);
       if (c.movable() && !c.is_macro() && id % 16 == 0) c.region = r;
-      with.add_cell(c);
+      with.add_cell(c, raw.cell_name(id));
     }
     for (NetId e = 0; e < raw.num_nets(); ++e) {
       const Net& n = raw.net(e);
       std::vector<Pin> pins;
       for (uint32_t k = 0; k < n.num_pins; ++k)
         pins.push_back(raw.pin(n.first_pin + k));
-      with.add_net(n.name, n.weight, pins);
+      with.add_net(raw.net_name(e), n.weight, pins);
     }
     with.set_core(raw.core());
     with.set_target_density(raw.target_density());

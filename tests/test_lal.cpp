@@ -219,20 +219,18 @@ TEST(Lal, PrefixSumQueriesMatchLegacyLoopThroughProjection) {
   Rng rng(71);
   for (int b = 0; b < 120; ++b) {
     Cell blk;
-    blk.name = "blk" + std::to_string(b);
     blk.width = rng.uniform(1.3, 4.7);
     blk.height = rng.uniform(1.3, 4.7);
     blk.x = rng.uniform(0.0, 200.0 - blk.width);
     blk.y = rng.uniform(0.0, 200.0 - blk.height);
     blk.kind = CellKind::Fixed;
-    nl.add_cell(blk);
+    nl.add_cell(blk, "blk" + std::to_string(b));
   }
   for (int k = 0; k < 600; ++k) {
     Cell c;
-    c.name = "c" + std::to_string(k);
     c.width = 2.0;
     c.height = 2.0;
-    nl.add_cell(c);
+    nl.add_cell(c, "c" + std::to_string(k));
   }
   nl.set_core({0, 0, 200, 200});
   nl.finalize();

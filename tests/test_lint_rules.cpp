@@ -194,6 +194,42 @@ TEST(LintIO1, QuietOnTokenInCommentOrString) {
       fired("src/x.cpp", "const char* s = \"fopen\";\n", "IO1"));
 }
 
+// ------------------------------------------------------------------ S1 ----
+
+TEST(LintS1, FiresOnNameAccessInHotLayers) {
+  for (const char* dir : {"src/core/x.cpp", "src/linalg/x.cpp",
+                          "src/qp/x.cpp", "src/density/x.cpp",
+                          "src/projection/x.cpp"}) {
+    EXPECT_TRUE(fired(dir, "auto n = nl.cell_name(id);\n", "S1")) << dir;
+  }
+  EXPECT_TRUE(fired("src/qp/x.cpp", "auto n = nl.net_name(e);\n", "S1"));
+  EXPECT_TRUE(fired("src/core/x.cpp", "nl.find_cell(\"a\");\n", "S1"));
+  EXPECT_TRUE(fired("src/density/x.h", "NamePool pool;\n", "S1"));
+}
+
+TEST(LintS1, QuietAtTheIoAndAppBoundary) {
+  const std::string src = "auto n = nl.cell_name(id);\n";
+  EXPECT_FALSE(fired("src/io/svg.cpp", src, "S1"));
+  EXPECT_FALSE(fired("src/legal/tetris.cpp", src, "S1"));
+  EXPECT_FALSE(fired("src/bookshelf/writer.cpp", src, "S1"));
+  EXPECT_FALSE(fired("src/netlist/netlist.cpp", src, "S1"));
+  EXPECT_FALSE(fired("apps/complx_eval.cpp", src, "S1"));
+}
+
+TEST(LintS1, QuietOnTokenInCommentOrString) {
+  EXPECT_FALSE(
+      fired("src/core/x.cpp", "// cell_name is banned here\n", "S1"));
+  EXPECT_FALSE(
+      fired("src/qp/x.cpp", "const char* s = \"find_cell\";\n", "S1"));
+}
+
+TEST(LintS1, SuppressionWithJustificationHolds) {
+  EXPECT_FALSE(fired("src/core/x.cpp",
+                     "// complx-lint: allow(S1): debug dump behind a flag\n"
+                     "auto n = nl.cell_name(id);\n",
+                     "S1"));
+}
+
 // ------------------------------------------------------------------ P2 ----
 
 TEST(LintP2, FiresOnUnannotatedMutexInSrc) {
@@ -327,8 +363,8 @@ TEST(LintReport, RuleCatalogIsExactlyTheRuleSet) {
     EXPECT_FALSE(std::string(r.summary).empty()) << r.id;
   }
   const std::vector<std::string> want = {"A1", "A2", "D1",  "D2",   "IO1",
-                                         "N1", "N2", "P1",  "P2",   "T1",
-                                         "SUPP", "IO"};
+                                         "N1", "N2", "P1",  "P2",   "S1",
+                                         "T1", "SUPP", "IO"};
   auto sorted_ids = ids;
   auto sorted_want = want;
   std::sort(sorted_ids.begin(), sorted_ids.end());

@@ -2,6 +2,7 @@
 
 #include "helpers.h"
 #include "legal/tetris.h"
+#include "multilevel/auto.h"
 #include "multilevel/mlplacer.h"
 #include "wl/hpwl.h"
 
@@ -107,6 +108,46 @@ TEST(Multilevel, SmallDesignSkipsCoarsening) {
   const MultilevelResult res = MultilevelPlacer(nl, cfg).place();
   EXPECT_EQ(res.levels, 0);
   EXPECT_GT(hpwl(nl, res.anchors), 0.0);
+}
+
+TEST(PlaceAuto, SmallDesignTakesFlatPath) {
+  Netlist nl = complx::testing::small_circuit(414, 500);
+  ComplxConfig cfg;
+  cfg.max_iterations = 15;
+  AutoPlaceOptions opts;  // default threshold is far above 500 movables
+  const AutoPlaceResult r = place_auto(nl, cfg, opts);
+  EXPECT_FALSE(r.used_multilevel);
+  EXPECT_EQ(r.levels, 0);
+  EXPECT_GT(r.place.iterations, 0);
+  EXPECT_GT(hpwl(nl, r.anchors), 0.0);
+}
+
+TEST(PlaceAuto, FlatPathIsBitwiseThePlainPlacer) {
+  Netlist nl = complx::testing::small_circuit(415, 400);
+  ComplxConfig cfg;
+  cfg.max_iterations = 12;
+  const AutoPlaceResult a = place_auto(nl, cfg, {});
+  const PlaceResult b = ComplxPlacer(nl, cfg).place();
+  ASSERT_EQ(a.anchors.x.size(), b.anchors.x.size());
+  for (size_t i = 0; i < a.anchors.x.size(); ++i) {
+    EXPECT_EQ(a.anchors.x[i], b.anchors.x[i]) << i;
+    EXPECT_EQ(a.anchors.y[i], b.anchors.y[i]) << i;
+  }
+}
+
+TEST(PlaceAuto, ThresholdZeroForcesMultilevel) {
+  Netlist nl = complx::testing::small_circuit(416, 3000);
+  ComplxConfig cfg;
+  cfg.max_iterations = 15;
+  AutoPlaceOptions opts;
+  opts.multilevel_threshold = 0;
+  opts.multilevel.coarsest_cells = 800;
+  const AutoPlaceResult r = place_auto(nl, cfg, opts);
+  EXPECT_TRUE(r.used_multilevel);
+  EXPECT_GE(r.levels, 1);
+  ASSERT_GE(r.level_sizes.size(), 2u);
+  EXPECT_GT(r.level_sizes.front(), r.level_sizes.back());
+  EXPECT_GT(hpwl(nl, r.anchors), 0.0);
 }
 
 }  // namespace

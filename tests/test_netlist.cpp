@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+#include <vector>
+
 #include "helpers.h"
 #include "netlist/netlist.h"
 
@@ -41,24 +45,35 @@ TEST(Netlist, NetsOfCellBackReferences) {
   EXPECT_EQ(nets.size(), 2u);  // e0 and e1
 }
 
-TEST(Netlist, FindCellMissingReturnsEnd) {
+TEST(Netlist, FindCellMissingReturnsInvalidSentinel) {
   Netlist nl = testing::two_cell_chain();
-  EXPECT_EQ(nl.find_cell("no_such"), nl.num_cells());
+  // The sentinel is an explicit constant, not "one past the end": callers
+  // that compared against num_cells() broke whenever a netlist grew after
+  // the lookup. kInvalidCell can never collide with a real id.
+  EXPECT_EQ(nl.find_cell("no_such"), kInvalidCell);
+  EXPECT_NE(nl.find_cell("c0"), kInvalidCell);
+  EXPECT_EQ(nl.find_cell(""), kInvalidCell);
+}
+
+TEST(Netlist, InvalidCellSentinelIsStable) {
+  // Pinned value: the maximum CellId. Snapshots and tools may persist it.
+  EXPECT_EQ(kInvalidCell, std::numeric_limits<CellId>::max());
+  Netlist nl = testing::two_cell_chain();
+  EXPECT_LT(nl.find_cell("c0"), nl.num_cells());
+  EXPECT_GT(kInvalidCell, nl.num_cells());
 }
 
 TEST(Netlist, AddAfterFinalizeThrows) {
   Netlist nl = testing::two_cell_chain();
   Cell c;
-  c.name = "late";
-  EXPECT_THROW(nl.add_cell(c), std::logic_error);
+  EXPECT_THROW(nl.add_cell(c, "late"), std::logic_error);
   EXPECT_THROW(nl.add_net("late", 1.0, {}), std::logic_error);
 }
 
 TEST(Netlist, PinToUnknownCellThrows) {
   Netlist nl;
   Cell c;
-  c.name = "a";
-  nl.add_cell(c);
+  nl.add_cell(c, "a");
   EXPECT_THROW(nl.add_net("bad", 1.0, {{5, 0, 0}}), std::out_of_range);
 }
 
@@ -126,16 +141,206 @@ TEST(Netlist, FixedAreaInCoreCountsBlockages) {
 TEST(Netlist, RegionBookkeeping) {
   Netlist nl;
   Cell c;
-  c.name = "a";
   c.width = 2;
   c.height = 2;
   const RegionId r = nl.add_region({"r0", {0, 0, 10, 10}});
   c.region = r;
-  nl.add_cell(c);
+  nl.add_cell(c, "a");
   nl.set_core({0, 0, 100, 100});
   nl.finalize();
   EXPECT_EQ(nl.regions().size(), 1u);
   EXPECT_EQ(nl.cell(0).region, r);
+}
+
+// ---- Row::num_sites regressions (the int-truncation bug) -------------------
+
+TEST(Row, NumSitesNormal) {
+  Row r{0.0, 12.0, 0.0, 100.0, 1.0};
+  EXPECT_EQ(r.num_sites(), 100);
+  r.site_width = 0.5;
+  EXPECT_EQ(r.num_sites(), 200);
+}
+
+TEST(Row, NumSitesRoundsToNearest) {
+  // (xh-xl)/site_width = 99.999999... must report 100, not truncate to 99.
+  Row r{0.0, 12.0, 0.0, 0.0, 0.1};
+  r.xh = 10.0;  // 10.0/0.1 is 99.99999999999999 in binary64
+  EXPECT_EQ(r.num_sites(), 100);
+}
+
+TEST(Row, NumSitesHugeCoreDoesNotOverflow) {
+  // A planet-sized core over a sub-micron site width: the historical int
+  // return overflowed (UB in the float->int cast). 64-bit holds it exactly.
+  Row r{0.0, 12.0, 0.0, 4.0e12, 1e-3};
+  EXPECT_EQ(r.num_sites(), int64_t{4000000000000000});
+  EXPECT_GT(r.num_sites(), int64_t{std::numeric_limits<int>::max()});
+}
+
+TEST(Row, NumSitesBeyondInt64Saturates) {
+  Row r{0.0, 12.0, 0.0, 1e30, 1e-9};
+  EXPECT_EQ(r.num_sites(), std::numeric_limits<int64_t>::max());
+}
+
+TEST(Row, NumSitesDegenerateReportsZero) {
+  Row r{0.0, 12.0, 0.0, 100.0, 0.0};  // site_width = 0: historical SIGFPE-ish
+  EXPECT_EQ(r.num_sites(), 0);
+  r.site_width = -2.0;
+  EXPECT_EQ(r.num_sites(), 0);
+  r.site_width = 1.0;
+  r.xh = -5.0;  // xh < xl
+  EXPECT_EQ(r.num_sites(), 0);
+  r.xh = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(r.num_sites(), 0);
+}
+
+TEST(Netlist, FinalizeRejectsDegenerateRows) {
+  auto make = [](Row bad) {
+    Netlist nl;
+    Cell c;
+    c.width = 2;
+    c.height = 12;
+    nl.add_cell(c, "a");
+    nl.set_core({0, 0, 100, 100});
+    nl.set_rows({bad});
+    nl.finalize();
+  };
+  EXPECT_THROW(make({0.0, 12.0, 0.0, 100.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(make({0.0, 12.0, 0.0, 100.0, -1.0}), std::invalid_argument);
+  EXPECT_THROW(make({0.0, 0.0, 0.0, 100.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(make({0.0, 12.0, 50.0, 40.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(
+      make({std::numeric_limits<double>::infinity(), 12.0, 0.0, 100.0, 1.0}),
+      std::invalid_argument);
+  EXPECT_NO_THROW(make({0.0, 12.0, 0.0, 100.0, 1.0}));
+  EXPECT_NO_THROW(make({0.0, 12.0, 40.0, 40.0, 1.0}));  // empty row is legal
+}
+
+// ---- CSR adjacency (the SoA tentpole) --------------------------------------
+
+TEST(Netlist, CsrAdjacencyMatchesBruteForce) {
+  Netlist nl = testing::small_circuit(31, 600);
+  // Recompute each cell's incident nets and pins directly from the pin
+  // arrays and compare against the CSR spans, including the historical
+  // consecutive-duplicate dedup of nets_of_cell.
+  std::vector<std::vector<NetId>> want_nets(nl.num_cells());
+  std::vector<std::vector<PinId>> want_pins(nl.num_cells());
+  for (NetId e = 0; e < nl.num_nets(); ++e) {
+    const Net& net = nl.net(e);
+    for (uint32_t k = 0; k < net.num_pins; ++k) {
+      const PinId q = net.first_pin + k;
+      const CellId c = nl.pin(q).cell;
+      if (want_nets[c].empty() || want_nets[c].back() != e)
+        want_nets[c].push_back(e);
+      want_pins[c].push_back(q);
+    }
+  }
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    const auto nets = nl.nets_of_cell(c);
+    ASSERT_EQ(nets.size(), want_nets[c].size()) << "cell " << c;
+    for (size_t i = 0; i < nets.size(); ++i)
+      EXPECT_EQ(nets[i], want_nets[c][i]) << "cell " << c << " slot " << i;
+    const auto pins = nl.pins_of_cell(c);
+    ASSERT_EQ(pins.size(), want_pins[c].size()) << "cell " << c;
+    for (size_t i = 0; i < pins.size(); ++i)
+      EXPECT_EQ(pins[i], want_pins[c][i]) << "cell " << c << " slot " << i;
+  }
+}
+
+TEST(Netlist, ViewIsCoherentWithAccessors) {
+  Netlist nl = testing::small_circuit(32, 300);
+  const NetlistView v = nl.view();
+  EXPECT_EQ(v.num_cells, nl.num_cells());
+  EXPECT_EQ(v.num_nets, nl.num_nets());
+  EXPECT_EQ(v.num_pins, nl.num_pins());
+  EXPECT_EQ(v.num_movable, nl.num_movable());
+  for (PinId q = 0; q < nl.num_pins(); ++q) {
+    const Pin pin = nl.pin(q);
+    EXPECT_EQ(v.pin_cell[q], pin.cell);
+    EXPECT_EQ(v.pin_dx[q], pin.dx);
+    EXPECT_EQ(v.pin_dy[q], pin.dy);
+  }
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    EXPECT_EQ(&v.cells[c], &nl.cell(c));
+    const auto nets = nl.nets_of_cell(c);
+    const auto vnets = v.nets_of_cell(c);
+    ASSERT_EQ(nets.size(), vnets.size());
+    for (size_t i = 0; i < nets.size(); ++i) EXPECT_EQ(nets[i], vnets[i]);
+  }
+}
+
+TEST(Netlist, ViewStaysCoherentAfterFlipHorizontal) {
+  // Views alias the SoA arrays, so in-place mutation (orientation flips
+  // negate pin dx) must show through an already-captured view.
+  Netlist nl = testing::small_circuit(33, 200);
+  const NetlistView v = nl.view();
+  CellId victim = kInvalidCell;
+  for (CellId id : nl.movable_cells())
+    if (!nl.pins_of_cell(id).empty()) {
+      victim = id;
+      break;
+    }
+  ASSERT_NE(victim, kInvalidCell);
+  const PinId q = nl.pins_of_cell(victim)[0];
+  const double before = v.pin_dx[q];
+  nl.flip_horizontal(victim);
+  EXPECT_EQ(v.pin_dx[q], -before);
+  EXPECT_TRUE(nl.cell(victim).flipped_x);
+}
+
+TEST(Netlist, RefinalizeTracksKindChanges) {
+  Netlist nl = testing::small_circuit(34, 200);
+  const size_t movable_before = nl.num_movable();
+  ASSERT_GT(movable_before, 1u);
+  const CellId frozen = nl.movable_cells().front();
+  nl.cell(frozen).kind = CellKind::Fixed;
+  nl.refinalize();
+  EXPECT_EQ(nl.num_movable(), movable_before - 1);
+  for (CellId id : nl.movable_cells()) EXPECT_NE(id, frozen);
+  nl.cell(frozen).kind = CellKind::Movable;
+  nl.refinalize();
+  EXPECT_EQ(nl.num_movable(), movable_before);
+}
+
+TEST(Netlist, ReserveDoesNotChangeSemantics) {
+  Netlist a, b;
+  b.reserve(16, 16, 64);
+  for (int i = 0; i < 8; ++i) {
+    Cell c;
+    c.width = 2;
+    c.height = 12;
+    a.add_cell(c, "c" + std::to_string(i));
+    b.add_cell(c, "c" + std::to_string(i));
+  }
+  for (int i = 0; i + 1 < 8; ++i) {
+    const std::vector<Pin> pins = {{static_cast<CellId>(i), 0, 0},
+                                   {static_cast<CellId>(i + 1), 0, 0}};
+    a.add_net("n" + std::to_string(i), 1.0, pins);
+    b.add_net("n" + std::to_string(i), 1.0, pins);
+  }
+  a.set_core({0, 0, 100, 100});
+  b.set_core({0, 0, 100, 100});
+  a.finalize();
+  b.finalize();
+  EXPECT_EQ(a.num_cells(), b.num_cells());
+  EXPECT_EQ(a.num_pins(), b.num_pins());
+  for (CellId i = 0; i < a.num_cells(); ++i)
+    EXPECT_EQ(a.cell_name(i), b.cell_name(i));
+  EXPECT_GT(b.memory_bytes(), 0u);
+}
+
+TEST(NamePool, AddAndLookup) {
+  NamePool pool;
+  EXPECT_EQ(pool.size(), 0u);
+  const uint32_t a = pool.add("alpha");
+  const uint32_t b = pool.add("");
+  const uint32_t c = pool.add("g");
+  EXPECT_EQ(pool[a], "alpha");
+  EXPECT_EQ(pool[b], "");
+  EXPECT_EQ(pool[c], "g");
+  EXPECT_EQ(pool.size(), 3u);
+  pool.reserve(100, 8);
+  EXPECT_EQ(pool[a], "alpha");  // reserve must not invalidate contents
+  EXPECT_GT(pool.memory_bytes(), 0u);
 }
 
 }  // namespace

@@ -17,19 +17,17 @@ struct FlipFixture {
   CellId cell, pad;
   FlipFixture() {
     Cell c;
-    c.name = "c";
     c.width = 10;
     c.height = 10;
     c.x = 40;  // center at 45
     c.y = 40;
-    cell = nl.add_cell(c);
+    cell = nl.add_cell(c, "c");
     Cell p;
-    p.name = "pad";
     p.width = p.height = 0;
     p.x = 100;
     p.y = 45;
     p.kind = CellKind::Fixed;
-    pad = nl.add_cell(p);
+    pad = nl.add_cell(p, "pad");
     // Pin offset -4: sits at x 41, but the pad is at x 100 (to the right).
     nl.add_net("n", 1.0, {{cell, -4.0, 0.0}, {pad, 0.0, 0.0}});
     nl.set_core({0, 0, 200, 200});

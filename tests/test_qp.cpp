@@ -55,17 +55,15 @@ TEST(SystemBuilder, PinOffsetsShiftTheOptimum) {
   // +2: optimum has pin at pad, so center = 8.
   Netlist nl;
   Cell pad;
-  pad.name = "pad";
   pad.width = pad.height = 0;
   pad.x = 10;
   pad.y = 0;
   pad.kind = CellKind::Fixed;
-  const CellId ip = nl.add_cell(pad);
+  const CellId ip = nl.add_cell(pad, "pad");
   Cell c;
-  c.name = "c";
   c.width = 2;
   c.height = 2;
-  const CellId ic = nl.add_cell(c);
+  const CellId ic = nl.add_cell(c, "c");
   nl.add_net("n", 1.0, {{ic, 2.0, 0.0}, {ip, 0.0, 0.0}});
   nl.set_core({0, 0, 20, 20});
   nl.finalize();

@@ -10,10 +10,9 @@ namespace {
 Netlist empty_core(double side = 100.0) {
   Netlist nl;
   Cell c;
-  c.name = "dummy";
   c.width = 1;
   c.height = 1;
-  nl.add_cell(c);
+  nl.add_cell(c, "dummy");
   nl.set_core({0, 0, side, side});
   nl.finalize();
   return nl;

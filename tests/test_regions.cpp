@@ -10,11 +10,10 @@ Netlist with_region(Rect region_box, double cell_w = 4, double cell_h = 12) {
   const RegionId r = nl.add_region({"r0", region_box});
   for (int i = 0; i < 4; ++i) {
     Cell c;
-    c.name = "c" + std::to_string(i);
     c.width = cell_w;
     c.height = cell_h;
     if (i < 2) c.region = r;  // first two constrained
-    nl.add_cell(c);
+    nl.add_cell(c, "c" + std::to_string(i));
   }
   nl.set_core({0, 0, 200, 200});
   nl.finalize();
@@ -83,10 +82,9 @@ TEST(Regions, CellLargerThanRegionCollapsesToCenter) {
 TEST(Regions, NoRegionsIsNoop) {
   Netlist nl;
   Cell c;
-  c.name = "c";
   c.width = 2;
   c.height = 2;
-  nl.add_cell(c);
+  nl.add_cell(c, "c");
   nl.set_core({0, 0, 10, 10});
   nl.finalize();
   Placement p = nl.snapshot();

@@ -16,17 +16,15 @@ struct RudyFixture {
   Netlist nl;
   RudyFixture() {
     Cell a;
-    a.name = "a";
     a.width = 2;
     a.height = 2;
     a.x = 10 - 1;
     a.y = 10 - 1;
-    const CellId ia = nl.add_cell(a);
+    const CellId ia = nl.add_cell(a, "a");
     Cell b = a;
-    b.name = "b";
     b.x = 90 - 1;
     b.y = 50 - 1;
-    const CellId ib = nl.add_cell(b);
+    const CellId ib = nl.add_cell(b, "b");
     nl.add_net("n", 1.0, {{ia, 0, 0}, {ib, 0, 0}});
     nl.set_core({0, 0, 100, 100});
     nl.finalize();
@@ -81,15 +79,13 @@ TEST(Rudy, WeightScalesDemand) {
 TEST(Rudy, DegenerateNetStillConsumesResources) {
   Netlist nl;
   Cell a;
-  a.name = "a";
   a.width = 2;
   a.height = 12;
   a.x = 49;
   a.y = 44;
-  const CellId ia = nl.add_cell(a);
+  const CellId ia = nl.add_cell(a, "a");
   Cell b = a;
-  b.name = "b";
-  const CellId ib = nl.add_cell(b);  // identical location: zero bbox
+  const CellId ib = nl.add_cell(b, "b");  // identical location: zero bbox
   nl.add_net("n", 1.0, {{ia, 0, 0}, {ib, 0, 0}});
   nl.set_core({0, 0, 100, 100});
   nl.finalize();

@@ -13,16 +13,14 @@ struct StraightFixture {
   Netlist nl;
   StraightFixture() {
     Cell a;
-    a.name = "a";
     a.width = 2;
     a.height = 2;
     a.x = 5 - 1;
     a.y = 5 - 1;
-    const CellId ia = nl.add_cell(a);
+    const CellId ia = nl.add_cell(a, "a");
     Cell b = a;
-    b.name = "b";
     b.x = 45 - 1;
-    const CellId ib = nl.add_cell(b);
+    const CellId ib = nl.add_cell(b, "b");
     nl.add_net("n", 1.0, {{ia, 0, 0}, {ib, 0, 0}});
     nl.set_core({0, 0, 100, 100});
     nl.finalize();
@@ -47,17 +45,15 @@ TEST(Router, StraightNetUsesStraightEdges) {
 TEST(Router, LShapeForDiagonalNet) {
   Netlist nl;
   Cell a;
-  a.name = "a";
   a.width = 2;
   a.height = 2;
   a.x = 5;
   a.y = 5;
-  const CellId ia = nl.add_cell(a);
+  const CellId ia = nl.add_cell(a, "a");
   Cell b = a;
-  b.name = "b";
   b.x = 75;
   b.y = 75;
-  const CellId ib = nl.add_cell(b);
+  const CellId ib = nl.add_cell(b, "b");
   nl.add_net("n", 1.0, {{ia, 0, 0}, {ib, 0, 0}});
   nl.set_core({0, 0, 100, 100});
   nl.finalize();
@@ -76,12 +72,11 @@ TEST(Router, MstDecomposesMultiPinNets) {
   Netlist nl;
   auto add = [&](const char* name, double x, double y) {
     Cell c;
-    c.name = name;
     c.width = 2;
     c.height = 2;
     c.x = x;
     c.y = y;
-    return nl.add_cell(c);
+    return nl.add_cell(c, name);
   };
   const CellId a = add("a", 5, 5);
   const CellId b = add("b", 85, 5);
@@ -104,17 +99,15 @@ TEST(Router, CongestionAwareRoutingBeatsBlind) {
   Netlist nl;
   for (int k = 0; k < 6; ++k) {
     Cell a;
-    a.name = "a" + std::to_string(k);
     a.width = 2;
     a.height = 2;
     a.x = 5 + k;   // all sources in gcell (0, 0)
     a.y = 5;
-    const CellId ia = nl.add_cell(a);
+    const CellId ia = nl.add_cell(a, "a" + std::to_string(k));
     Cell b = a;
-    b.name = "b" + std::to_string(k);
     b.x = 85;
     b.y = 85;  // all sinks in gcell (8, 8)
-    const CellId ib = nl.add_cell(b);
+    const CellId ib = nl.add_cell(b, "b" + std::to_string(k));
     nl.add_net("n" + std::to_string(k), 1.0, {{ia, 0, 0}, {ib, 0, 0}});
   }
   nl.set_core({0, 0, 100, 100});
@@ -142,11 +135,10 @@ TEST(Router, SkipsHugeNets) {
   std::vector<Pin> pins;
   for (int i = 0; i < 30; ++i) {
     Cell c;
-    c.name = "c" + std::to_string(i);
     c.width = 2;
     c.height = 2;
     c.x = 3.0 * i;
-    pins.push_back({nl.add_cell(c), 0, 0});
+    pins.push_back({nl.add_cell(c, "c" + std::to_string(i)), 0, 0});
   }
   nl.add_net("huge", 1.0, pins);
   nl.set_core({0, 0, 100, 100});

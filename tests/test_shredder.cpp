@@ -9,16 +9,14 @@ namespace {
 Netlist with_macro(double mw, double mh, double row_h = 12.0) {
   Netlist nl;
   Cell m;
-  m.name = "mac";
   m.width = mw;
   m.height = mh;
   m.kind = CellKind::MovableMacro;
-  nl.add_cell(m);
+  nl.add_cell(m, "mac");
   Cell d;
-  d.name = "d";
   d.width = 2;
   d.height = row_h;
-  nl.add_cell(d);
+  nl.add_cell(d, "d");
   nl.set_core({0, 0, 1000, 1000});
   std::vector<Row> rows;
   for (double y = 0; y + row_h <= 1000; y += row_h)

@@ -145,11 +145,10 @@ TEST(StaticEdges, CliqueForSmallStarForLarge) {
   std::vector<Pin> small_pins, big_pins;
   for (int i = 0; i < 14; ++i) {
     Cell c;
-    c.name = "c" + std::to_string(i);
     c.width = 2;
     c.height = 2;
     c.x = i;
-    const CellId id = nl.add_cell(c);
+    const CellId id = nl.add_cell(c, "c" + std::to_string(i));
     if (i < 4) small_pins.push_back({id, 0, 0});
     else big_pins.push_back({id, 0, 0});
   }

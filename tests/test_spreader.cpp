@@ -16,10 +16,9 @@ namespace {
 Netlist empty_core() {
   Netlist nl;
   Cell c;
-  c.name = "dummy";
   c.width = 1;
   c.height = 1;
-  nl.add_cell(c);
+  nl.add_cell(c, "dummy");
   nl.set_core({0, 0, 100, 100});
   nl.finalize();
   return nl;
@@ -173,18 +172,16 @@ TEST_F(SpreaderTest, RespectsBlockedCapacity) {
   // most mote area must sit in the right half.
   Netlist nl;
   Cell blk;
-  blk.name = "blk";
   blk.width = 50;
   blk.height = 100;
   blk.x = 0;
   blk.y = 0;
   blk.kind = CellKind::Fixed;
-  nl.add_cell(blk);
+  nl.add_cell(blk, "blk");
   Cell d;
-  d.name = "d";
   d.width = 1;
   d.height = 1;
-  nl.add_cell(d);
+  nl.add_cell(d, "d");
   nl.set_core({0, 0, 100, 100});
   nl.finalize();
 
@@ -214,18 +211,16 @@ TEST(SpreaderSweep, TerminalSweepMatchesBisectionReference) {
   // full-height fixed block) to exercise the infimum convention.
   Netlist nl;
   Cell blk;
-  blk.name = "blk";
   blk.width = 30;
   blk.height = 100;
   blk.x = 30;  // covers x in [30, 60], all y
   blk.y = 0;
   blk.kind = CellKind::Fixed;
-  nl.add_cell(blk);
+  nl.add_cell(blk, "blk");
   Cell c;
-  c.name = "dummy";
   c.width = 1;
   c.height = 1;
-  nl.add_cell(c);
+  nl.add_cell(c, "dummy");
   nl.set_core({0, 0, 100, 100});
   nl.finalize();
 

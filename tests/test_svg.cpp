@@ -46,11 +46,10 @@ TEST(Svg, RegionBoxesDrawn) {
   Netlist nl;
   const RegionId r = nl.add_region({"r", {10, 10, 50, 50}});
   Cell c;
-  c.name = "c";
   c.width = 2;
   c.height = 2;
   c.region = r;
-  nl.add_cell(c);
+  nl.add_cell(c, "c");
   nl.set_core({0, 0, 100, 100});
   nl.finalize();
   const std::string path =

@@ -17,12 +17,11 @@ struct ChainFixture {
   ChainFixture() {
     auto add = [&](const std::string& name, double x) {
       Cell c;
-      c.name = name;
       c.width = 2;
       c.height = 2;
       c.x = x - 1;  // center at x
       c.y = 0;
-      return nl.add_cell(c);
+      return nl.add_cell(c, name);
     };
     reg0 = add("reg0", 0);
     a = add("a", 10);

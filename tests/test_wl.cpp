@@ -12,16 +12,14 @@ Netlist offset_pair() {
   // Two cells; one net whose pins have non-zero offsets.
   Netlist nl;
   Cell a;
-  a.name = "a";
   a.width = 4;
   a.height = 12;
   a.x = 0;
   a.y = 0;
-  const CellId ia = nl.add_cell(a);
+  const CellId ia = nl.add_cell(a, "a");
   Cell b = a;
-  b.name = "b";
   b.x = 20;
-  const CellId ib = nl.add_cell(b);
+  const CellId ib = nl.add_cell(b, "b");
   nl.add_net("n", 2.0, {{ia, 1.0, 2.0}, {ib, -1.0, -2.0}});
   nl.set_core({0, 0, 100, 100});
   nl.finalize();
@@ -56,10 +54,9 @@ TEST(Hpwl, ChainValue) {
 TEST(Hpwl, SinglePinNetContributesZero) {
   Netlist nl;
   Cell a;
-  a.name = "a";
   a.width = 2;
   a.height = 2;
-  const CellId ia = nl.add_cell(a);
+  const CellId ia = nl.add_cell(a, "a");
   nl.add_net("single", 1.0, {{ia, 0, 0}});
   nl.set_core({0, 0, 10, 10});
   nl.finalize();
@@ -108,12 +105,11 @@ TEST(B2b, SpringCountIs2DMinus3PerNet) {
   std::vector<Pin> pins;
   for (int i = 0; i < 5; ++i) {
     Cell c;
-    c.name = "c" + std::to_string(i);
     c.width = 2;
     c.height = 2;
     c.x = 3.0 * i;
     c.y = 2.0 * i;
-    pins.push_back({nl.add_cell(c), 0, 0});
+    pins.push_back({nl.add_cell(c, "c" + std::to_string(i)), 0, 0});
   }
   nl.add_net("n", 1.0, pins);
   nl.set_core({0, 0, 100, 100});
@@ -127,11 +123,10 @@ TEST(B2b, SkipsHugeNets) {
   std::vector<Pin> pins;
   for (int i = 0; i < 20; ++i) {
     Cell c;
-    c.name = "c" + std::to_string(i);
     c.width = 2;
     c.height = 2;
     c.x = i;
-    pins.push_back({nl.add_cell(c), 0, 0});
+    pins.push_back({nl.add_cell(c, "c" + std::to_string(i)), 0, 0});
   }
   nl.add_net("big", 1.0, pins);
   nl.set_core({0, 0, 100, 100});
@@ -145,15 +140,13 @@ TEST(B2b, MinSeparationBoundsWeights) {
   // Coincident pins must not produce infinite weights.
   Netlist nl;
   Cell a;
-  a.name = "a";
   a.width = 2;
   a.height = 2;
   a.x = 5;
   a.y = 5;
-  const CellId ia = nl.add_cell(a);
+  const CellId ia = nl.add_cell(a, "a");
   Cell b = a;
-  b.name = "b";
-  const CellId ib = nl.add_cell(b);  // same location
+  const CellId ib = nl.add_cell(b, "b");  // same location
   nl.add_net("n", 1.0, {{ia, 0, 0}, {ib, 0, 0}});
   nl.set_core({0, 0, 10, 10});
   nl.finalize();
@@ -171,11 +164,10 @@ TEST(Clique, EdgeCountQuadratic) {
   std::vector<Pin> pins;
   for (int i = 0; i < 6; ++i) {
     Cell c;
-    c.name = "c" + std::to_string(i);
     c.width = 2;
     c.height = 2;
     c.x = 3.0 * i;
-    pins.push_back({nl.add_cell(c), 0, 0});
+    pins.push_back({nl.add_cell(c, "c" + std::to_string(i)), 0, 0});
   }
   nl.add_net("n", 1.0, pins);
   nl.set_core({0, 0, 100, 100});
@@ -189,11 +181,10 @@ TEST(Clique, LargeNetFallsBackToChain) {
   std::vector<Pin> pins;
   for (int i = 0; i < 30; ++i) {
     Cell c;
-    c.name = "c" + std::to_string(i);
     c.width = 2;
     c.height = 2;
     c.x = 2.0 * i;
-    pins.push_back({nl.add_cell(c), 0, 0});
+    pins.push_back({nl.add_cell(c, "c" + std::to_string(i)), 0, 0});
   }
   nl.add_net("n", 1.0, pins);
   nl.set_core({0, 0, 100, 100});
@@ -219,10 +210,9 @@ TEST(Star, CentersAtCentroid) {
 TEST(Star, SkipsDegenerateNets) {
   Netlist nl;
   Cell a;
-  a.name = "a";
   a.width = 2;
   a.height = 2;
-  const CellId ia = nl.add_cell(a);
+  const CellId ia = nl.add_cell(a, "a");
   nl.add_net("single", 1.0, {{ia, 0, 0}});
   nl.set_core({0, 0, 10, 10});
   nl.finalize();

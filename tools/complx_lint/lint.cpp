@@ -697,6 +697,27 @@ void rule_io1(const std::string& path, const std::vector<Token>& t,
   }
 }
 
+void rule_s1(const std::string& path, const std::vector<Token>& t,
+             std::vector<Finding>& out) {
+  // Hot-path layers must stay name-free. Cell/Net names live in side
+  // tables (NamePool) precisely so the solver/density/projection loops
+  // never touch string data: one name lookup in a per-cell loop quietly
+  // re-inflates the cache footprint the SoA layout paid for. Diagnostics
+  // belong in io/, legal/ and the apps, which may resolve names freely.
+  if (!in_any_dir(path, {"core", "linalg", "qp", "density", "projection"}))
+    return;
+  static const std::set<std::string> kBanned = {
+      "cell_name", "net_name", "find_cell", "NamePool"};
+  for (const Token& tok : t) {
+    if (tok.kind != Token::Ident || !kBanned.count(tok.text)) continue;
+    out.push_back({path, tok.line, "S1",
+                   "'" + tok.text +
+                       "' in a hot-path layer — core/linalg/qp/density/"
+                       "projection must not touch cell/net names; pass ids "
+                       "out and resolve names at the io/app boundary"});
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Cross-file model extraction: #include edges and the function call graph.
 // ---------------------------------------------------------------------------
@@ -870,6 +891,8 @@ const std::vector<RuleInfo>& rule_catalog() {
              "nondeterminism source (determinism taint)"},
       {"IO1", "no direct file-writing primitives (ofstream/fopen/fwrite) in "
               "src/ outside util/atomic_file.*"},
+      {"S1", "no cell/net name access (cell_name/net_name/find_cell/"
+             "NamePool) in core/linalg/qp/density/projection"},
       {"SUPP", "every allow(...) suppression names rules and carries a "
                "justification"},
       {"IO", "tool-level error: a file could not be read or a layer "
@@ -910,6 +933,7 @@ FileSummary summarize_source(const std::string& path,
   rule_p1(norm, tokens, raw);
   rule_p2(norm, tokens, raw);
   rule_io1(norm, tokens, raw);
+  rule_s1(norm, tokens, raw);
 
   for (Finding& f : raw)
     if (!sup.covers(f.line, f.rule)) summary.findings.push_back(std::move(f));

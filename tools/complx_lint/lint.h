@@ -34,6 +34,10 @@
 //   IO1 no direct file-writing primitives (ofstream/fopen/freopen/
 //       fwrite) in src/ outside util/atomic_file.*, the crash-safe
 //       write authority.
+//   S1  no cell/net name access (cell_name/net_name/find_cell/NamePool)
+//       in src/core, src/linalg, src/qp, src/density or src/projection —
+//       names are pooled in side tables so the hot layers never touch
+//       string data; resolve ids to names at the io/app boundary.
 //
 //  * cross-file passes, on the whole scanned file set (analyze_sources):
 //
